@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared experiment-driver plumbing for the bench/ binaries.
+ *
+ * Each binary regenerates one of the paper's tables or figures.
+ * PPM_QUICK=1 in the environment runs shortened workloads for fast
+ * iteration; the default reproduces the full configuration.
+ */
+
+#ifndef PPM_BENCH_BENCH_COMMON_HH
+#define PPM_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "report/figure_report.hh"
+#include "workloads/workload.hh"
+
+namespace ppm::bench {
+
+/** Dynamic-instruction budget per run. */
+inline std::uint64_t
+instrBudget()
+{
+    const char *quick = std::getenv("PPM_QUICK");
+    return (quick && *quick && *quick != '0') ? 200'000 : 4'000'000;
+}
+
+/** Run one (workload, predictor) model experiment. */
+inline RunResult
+runOne(const Workload &w, PredictorKind kind,
+       bool track_influence = true)
+{
+    const Program prog = assemble(std::string(w.source), w.name);
+    ExperimentConfig config;
+    config.maxInstrs = instrBudget();
+    config.dpg.kind = kind;
+    config.dpg.trackInfluence = track_influence;
+    RunResult result;
+    result.stats =
+        runModel(prog, w.makeInput(kDefaultWorkloadSeed), config);
+    result.isFloat = w.isFloat;
+    return result;
+}
+
+/**
+ * Run every workload under every predictor (paper presentation order:
+ * per benchmark, L then S then C).
+ */
+inline std::vector<RunResult>
+runAllWorkloadsAllPredictors(bool track_influence = true)
+{
+    std::vector<RunResult> results;
+    for (const Workload &w : allWorkloads()) {
+        for (PredictorKind kind : kAllPredictorKinds) {
+            std::cerr << "  running " << w.name << " ("
+                      << predictorName(kind) << ") ..." << std::endl;
+            results.push_back(runOne(w, kind, track_influence));
+        }
+    }
+    return results;
+}
+
+/** Run only the integer workloads under every predictor. */
+inline std::vector<RunResult>
+runIntegerWorkloadsAllPredictors(bool track_influence = true)
+{
+    std::vector<RunResult> results;
+    for (const Workload &w : integerWorkloads()) {
+        for (PredictorKind kind : kAllPredictorKinds) {
+            std::cerr << "  running " << w.name << " ("
+                      << predictorName(kind) << ") ..." << std::endl;
+            results.push_back(runOne(w, kind, track_influence));
+        }
+    }
+    return results;
+}
+
+} // namespace ppm::bench
+
+#endif // PPM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension study (paper Sec. 1): address predictability.
+ *
+ * Predicts every load/store effective address with a per-pc 2-delta
+ * stride predictor and the memory data with a context predictor,
+ * reporting the cross combinations. The paper's Fig. 8 analysis says
+ * predictable-address + unpredictable-data memory operations are the
+ * dominant p,n->n terminator; the addr-p/data-n column quantifies
+ * exactly that population.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/study_sinks.hh"
+#include "sim/machine.hh"
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    TablePrinter table(
+        "Address vs data predictability of memory operations "
+        "(stride addresses, context data)");
+    table.addRow({"benchmark", "mem ops", "addr pred %",
+                  "data pred %", "addrP+dataN %", "addrN+dataP %"});
+
+    for (const Workload &w : allWorkloads()) {
+        const Program prog = assemble(std::string(w.source), w.name);
+        AddressStudy study;
+        Machine m(prog, w.makeInput(kDefaultWorkloadSeed));
+        m.run(&study, instrBudget());
+
+        const double n =
+            std::max<std::uint64_t>(1, study.memoryOps());
+        table.addRow(
+            {w.name, formatCount(study.memoryOps()),
+             formatDouble(100.0 * double(study.addressHits()) / n, 1),
+             formatDouble(100.0 * double(study.dataHits()) / n, 1),
+             formatDouble(100.0 * double(study.cross(true, false)) / n,
+                          1),
+             formatDouble(100.0 * double(study.cross(false, true)) / n,
+                          1)});
+    }
+    table.print(std::cout);
+    std::cout <<
+        "\naddrP+dataN is the paper's dominant termination pattern\n"
+        "(predictable address, unpredictable data); addrN+dataP is\n"
+        "its p,n->p propagation pattern (predictable data behind an\n"
+        "unpredictable address register).\n";
+    return 0;
+}

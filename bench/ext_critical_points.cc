@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension study (the paper's stated goal #3): "identifying critical
+ * points for prediction; i.e. places where prediction and speculation
+ * may have greater payoff".
+ *
+ * Ranks static instructions by the total propagation their generates
+ * influence (the tree attribution behind Fig. 10) and prints the top
+ * sites with their disassembly — the concrete "put a predictor /
+ * specializer here" list the model was built to produce.
+ */
+
+#include "bench_common.hh"
+
+#include "isa/disasm.hh"
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    for (const char *name : {"gcc", "compress", "m88ksim"}) {
+        const Workload &w = findWorkload(name);
+        const Program prog = assemble(std::string(w.source), w.name);
+        ExperimentConfig config;
+        config.maxInstrs = instrBudget();
+        config.dpg.kind = PredictorKind::Context;
+        const DpgStats stats =
+            runModel(prog, w.makeInput(kDefaultWorkloadSeed), config);
+
+        const std::uint64_t total_prop =
+            stats.paths.propagateElements;
+
+        TablePrinter table(
+            "Critical generate sites: " + w.name +
+            " (context predictor)");
+        table.addRow({"pc", "instruction", "class", "generates",
+                      "influence %", "longest path"});
+        for (const CriticalSite &site :
+             stats.trees.criticalSites(10)) {
+            table.addRow(
+                {std::to_string(site.pc),
+                 disassemble(prog.text[site.pc]),
+                 std::string(generatorClassName(site.cls)),
+                 formatCount(site.generates),
+                 formatDouble(total_prop == 0
+                                  ? 0.0
+                                  : 100.0 * double(site.influenced) /
+                                        double(total_prop),
+                              1),
+                 formatCount(site.longest)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout <<
+        "Influence % is of all propagating nodes+arcs (multi-counted\n"
+        "across sites, since trees overlap). A handful of sites\n"
+        "covering most of the propagation is the paper's 'few\n"
+        "generates influence the majority of predictability'.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Extension study (paper Sec. 6 / reference [16]): instruction reuse.
+ *
+ * The paper suggests the dense p,p->p regions "naturally suggest
+ * speculation and/or reuse/memoization". This bench measures, per
+ * workload, how often a Sodani/Sohi-style reuse buffer would hit
+ * (operands literally identical to the previous instance) and sets
+ * that against the context predictor's propagation share — reuse is
+ * the stricter condition, so it lower-bounds value predictability.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/study_sinks.hh"
+#include "sim/machine.hh"
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    TablePrinter table(
+        "Instruction reuse (64K-entry buffer) vs model propagation");
+    table.addRow({"benchmark", "reuse hit %", "loads reuse %",
+                  "arith reuse %", "branch reuse %",
+                  "model prop % (C)"});
+
+    for (const Workload &w : allWorkloads()) {
+        const Program prog = assemble(std::string(w.source), w.name);
+
+        ReuseStudy study;
+        Machine m(prog, w.makeInput(kDefaultWorkloadSeed));
+        m.run(&study, instrBudget());
+
+        const RunResult model =
+            runOne(w, PredictorKind::Context,
+                   /*track_influence=*/false);
+        const Fig5Row f5 = fig5Row(model.stats);
+
+        auto rate = [&](OpCategory cat) {
+            const std::uint64_t l = study.lookups(cat);
+            return l == 0 ? 0.0
+                          : 100.0 * double(study.hits(cat)) /
+                                double(l);
+        };
+        table.addRow(
+            {w.name,
+             formatPercent(study.buffer().hitRate()),
+             formatDouble(rate(OpCategory::Load), 1),
+             formatDouble(rate(OpCategory::IntArith), 1),
+             formatDouble(rate(OpCategory::Branch), 1),
+             formatDouble(f5.nodeProp + f5.arcProp, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Extension study (paper Sec. 6 future work): where unpredictability
+ * comes from.
+ *
+ * Dual of Fig. 9: every unpredicted output carries the set of
+ * unpredictability origins upstream — program input data (D),
+ * terminated predictability (T), or never-predictable internal
+ * computation (F). If the paper's headline is "most predictability
+ * comes from program structure, not input data", the dual question is
+ * whether unpredictability is mostly input-data-driven or also
+ * self-inflicted by program structure.
+ */
+
+#include "bench_common.hh"
+
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    const std::vector<RunResult> runs =
+        runAllWorkloadsAllPredictors(/*track_influence=*/false);
+
+    printPerRunTable(
+        std::cout,
+        "Unpredicted outputs by origin combination (% of unpredicted "
+        "outputs; D=input data, T=terminated, F=never-predictable)",
+        {"D only", "T only", "F only", "D+T", "D+F", "T+F", "D+T+F",
+         "data-touched", "term-touched"},
+        runs, [](const DpgStats &s) {
+            const double denom =
+                s.unpred.total() == 0
+                    ? 1.0
+                    : static_cast<double>(s.unpred.total());
+            auto pct = [&](std::uint8_t mask) {
+                return 100.0 *
+                       static_cast<double>(s.unpred.count(mask)) /
+                       denom;
+            };
+            const auto d = unpredOriginBit(UnpredOrigin::Data);
+            const auto t = unpredOriginBit(UnpredOrigin::Term);
+            const auto f = unpredOriginBit(UnpredOrigin::Fresh);
+            return std::vector<double>{
+                pct(d),
+                pct(t),
+                pct(f),
+                pct(d | t),
+                pct(d | f),
+                pct(t | f),
+                pct(d | t | f),
+                100.0 *
+                    double(s.unpred.countOrigin(UnpredOrigin::Data)) /
+                    denom,
+                100.0 *
+                    double(s.unpred.countOrigin(UnpredOrigin::Term)) /
+                    denom};
+        });
+
+    return 0;
+}

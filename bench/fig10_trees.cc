@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Fig. 10: predictability-tree characteristics for the
+ * gcc analog with the context predictor.
+ *
+ * Paper reference points: ~90 % of generates root trees whose longest
+ * path contains 8 or fewer propagating nodes and arcs; but most of
+ * the aggregate propagation comes from the rare deep trees (80 % of
+ * aggregate propagation from trees with longest path 256+).
+ */
+
+#include "bench_common.hh"
+
+#include "report/csv_emitter.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    const RunResult run =
+        runOne(findWorkload("gcc"), PredictorKind::Context);
+
+    printFig10(std::cout, run.stats);
+
+    // The headline statistics.
+    const auto trees = fig10Trees(run.stats);
+    const auto agg = fig10Aggregate(run.stats);
+    auto at_or_below = [](const std::vector<CumulativePoint> &curve,
+                          std::uint64_t hi) {
+        double last = 0.0;
+        for (const auto &p : curve) {
+            if (p.bucketHigh > hi)
+                break;
+            last = p.cumulative;
+        }
+        return last;
+    };
+    std::cout << "generates with longest path <= 8: "
+              << 100.0 * at_or_below(trees, 8) << " %\n";
+    std::cout << "aggregate propagation in trees with longest path "
+                 ">= 256: "
+              << 100.0 * (1.0 - at_or_below(agg, 128)) << " %\n\n";
+
+    CsvTable csv;
+    csv.header = {"bucket_high", "trees_cum", "aggregate_cum"};
+    const std::size_t n = std::max(trees.size(), agg.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t =
+            i < trees.size() ? trees[i].cumulative : 1.0;
+        const double a = i < agg.size() ? agg[i].cumulative : 1.0;
+        const std::uint64_t hi = i < trees.size()
+                                     ? trees[i].bucketHigh
+                                     : agg[i].bucketHigh;
+        csv.rows.push_back({std::to_string(hi), std::to_string(t),
+                            std::to_string(a)});
+    }
+    maybeWriteCsv("fig10", csv);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Fig. 12: predictable contiguous sequence lengths
+ * (integer benchmarks, all three predictors).
+ *
+ * Paper reference points: long predictable sequences are common; with
+ * the context predictor ~13 % of instructions sit in runs of length
+ * 9-16 and ~40 % in runs of 9-256.
+ */
+
+#include "bench_common.hh"
+
+#include "report/csv_emitter.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    const std::vector<RunResult> runs =
+        runIntegerWorkloadsAllPredictors(/*track_influence=*/false);
+
+    printFig12(std::cout, runs);
+
+    // Headline: instructions in sequences of length 9..256, averaged
+    // over the integer benchmarks, per predictor.
+    for (PredictorKind kind : kAllPredictorKinds) {
+        std::vector<double> vals;
+        for (const auto &run : runs) {
+            if (run.stats.kind != kind)
+                continue;
+            const Log2Histogram &h = run.stats.sequences.histogram();
+            std::uint64_t in_range = 0;
+            for (unsigned b = 4; b <= 8 && b < h.bucketCount(); ++b)
+                in_range += h.bucketWeight(b); // 9-16 .. 129-256
+            vals.push_back(100.0 * double(in_range) /
+                           double(run.stats.dynInstrs));
+        }
+        std::cout << "instructions in predictable sequences of "
+                     "length 9-256 ("
+                  << predictorName(kind)
+                  << "): " << arithmeticMean(vals) << " %\n";
+    }
+    std::cout << "\n";
+
+    CsvTable csv;
+    csv.header = {"workload", "predictor", "bucket", "pct_of_instrs"};
+    for (const auto &run : runs) {
+        for (const auto &b : fig12Buckets(run.stats)) {
+            csv.rows.push_back({run.stats.workload,
+                                predictorName(run.stats.kind),
+                                b.bucket,
+                                std::to_string(b.pctOfInstrs)});
+        }
+    }
+    maybeWriteCsv("fig12", csv);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Fig. 6: where predictability is generated.
+ *
+ * Paper reference points: repeated-use arcs (<wl:n,p>, <rd:n,p>,
+ * <r:n,p>) dominate arc generation for last-value and stride;
+ * single-use arcs (<1:n,p>) contribute about as much as repeated-use
+ * under context prediction; node generation is dominated by
+ * all-immediate instructions (i,i->p); mgrid shows almost no node
+ * generation (few immediates).
+ */
+
+#include "bench_common.hh"
+
+#include "report/csv_emitter.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    using namespace ppm::bench;
+
+    const std::vector<RunResult> runs =
+        runAllWorkloadsAllPredictors(/*track_influence=*/false);
+
+    printFig6(std::cout, runs);
+
+    CsvTable csv;
+    csv.header = {"workload",  "predictor", "n_ii_p", "n_nn_p",
+                  "n_in_p",    "a_wl_np",   "a_rd_np", "a_r_np",
+                  "a_1_np"};
+    for (const auto &run : runs) {
+        const Fig6Row r = fig6Row(run.stats);
+        csv.rows.push_back(
+            {run.stats.workload, predictorName(run.stats.kind),
+             std::to_string(r.nodeImmImm), std::to_string(r.nodeUnpUnp),
+             std::to_string(r.nodeImmUnp),
+             std::to_string(r.arcWriteOnce),
+             std::to_string(r.arcDataRead),
+             std::to_string(r.arcRepeated),
+             std::to_string(r.arcSingle)});
+    }
+    maybeWriteCsv("fig6", csv);
+    return 0;
+}

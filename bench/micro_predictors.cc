@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw predictor lookup/update
+ * throughput and full-model analysis throughput. These justify the
+ * engineering claim that the streaming model runs at simulator speed
+ * (millions of instructions per second), which is what makes the
+ * two-pass design practical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "pred/gshare.hh"
+#include "pred/predictor_bank.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace ppm;
+
+void
+BM_PredictorUpdate(benchmark::State &state)
+{
+    const auto kind = static_cast<PredictorKind>(state.range(0));
+    auto pred = makeValuePredictor(kind);
+    Rng rng(1);
+    std::vector<std::uint64_t> keys(1024);
+    std::vector<Value> vals(1024);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        keys[i] = rng.nextBelow(4096);
+        vals[i] = rng.nextSkewed(16);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pred->predictAndUpdate(keys[i & 1023], vals[i & 1023]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(predictorName(kind));
+}
+
+BENCHMARK(BM_PredictorUpdate)
+    ->Arg(static_cast<int>(PredictorKind::LastValue))
+    ->Arg(static_cast<int>(PredictorKind::Stride2Delta))
+    ->Arg(static_cast<int>(PredictorKind::Context));
+
+void
+BM_Gshare(benchmark::State &state)
+{
+    Gshare g(16);
+    std::uint32_t pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            g.predictAndUpdate(pc & 1023, (pc & 3) != 0));
+        ++pc;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_Gshare);
+
+void
+BM_BareSimulation(benchmark::State &state)
+{
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+    const auto input = w.makeInput(kDefaultWorkloadSeed);
+    for (auto _ : state) {
+        Machine m(prog, input);
+        m.run(nullptr, 200'000);
+        benchmark::DoNotOptimize(m.instrCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+
+BENCHMARK(BM_BareSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullModel(benchmark::State &state)
+{
+    const bool influence = state.range(0) != 0;
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+    const auto input = w.makeInput(kDefaultWorkloadSeed);
+    ExecProfile profile(prog.textSize());
+    Machine(prog, input).run(&profile, 200'000);
+
+    for (auto _ : state) {
+        DpgConfig config;
+        config.kind = PredictorKind::Context;
+        config.trackInfluence = influence;
+        DpgAnalyzer analyzer(prog, profile, config);
+        Machine m(prog, input);
+        m.run(&analyzer, 200'000);
+        benchmark::DoNotOptimize(analyzer.takeStats().dynInstrs);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+    state.SetLabel(influence ? "with influence" : "labels only");
+}
+
+BENCHMARK(BM_FullModel)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

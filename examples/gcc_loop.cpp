@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The paper's running example (Figs. 1 and 3): the register-mask scan
+ * loop from gcc's invalidate_for_call, transcribed to YISA.
+ *
+ * This example drives the simulator with a custom TraceSink and a
+ * stride predictor (as in the paper's Fig. 3 walk-through), printing
+ * the value sequence each static instruction produces and whether the
+ * output was predicted at each of the first iterations — reproducing
+ * the generation/propagation story told in Sec. 1.1 of the paper.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "isa/disasm.hh"
+#include "pred/predictor_bank.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace ppm;
+
+/** Records output values and stride-prediction outcomes per pc. */
+class LoopObserver : public TraceSink
+{
+  public:
+    LoopObserver()
+        : bank_(PredictorKind::Stride2Delta)
+    {
+    }
+
+    void
+    onInstr(const DynInstr &di) override
+    {
+        Record &rec = records_[di.pc];
+        bool predicted = false;
+        if (di.isBranch) {
+            predicted = bank_.predictBranch(di.pc, di.taken);
+            rec.values.push_back(di.taken ? 1 : 0);
+            rec.isBranch = true;
+        } else if (di.hasValueOutput()) {
+            if (di.isPassThrough) {
+                // Model rule: loads/stores pass input predictability
+                // through; predict the passed input instead.
+                predicted = bank_.predictInput(di.pc, di.passSlot,
+                                               di.inputs[di.passSlot]
+                                                   .value);
+            } else {
+                predicted = bank_.predictOutput(di.pc, di.outValue);
+            }
+            rec.values.push_back(di.outValue);
+        } else {
+            return;
+        }
+        rec.outcomes.push_back(predicted);
+    }
+
+    struct Record
+    {
+        std::vector<Value> values;
+        std::vector<bool> outcomes;
+        bool isBranch = false;
+    };
+
+    const std::map<StaticId, Record> &records() const
+    {
+        return records_;
+    }
+
+  private:
+    PredictorBank bank_;
+    std::map<StaticId, Record> records_;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppm;
+
+    // The loop of Fig. 1, with the two 32-bit mask words 0x8000bfff
+    // and 0xffffffff exactly as in the paper.
+    const char *source = R"(
+        .data
+mask:   .word 0x8000bfff, 0xffffffff
+        .text
+main:   la   $19, mask
+        add  $6, $0, $0       # 0: i = 0
+LL1:    srl  $2, $6, 5        # 1: word index
+        sll  $2, $2, 3        # 2: byte offset (8-byte words)
+        addu $2, $2, $19      # 3: word address
+        ld   $2, 0($2)        # 4: mask word
+        andi $3, $6, 31       # 5: bit index
+        srlv $2, $2, $3       # 6: shift the bit down
+        andi $2, $2, 1        # 7: isolate it
+        beq  $2, $0, LL2      # 8: skip if clear
+        nop                   #    (invalidate elided)
+LL2:    addiu $6, $6, 1       # 9: i++
+        slti $2, $6, 64       # 10: i < 64?
+        bne  $2, $0, LL1      # 11: loop
+        halt
+)";
+
+    const Program prog = assemble(source, "gcc-fig1");
+    LoopObserver observer;
+    Machine machine(prog);
+    machine.run(&observer, 10'000);
+
+    std::cout <<
+        "Fig. 1 loop under a 2-delta stride predictor.\n"
+        "For each static instruction: first outputs, then the\n"
+        "prediction outcome string (n = not predicted, p = predicted)\n"
+        "for its first 40 executions.\n\n";
+
+    for (const auto &[pc, rec] : observer.records()) {
+        std::cout << std::setw(2) << pc << ": " << std::left
+                  << std::setw(22)
+                  << disassemble(prog.text[pc]) << std::right
+                  << " values:";
+        const std::size_t nvals = std::min<std::size_t>(
+            8, rec.values.size());
+        for (std::size_t i = 0; i < nvals; ++i) {
+            std::cout << " " << std::hex << rec.values[i]
+                      << std::dec;
+        }
+        if (rec.values.size() > nvals)
+            std::cout << " ...";
+        std::cout << "\n    outcomes: ";
+        const std::size_t n = std::min<std::size_t>(
+            40, rec.outcomes.size());
+        for (std::size_t i = 0; i < n; ++i)
+            std::cout << (rec.outcomes[i] ? 'p' : 'n');
+        std::cout << "\n";
+    }
+
+    std::cout <<
+        "\nReading the outcome strings top to bottom shows the paper's\n"
+        "story: instruction 9's stride-1 counter generates\n"
+        "predictability after two values, it propagates through the\n"
+        "shift/mask chain (1, 2, 3, 4, 6, 7), and terminates briefly\n"
+        "where the mask word or bit pattern changes.\n";
+    return 0;
+}

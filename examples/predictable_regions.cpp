@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Predictable regions (the paper's Sec. 6 "new paradigms"
+ * ramification): find contiguous fully-predicted instruction
+ * sequences — candidates for speculation, reuse, or memoization — and
+ * report how much of each workload's execution could run in such
+ * regions of a useful minimum size.
+ */
+
+#include <iostream>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace ppm;
+
+    TablePrinter table(
+        "Instructions inside fully-predicted regions, by minimum "
+        "region size (context predictor)");
+    table.addRow({"benchmark", ">=1 %", ">=8 %", ">=32 %", ">=128 %",
+                  "regions"});
+
+    for (const Workload &w : allWorkloads()) {
+        ExperimentConfig config;
+        config.dpg.kind = PredictorKind::Context;
+        config.dpg.trackInfluence = false;
+        const Program prog = assemble(std::string(w.source), w.name);
+        const DpgStats stats =
+            runModel(prog, w.makeInput(kDefaultWorkloadSeed), config);
+
+        const Log2Histogram &h = stats.sequences.histogram();
+        const double denom = static_cast<double>(stats.dynInstrs);
+        auto tail_pct = [&](unsigned min_bucket) {
+            std::uint64_t weight = 0;
+            for (unsigned b = min_bucket; b < h.bucketCount(); ++b)
+                weight += h.bucketWeight(b);
+            return 100.0 * static_cast<double>(weight) / denom;
+        };
+        // Buckets: 0:0-1 1:2 2:3-4 3:5-8 4:9-16 5:17-32 6:33-64
+        // 7:65-128 8:129-256 ...
+        table.addRow({w.name, formatDouble(tail_pct(0), 1),
+                      formatDouble(tail_pct(4), 1),
+                      formatDouble(tail_pct(6), 1),
+                      formatDouble(tail_pct(8), 1),
+                      formatCount(stats.sequences.sequenceCount())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRegions of 32+ fully-predicted instructions are "
+                 "the natural unit for the region-level speculation / "
+                 "reuse paradigms the paper sketches in Sec. 6.\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+#include "analysis/experiment.hh"
+
+#include "asmr/assembler.hh"
+#include "sim/machine.hh"
+
+namespace ppm {
+
+DpgStats
+runModel(const Program &prog, const std::vector<Value> &input,
+         const ExperimentConfig &config)
+{
+    // Pass 1: execution-count profile (write-once detection).
+    ExecProfile profile(prog.textSize());
+    {
+        Machine m(prog, input);
+        m.run(&profile, config.maxInstrs);
+    }
+
+    // Pass 2: the full model over the identical stream.
+    DpgAnalyzer analyzer(prog, profile, config.dpg);
+    {
+        Machine m(prog, input);
+        m.run(&analyzer, config.maxInstrs);
+    }
+    return analyzer.takeStats();
+}
+
+DpgStats
+runModelOnSource(const std::string &source, const std::string &name,
+                 const std::vector<Value> &input,
+                 const ExperimentConfig &config)
+{
+    const Program prog = assemble(source, name);
+    return runModel(prog, input, config);
+}
+
+} // namespace ppm

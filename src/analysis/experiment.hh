@@ -1,0 +1,51 @@
+/**
+ * @file
+ * End-to-end experiment driver: assemble, profile (pass 1), model
+ * (pass 2), return DpgStats. This is the main public entry point a
+ * downstream user calls; see examples/quickstart.cpp.
+ */
+
+#ifndef PPM_ANALYSIS_EXPERIMENT_HH
+#define PPM_ANALYSIS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "dpg/dpg_analyzer.hh"
+
+namespace ppm {
+
+/** Knobs for one model run. */
+struct ExperimentConfig
+{
+    /** Dynamic instruction budget per pass. */
+    std::uint64_t maxInstrs = 2'000'000;
+
+    /** Model configuration (predictor kind, sizes, influence cap). */
+    DpgConfig dpg{};
+};
+
+/**
+ * Run the two-pass predictability analysis of @p prog fed @p input.
+ * Pass 1 profiles static execution counts (for write-once arcs); pass 2
+ * runs the full DPG model. Both passes see the identical dynamic stream
+ * because the simulator is deterministic.
+ */
+DpgStats runModel(const Program &prog, const std::vector<Value> &input,
+                  const ExperimentConfig &config = ExperimentConfig{});
+
+/**
+ * Convenience: assemble @p source then runModel. Throws AsmError on
+ * bad source.
+ */
+DpgStats runModelOnSource(const std::string &source,
+                          const std::string &name,
+                          const std::vector<Value> &input = {},
+                          const ExperimentConfig &config =
+                              ExperimentConfig{});
+
+} // namespace ppm
+
+#endif // PPM_ANALYSIS_EXPERIMENT_HH

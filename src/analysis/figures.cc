@@ -1,0 +1,250 @@
+#include "analysis/figures.hh"
+
+#include <algorithm>
+
+namespace ppm {
+
+namespace {
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+} // namespace
+
+double
+pctOfElements(const DpgStats &stats, std::uint64_t count)
+{
+    return pct(count, stats.totalElements());
+}
+
+Table1Row
+table1Row(const DpgStats &stats)
+{
+    Table1Row row;
+    row.workload = stats.workload;
+    row.dynInstrs = stats.dynInstrs;
+    row.nodes = stats.totalNodes();
+    row.arcs = stats.arcs.total();
+    row.arcsPerNode =
+        row.nodes == 0 ? 0.0
+                       : static_cast<double>(row.arcs) /
+                             static_cast<double>(row.nodes);
+    row.dataNodePct = pct(stats.dataNodes(), row.nodes);
+    row.dataArcPct = pct(stats.arcs.dataArcs(), row.arcs);
+    return row;
+}
+
+Fig5Row
+fig5Row(const DpgStats &stats)
+{
+    Fig5Row r;
+    r.nodeGen = pctOfElements(stats, stats.nodes.generates());
+    r.nodeProp = pctOfElements(stats, stats.nodes.propagates());
+    r.nodeTerm = pctOfElements(stats, stats.nodes.terminates());
+    r.arcGen = pctOfElements(stats, stats.arcs.generates());
+    r.arcProp = pctOfElements(stats, stats.arcs.propagates());
+    r.arcTerm = pctOfElements(stats, stats.arcs.terminates());
+    return r;
+}
+
+Fig6Row
+fig6Row(const DpgStats &stats)
+{
+    Fig6Row r;
+    r.nodeImmImm =
+        pctOfElements(stats, stats.nodes.count(NodeClass::GenImmImm));
+    r.nodeUnpUnp =
+        pctOfElements(stats, stats.nodes.count(NodeClass::GenUnpUnp));
+    r.nodeImmUnp =
+        pctOfElements(stats, stats.nodes.count(NodeClass::GenImmUnp));
+    r.arcWriteOnce = pctOfElements(
+        stats, stats.arcs.count(ArcUse::WriteOnce, ArcLabel::NP));
+    r.arcDataRead = pctOfElements(
+        stats, stats.arcs.count(ArcUse::DataRead, ArcLabel::NP));
+    r.arcRepeated = pctOfElements(
+        stats, stats.arcs.count(ArcUse::Repeated, ArcLabel::NP));
+    r.arcSingle = pctOfElements(
+        stats, stats.arcs.count(ArcUse::Single, ArcLabel::NP));
+    return r;
+}
+
+Fig7Row
+fig7Row(const DpgStats &stats)
+{
+    Fig7Row r;
+    r.nodePredPred = pctOfElements(
+        stats, stats.nodes.count(NodeClass::PropPredPred));
+    r.nodePredImm = pctOfElements(
+        stats, stats.nodes.count(NodeClass::PropPredImm));
+    r.nodePredUnp = pctOfElements(
+        stats, stats.nodes.count(NodeClass::PropPredUnp));
+    r.arcSingle = pctOfElements(
+        stats, stats.arcs.count(ArcUse::Single, ArcLabel::PP));
+    r.arcRepeated = pctOfElements(
+        stats, stats.arcs.count(ArcUse::Repeated, ArcLabel::PP));
+    r.arcWriteOnce = pctOfElements(
+        stats, stats.arcs.count(ArcUse::WriteOnce, ArcLabel::PP));
+    r.arcDataRead = pctOfElements(
+        stats, stats.arcs.count(ArcUse::DataRead, ArcLabel::PP));
+    return r;
+}
+
+Fig8Row
+fig8Row(const DpgStats &stats)
+{
+    Fig8Row r;
+    r.nodePredUnp = pctOfElements(
+        stats, stats.nodes.count(NodeClass::TermPredUnp));
+    r.nodePredPred = pctOfElements(
+        stats, stats.nodes.count(NodeClass::TermPredPred));
+    r.nodePredImm = pctOfElements(
+        stats, stats.nodes.count(NodeClass::TermPredImm));
+    r.arcSingle = pctOfElements(
+        stats, stats.arcs.count(ArcUse::Single, ArcLabel::PN));
+    r.arcRepeated = pctOfElements(
+        stats, stats.arcs.count(ArcUse::Repeated, ArcLabel::PN));
+    r.arcWriteOnce = pctOfElements(
+        stats, stats.arcs.count(ArcUse::WriteOnce, ArcLabel::PN));
+    r.arcDataRead = pctOfElements(
+        stats, stats.arcs.count(ArcUse::DataRead, ArcLabel::PN));
+    return r;
+}
+
+std::array<double, kNumGeneratorClasses>
+fig9Overall(const DpgStats &stats)
+{
+    std::array<double, kNumGeneratorClasses> out{};
+    for (unsigned c = 0; c < kNumGeneratorClasses; ++c)
+        out[c] = pctOfElements(stats, stats.paths.perClass[c]);
+    return out;
+}
+
+std::vector<ComboEntry>
+fig9Combos(const DpgStats &stats, unsigned top_n)
+{
+    std::vector<ComboEntry> combos;
+    for (unsigned mask = 1; mask < 64; ++mask) {
+        const std::uint64_t n = stats.paths.perCombo[mask];
+        if (n == 0)
+            continue;
+        ComboEntry e;
+        e.mask = static_cast<std::uint8_t>(mask);
+        e.name = generatorMaskName(static_cast<std::uint8_t>(mask));
+        e.pct = pctOfElements(stats, n);
+        combos.push_back(std::move(e));
+    }
+    std::sort(combos.begin(), combos.end(),
+              [](const ComboEntry &a, const ComboEntry &b) {
+                  return a.pct > b.pct;
+              });
+    if (combos.size() > top_n)
+        combos.resize(top_n);
+    return combos;
+}
+
+namespace {
+
+std::vector<CumulativePoint>
+cumulativeCurve(const Log2Histogram &hist)
+{
+    std::vector<CumulativePoint> out;
+    const unsigned buckets = std::max(1u, hist.bucketCount());
+    for (unsigned b = 0; b < buckets; ++b) {
+        CumulativePoint p;
+        p.bucket = Log2Histogram::bucketLabel(b);
+        p.bucketHigh = Log2Histogram::bucketHigh(b);
+        p.cumulative = hist.cumulativeFraction(b);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<CumulativePoint>
+fig10Trees(const DpgStats &stats)
+{
+    return cumulativeCurve(stats.trees.longestPathHistogram());
+}
+
+std::vector<CumulativePoint>
+fig10Aggregate(const DpgStats &stats)
+{
+    return cumulativeCurve(stats.trees.aggregatePropagationHistogram());
+}
+
+std::vector<CumulativePoint>
+fig11InfluenceCount(const DpgStats &stats)
+{
+    std::vector<CumulativePoint> out;
+    const LinearHistogram &h = stats.paths.influenceCount;
+    for (unsigned k = 1; k <= h.limit(); ++k) {
+        CumulativePoint p;
+        p.bucket = std::to_string(k);
+        p.bucketHigh = k;
+        p.cumulative = h.cumulativeFraction(k);
+        const bool done = p.cumulative >= 1.0;
+        out.push_back(std::move(p));
+        if (done)
+            break;
+    }
+    return out;
+}
+
+std::vector<CumulativePoint>
+fig11Distance(const DpgStats &stats)
+{
+    return cumulativeCurve(stats.paths.influenceDistance);
+}
+
+std::vector<SequenceBucket>
+fig12Buckets(const DpgStats &stats)
+{
+    std::vector<SequenceBucket> out;
+    const Log2Histogram &h = stats.sequences.histogram();
+    for (unsigned b = 0; b < h.bucketCount(); ++b) {
+        SequenceBucket s;
+        s.bucket = Log2Histogram::bucketLabel(b);
+        s.pctOfInstrs = pct(h.bucketWeight(b), stats.dynInstrs);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+Fig13Row
+fig13Row(const DpgStats &stats)
+{
+    Fig13Row r;
+    const std::uint64_t total = stats.branches.total();
+    for (unsigned s = 0; s < kNumBranchSigs; ++s) {
+        r.pct[s][0] = pct(
+            stats.branches.count(static_cast<BranchSig>(s), false),
+            total);
+        r.pct[s][1] = pct(
+            stats.branches.count(static_cast<BranchSig>(s), true),
+            total);
+    }
+    r.gshareAccuracy = stats.gshareAccuracy;
+    r.mispredictedWithPredictableInputsPct =
+        pct(stats.branches.mispredictedWithPredictableInputs(),
+            stats.branches.mispredicted());
+    return r;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace ppm

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Figure/table series extraction from DpgStats.
+ *
+ * Each function turns raw model counters into exactly the series the
+ * paper plots, using the paper's conventions: percentages are of the
+ * combined node+arc total (Sec. 4.1) unless a figure states otherwise,
+ * and cross-benchmark averages are arithmetic means of per-benchmark
+ * percentages.
+ */
+
+#ifndef PPM_ANALYSIS_FIGURES_HH
+#define PPM_ANALYSIS_FIGURES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dpg/dpg_analyzer.hh"
+
+namespace ppm {
+
+/** Percentage of the combined node+arc total. */
+double pctOfElements(const DpgStats &stats, std::uint64_t count);
+
+/** Table 1: benchmark characteristics. */
+struct Table1Row
+{
+    std::string workload;
+    std::uint64_t dynInstrs;
+    std::uint64_t nodes;
+    std::uint64_t arcs;
+    double arcsPerNode;
+    double dataNodePct; ///< D nodes as % of nodes.
+    double dataArcPct;  ///< D-connected arcs as % of arcs.
+};
+
+Table1Row table1Row(const DpgStats &stats);
+
+/** Fig. 5: overall generation/propagation/termination. */
+struct Fig5Row
+{
+    double nodeGen, nodeProp, nodeTerm;
+    double arcGen, arcProp, arcTerm;
+};
+
+Fig5Row fig5Row(const DpgStats &stats);
+
+/** Fig. 6: generation breakdown. */
+struct Fig6Row
+{
+    double nodeImmImm;  ///< i,i->p
+    double nodeUnpUnp;  ///< n,n->p
+    double nodeImmUnp;  ///< i,n->p
+    double arcWriteOnce; ///< <wl:n,p>
+    double arcDataRead;  ///< <rd:n,p>
+    double arcRepeated;  ///< <r:n,p>
+    double arcSingle;    ///< <1:n,p>
+};
+
+Fig6Row fig6Row(const DpgStats &stats);
+
+/** Fig. 7: propagation breakdown. */
+struct Fig7Row
+{
+    double nodePredPred; ///< p,p->p
+    double nodePredImm;  ///< p,i->p
+    double nodePredUnp;  ///< p,n->p
+    double arcSingle;    ///< <1:p,p>
+    double arcRepeated;  ///< <r:p,p>
+    double arcWriteOnce; ///< <wl:p,p>
+    double arcDataRead;  ///< <rd:p,p>
+};
+
+Fig7Row fig7Row(const DpgStats &stats);
+
+/** Fig. 8: termination breakdown. */
+struct Fig8Row
+{
+    double nodePredUnp;  ///< p,n->n
+    double nodePredPred; ///< p,p->n
+    double nodePredImm;  ///< p,i->n
+    double arcSingle;    ///< <1:p,n>
+    double arcRepeated;  ///< <r:p,n>
+    double arcWriteOnce; ///< <wl:p,n>
+    double arcDataRead;  ///< <rd:p,n>
+};
+
+Fig8Row fig8Row(const DpgStats &stats);
+
+/** Fig. 9 top: propagates influenced by each generator class. */
+std::array<double, kNumGeneratorClasses>
+fig9Overall(const DpgStats &stats);
+
+/** One exact-combination entry of Fig. 9 bottom. */
+struct ComboEntry
+{
+    std::uint8_t mask;
+    std::string name;
+    double pct;
+};
+
+/** Fig. 9 bottom: top @p top_n combinations by percentage. */
+std::vector<ComboEntry> fig9Combos(const DpgStats &stats,
+                                   unsigned top_n = 24);
+
+/** One point of a cumulative curve. */
+struct CumulativePoint
+{
+    std::string bucket;        ///< x label ("5-8", ...)
+    std::uint64_t bucketHigh;  ///< inclusive upper bound of the bucket
+    double cumulative;         ///< cumulative fraction in [0,1]
+};
+
+/** Fig. 10 "trees": cumulative fraction of generates whose longest
+ *  path is <= bucket. */
+std::vector<CumulativePoint> fig10Trees(const DpgStats &stats);
+
+/** Fig. 10 "aggregate propagation": cumulative fraction of total
+ *  propagation in trees with longest path <= bucket. */
+std::vector<CumulativePoint> fig10Aggregate(const DpgStats &stats);
+
+/** Fig. 11 top: cumulative fraction of propagates influenced by
+ *  <= k generates, for k = 1..cap. */
+std::vector<CumulativePoint> fig11InfluenceCount(const DpgStats &stats);
+
+/** Fig. 11 bottom: cumulative fraction of propagates whose farthest
+ *  generate is <= bucket away. */
+std::vector<CumulativePoint> fig11Distance(const DpgStats &stats);
+
+/** One bucket of Fig. 12 (percent of dynamic instructions that live in
+ *  predictable sequences of this length bucket). */
+struct SequenceBucket
+{
+    std::string bucket;
+    double pctOfInstrs;
+};
+
+std::vector<SequenceBucket> fig12Buckets(const DpgStats &stats);
+
+/** Fig. 13: branch signature x outcome, percent of all branches. */
+struct Fig13Row
+{
+    /** [signature][predicted ? 1 : 0] as percent of branches. */
+    std::array<std::array<double, 2>, kNumBranchSigs> pct;
+    double gshareAccuracy;
+    double mispredictedWithPredictableInputsPct; ///< of mispredictions
+};
+
+Fig13Row fig13Row(const DpgStats &stats);
+
+/** Arithmetic mean of a set of values (paper's averaging rule). */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace ppm
+
+#endif // PPM_ANALYSIS_FIGURES_HH

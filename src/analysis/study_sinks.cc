@@ -1,0 +1,170 @@
+#include "analysis/study_sinks.hh"
+
+namespace ppm {
+
+ValueBranchStudy::ValueBranchStudy(unsigned index_bits)
+    : gshare_(index_bits), vbp_(index_bits)
+{
+}
+
+void
+ValueBranchStudy::onInstr(const DynInstr &di)
+{
+    if (!di.isBranch)
+        return;
+    const Value a = di.inputs[0].value;
+    const Value b = di.numInputs > 1 ? di.inputs[1].value : 0;
+    const bool base_ok = gshare_.predictAndUpdate(di.pc, di.taken);
+    const bool enh_ok = vbp_.predictAndUpdate(di.pc, a, b, di.taken);
+    if (enh_ok && !base_ok)
+        ++recovered_;
+    else if (base_ok && !enh_ok)
+        ++regressed_;
+}
+
+ConfidenceStudy::ConfidenceStudy(PredictorKind kind,
+                                 std::vector<unsigned> thresholds,
+                                 unsigned counter_max)
+    : predictor_(makeValuePredictor(kind)),
+      thresholds_(std::move(thresholds))
+{
+    for (unsigned t : thresholds_) {
+        estimators_.emplace_back(/*index_bits=*/16, counter_max, t,
+                                 /*reset_on_miss=*/true);
+    }
+}
+
+void
+ConfidenceStudy::onInstr(const DynInstr &di)
+{
+    // Follow the model's output-prediction rule: value outputs of
+    // non-pass-through instructions.
+    if (!di.hasValueOutput() || di.isPassThrough || di.outputIsData)
+        return;
+    const bool correct =
+        predictor_->predictAndUpdate(di.pc, di.outValue);
+    ++predictions_;
+    if (correct)
+        ++correct_;
+    for (auto &est : estimators_)
+        est.assess(di.pc, correct);
+}
+
+double
+ConfidenceStudy::rawAccuracy() const
+{
+    return predictions_ == 0
+               ? 0.0
+               : static_cast<double>(correct_) /
+                     static_cast<double>(predictions_);
+}
+
+AddressStudy::AddressStudy()
+    : addrPred_(makeValuePredictor(PredictorKind::Stride2Delta)),
+      dataPred_(makeValuePredictor(PredictorKind::Context))
+{
+}
+
+void
+AddressStudy::onInstr(const DynInstr &di)
+{
+    const bool is_load = di.instr->traits().isLoad;
+    const bool is_store = di.instr->traits().isStore;
+    if (!is_load && !is_store)
+        return;
+
+    const Addr addr = is_store ? di.outAddr : di.inputs[1].addr;
+    const Value data = is_store ? di.outValue : di.inputs[1].value;
+
+    const bool addr_ok =
+        addrPred_->predictAndUpdate(di.pc, static_cast<Value>(addr));
+    const bool data_ok = dataPred_->predictAndUpdate(
+        (std::uint64_t(di.pc) << 1) | 1, data);
+
+    ++memOps_;
+    if (addr_ok)
+        ++addrHits_;
+    if (data_ok)
+        ++dataHits_;
+    ++cross_[addr_ok ? 1 : 0][data_ok ? 1 : 0];
+}
+
+void
+DependenceStudy::onInstr(const DynInstr &di)
+{
+    if (di.instr->traits().isStore) {
+        lastStore_[di.outAddr] = di.pc;
+        return;
+    }
+    if (!di.instr->traits().isLoad)
+        return;
+
+    ++loads_;
+    const Addr addr = di.inputs[1].addr;
+    const auto producer = lastStore_.find(addr);
+    if (producer == lastStore_.end()) {
+        ++dataLoads_; // never stored: program input data
+        return;
+    }
+
+    auto [it, fresh] =
+        predictedProducer_.try_emplace(di.pc, producer->second);
+    if (!fresh && it->second == producer->second)
+        ++producerHits_;
+    it->second = producer->second;
+}
+
+double
+DependenceStudy::producerAccuracy() const
+{
+    const std::uint64_t store_fed = loads_ - dataLoads_;
+    return store_fed == 0 ? 0.0
+                          : static_cast<double>(producerHits_) /
+                                static_cast<double>(store_fed);
+}
+
+ReuseStudy::ReuseStudy(unsigned index_bits)
+    : reuse_(index_bits)
+{
+}
+
+void
+ReuseStudy::onInstr(const DynInstr &di)
+{
+    if (di.outputIsData)
+        return; // `in` results are new data by definition
+
+    Value inputs[3];
+    unsigned n = 0;
+    for (unsigned i = 0; i < di.numInputs; ++i)
+        inputs[n++] = di.inputs[i].value;
+
+    Value output;
+    if (di.hasValueOutput())
+        output = di.outValue;
+    else if (di.isBranch)
+        output = di.taken ? 1 : 0;
+    else
+        return; // nothing a reuse buffer could forward
+
+    const OpCategory cat = opCategory(di.instr->op);
+    const bool hit =
+        reuse_.lookupAndUpdate(di.pc, inputs, n, output);
+    ++lookups_[static_cast<unsigned>(cat)];
+    if (hit)
+        ++hits_[static_cast<unsigned>(cat)];
+}
+
+std::uint64_t
+ReuseStudy::lookups(OpCategory cat) const
+{
+    return lookups_[static_cast<unsigned>(cat)];
+}
+
+std::uint64_t
+ReuseStudy::hits(OpCategory cat) const
+{
+    return hits_[static_cast<unsigned>(cat)];
+}
+
+} // namespace ppm

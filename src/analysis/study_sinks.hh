@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Lightweight TraceSinks for the extension studies: they consume the
+ * same dynamic stream as the DPG analyzer but answer the narrower
+ * questions the paper raises in its Secs. 5-6 discussion (value-aware
+ * branch prediction, confidence, instruction reuse).
+ */
+
+#ifndef PPM_ANALYSIS_STUDY_SINKS_HH
+#define PPM_ANALYSIS_STUDY_SINKS_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dpg/node_stats.hh"
+#include "pred/confidence.hh"
+#include "pred/gshare.hh"
+#include "pred/reuse_buffer.hh"
+#include "pred/value_branch_predictor.hh"
+#include "pred/value_predictor.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/**
+ * Runs a plain gshare and the value-enhanced predictor side by side
+ * over every conditional branch (paper Sec. 5's proposal).
+ */
+class ValueBranchStudy : public TraceSink
+{
+  public:
+    explicit ValueBranchStudy(unsigned index_bits = 16);
+
+    void onInstr(const DynInstr &di) override;
+
+    const Gshare &baseline() const { return gshare_; }
+    const ValueBranchPredictor &enhanced() const { return vbp_; }
+
+    /** Branches the enhanced predictor got right and gshare missed. */
+    std::uint64_t recovered() const { return recovered_; }
+
+    /** The reverse: gshare right, enhanced wrong. */
+    std::uint64_t regressed() const { return regressed_; }
+
+  private:
+    Gshare gshare_;
+    ValueBranchPredictor vbp_;
+    std::uint64_t recovered_ = 0;
+    std::uint64_t regressed_ = 0;
+};
+
+/**
+ * Output-value prediction through a bank of confidence estimators at
+ * different thresholds, all trained on the same prediction stream —
+ * one pass yields the whole coverage/accuracy curve.
+ */
+class ConfidenceStudy : public TraceSink
+{
+  public:
+    ConfidenceStudy(PredictorKind kind,
+                    std::vector<unsigned> thresholds,
+                    unsigned counter_max = 7);
+
+    void onInstr(const DynInstr &di) override;
+
+    /** The sweep's estimators, parallel to the thresholds given. */
+    const std::vector<ConfidenceEstimator> &estimators() const
+    {
+        return estimators_;
+    }
+
+    const std::vector<unsigned> &thresholds() const
+    {
+        return thresholds_;
+    }
+
+    /** Raw (unfiltered) prediction accuracy for reference. */
+    double rawAccuracy() const;
+
+  private:
+    std::unique_ptr<ValuePredictor> predictor_;
+    std::vector<unsigned> thresholds_;
+    std::vector<ConfidenceEstimator> estimators_;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/**
+ * Address-prediction study — the paper's "extensions to address and
+ * dependence prediction are clearly possible" (Sec. 1). Effective
+ * addresses of loads/stores are predicted with a per-pc 2-delta
+ * stride predictor (the structure Eickemeyer & Vassiliadis originally
+ * proposed *for addresses*), and the memory data with a context
+ * predictor, cross-tabulating the (address, data) predictability
+ * combinations that drive the paper's Fig. 7/8 memory attributions.
+ */
+class AddressStudy : public TraceSink
+{
+  public:
+    AddressStudy();
+
+    void onInstr(const DynInstr &di) override;
+
+    std::uint64_t memoryOps() const { return memOps_; }
+
+    /** Address / data prediction hit counts. */
+    std::uint64_t addressHits() const { return addrHits_; }
+    std::uint64_t dataHits() const { return dataHits_; }
+
+    /**
+     * Cross matrix [address predicted][data predicted] — the
+     * addr-p/data-n cell is the paper's dominant p,n->n terminator.
+     */
+    std::uint64_t
+    cross(bool addr_pred, bool data_pred) const
+    {
+        return cross_[addr_pred ? 1 : 0][data_pred ? 1 : 0];
+    }
+
+  private:
+    std::unique_ptr<ValuePredictor> addrPred_;
+    std::unique_ptr<ValuePredictor> dataPred_;
+    std::uint64_t memOps_ = 0;
+    std::uint64_t addrHits_ = 0;
+    std::uint64_t dataHits_ = 0;
+    std::array<std::array<std::uint64_t, 2>, 2> cross_{};
+};
+
+/**
+ * Memory-dependence prediction study — the other "clearly possible"
+ * extension from the paper's Sec. 1. For every load we ask: does the
+ * load's producing *store site* repeat, i.e. would a store-set-style
+ * predictor (per-load last producing static store) name the right
+ * producer? Loads of never-stored data (D nodes) are tracked
+ * separately.
+ */
+class DependenceStudy : public TraceSink
+{
+  public:
+    void onInstr(const DynInstr &di) override;
+
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t dataLoads() const { return dataLoads_; }
+
+    /** Loads whose producing store site matched the prediction. */
+    std::uint64_t producerHits() const { return producerHits_; }
+
+    /** Producer-site prediction accuracy over store-fed loads. */
+    double producerAccuracy() const;
+
+  private:
+    /** addr -> static pc of the last store to it. */
+    std::unordered_map<Addr, StaticId> lastStore_;
+
+    /** load pc -> predicted producing store pc (last seen). */
+    std::unordered_map<StaticId, StaticId> predictedProducer_;
+
+    std::uint64_t loads_ = 0;
+    std::uint64_t dataLoads_ = 0;
+    std::uint64_t producerHits_ = 0;
+};
+
+/**
+ * Instruction-reuse measurement: per-category reuse rates over every
+ * value-producing instruction (paper Sec. 6's memoization
+ * ramification, mechanism of its reference [16]).
+ */
+class ReuseStudy : public TraceSink
+{
+  public:
+    explicit ReuseStudy(unsigned index_bits = 16);
+
+    void onInstr(const DynInstr &di) override;
+
+    const ReuseBuffer &buffer() const { return reuse_; }
+
+    /** Lookups/hits per opcode category. */
+    std::uint64_t lookups(OpCategory cat) const;
+    std::uint64_t hits(OpCategory cat) const;
+
+  private:
+    ReuseBuffer reuse_;
+    std::array<std::uint64_t, kNumOpCategories> lookups_{};
+    std::array<std::uint64_t, kNumOpCategories> hits_{};
+};
+
+} // namespace ppm
+
+#endif // PPM_ANALYSIS_STUDY_SINKS_HH

@@ -1,0 +1,605 @@
+#include "asmr/assembler.hh"
+
+#include <bit>
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+#include "asmr/lexer.hh"
+
+namespace ppm {
+
+AsmError::AsmError(unsigned line_no, const std::string &message)
+    : std::runtime_error("line " + std::to_string(line_no) + ": " +
+                         message),
+      lineNo_(line_no)
+{
+}
+
+namespace {
+
+/** Split source into lines, keeping 1-based line numbers. */
+std::vector<std::pair<unsigned, std::string_view>>
+splitLines(std::string_view source)
+{
+    std::vector<std::pair<unsigned, std::string_view>> lines;
+    unsigned no = 1;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+        std::size_t end = source.find('\n', start);
+        if (end == std::string_view::npos)
+            end = source.size();
+        lines.emplace_back(no, source.substr(start, end - start));
+        start = end + 1;
+        ++no;
+    }
+    return lines;
+}
+
+/** Cursor over one line's operand tokens with symbol resolution. */
+class OperandParser
+{
+  public:
+    OperandParser(const std::vector<Token> &toks, std::size_t pos,
+                  const Program *prog, unsigned line_no)
+        : toks_(toks), pos_(pos), prog_(prog), lineNo_(line_no)
+    {
+    }
+
+    const Token &
+    peek() const
+    {
+        return toks_[pos_];
+    }
+
+    RegIndex
+    reg()
+    {
+        const Token &t = next(TokKind::Reg, "register");
+        const auto r = parseRegister(t.text);
+        if (!r)
+            fail("bad register '" + t.text + "'");
+        return *r;
+    }
+
+    /** Integer expression: Int | Ident [ (+|-) Int ]. */
+    std::int64_t
+    expr()
+    {
+        std::int64_t base = 0;
+        const Token &t = toks_[pos_];
+        if (t.kind == TokKind::Int) {
+            base = t.value;
+            ++pos_;
+        } else if (t.kind == TokKind::Ident) {
+            base = static_cast<std::int64_t>(symbol(t.text));
+            ++pos_;
+        } else {
+            fail("expected integer or symbol, got '" + t.text + "'");
+        }
+        if (peek().kind == TokKind::Plus ||
+            peek().kind == TokKind::Minus) {
+            const bool minus = peek().kind == TokKind::Minus;
+            ++pos_;
+            const Token &rhs = next(TokKind::Int, "integer");
+            base += minus ? -rhs.value : rhs.value;
+        }
+        return base;
+    }
+
+    /** Floating literal (Float or Int token). */
+    double
+    floatLit()
+    {
+        const Token &t = toks_[pos_];
+        if (t.kind == TokKind::Float) {
+            ++pos_;
+            return t.fvalue;
+        }
+        if (t.kind == TokKind::Int) {
+            ++pos_;
+            return static_cast<double>(t.value);
+        }
+        fail("expected floating-point literal, got '" + t.text + "'");
+        return 0.0;
+    }
+
+    /** Branch/jump target: label or absolute static index. */
+    StaticId
+    target()
+    {
+        const Token &t = toks_[pos_];
+        if (t.kind == TokKind::Int) {
+            ++pos_;
+            return static_cast<StaticId>(t.value);
+        }
+        if (t.kind == TokKind::Ident) {
+            ++pos_;
+            const StaticId id = addrToText(symbol(t.text));
+            if (id == kInvalidStatic)
+                fail("'" + t.text + "' is not a code label");
+            return id;
+        }
+        fail("expected branch target, got '" + t.text + "'");
+        return kInvalidStatic;
+    }
+
+    /** Memory operand: expr [ '(' reg ')' ]. */
+    void
+    memOperand(std::int64_t &imm, RegIndex &base)
+    {
+        base = kZeroReg;
+        if (peek().kind == TokKind::LParen) {
+            imm = 0;
+        } else {
+            imm = expr();
+        }
+        if (peek().kind == TokKind::LParen) {
+            ++pos_;
+            base = reg();
+            next(TokKind::RParen, ")");
+        }
+    }
+
+    void
+    comma()
+    {
+        next(TokKind::Comma, ",");
+    }
+
+    void
+    finish()
+    {
+        if (peek().kind != TokKind::EndOfLine)
+            fail("trailing operands starting at '" + peek().text + "'");
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw AsmError(lineNo_, msg);
+    }
+
+  private:
+    const Token &
+    next(TokKind kind, const std::string &what)
+    {
+        const Token &t = toks_[pos_];
+        if (t.kind != kind)
+            fail("expected " + what + ", got '" + t.text + "'");
+        ++pos_;
+        return t;
+    }
+
+    Value
+    symbol(const std::string &name) const
+    {
+        if (!prog_ || !prog_->hasSymbol(name))
+            fail("undefined symbol '" + name + "'");
+        return prog_->symbols.at(name);
+    }
+
+    const std::vector<Token> &toks_;
+    std::size_t pos_;
+    const Program *prog_;
+    unsigned lineNo_;
+};
+
+using Handler = std::function<Instruction(OperandParser &)>;
+
+Handler
+r3Handler(Opcode op)
+{
+    return [op](OperandParser &p) {
+        const RegIndex rd = p.reg();
+        p.comma();
+        const RegIndex rs1 = p.reg();
+        p.comma();
+        const RegIndex rs2 = p.reg();
+        return Instruction::r3(op, rd, rs1, rs2);
+    };
+}
+
+Handler
+r2Handler(Opcode op)
+{
+    return [op](OperandParser &p) {
+        const RegIndex rd = p.reg();
+        p.comma();
+        const RegIndex rs1 = p.reg();
+        return Instruction::r2(op, rd, rs1);
+    };
+}
+
+Handler
+i2Handler(Opcode op, std::int64_t scale = 1)
+{
+    return [op, scale](OperandParser &p) {
+        const RegIndex rd = p.reg();
+        p.comma();
+        const RegIndex rs1 = p.reg();
+        p.comma();
+        const std::int64_t imm = p.expr();
+        return Instruction::i2(op, rd, rs1, imm * scale);
+    };
+}
+
+/** sll/srl/sra accept either a register or an immediate shift amount. */
+Handler
+shiftHandler(Opcode reg_op, Opcode imm_op)
+{
+    return [reg_op, imm_op](OperandParser &p) {
+        const RegIndex rd = p.reg();
+        p.comma();
+        const RegIndex rs1 = p.reg();
+        p.comma();
+        if (p.peek().kind == TokKind::Reg) {
+            const RegIndex rs2 = p.reg();
+            return Instruction::r3(reg_op, rd, rs1, rs2);
+        }
+        const std::int64_t sh = p.expr();
+        if (sh < 0 || sh > 63)
+            p.fail("shift amount out of range");
+        return Instruction::i2(imm_op, rd, rs1, sh);
+    };
+}
+
+Handler
+branchHandler(Opcode op, bool swap = false)
+{
+    return [op, swap](OperandParser &p) {
+        const RegIndex a = p.reg();
+        p.comma();
+        const RegIndex b = p.reg();
+        p.comma();
+        const StaticId t = p.target();
+        return swap ? Instruction::branch(op, b, a, t)
+                    : Instruction::branch(op, a, b, t);
+    };
+}
+
+/** beqz/bnez/blez/... : one register compared against $0. */
+Handler
+branchZeroHandler(Opcode op, bool zero_first)
+{
+    return [op, zero_first](OperandParser &p) {
+        const RegIndex r = p.reg();
+        p.comma();
+        const StaticId t = p.target();
+        return zero_first ? Instruction::branch(op, kZeroReg, r, t)
+                          : Instruction::branch(op, r, kZeroReg, t);
+    };
+}
+
+const std::unordered_map<std::string, Handler> &
+handlerTable()
+{
+    static const std::unordered_map<std::string, Handler> table = [] {
+        std::unordered_map<std::string, Handler> m;
+
+        m["add"] = m["addu"] = r3Handler(Opcode::Add);
+        m["sub"] = m["subu"] = r3Handler(Opcode::Sub);
+        m["mul"] = r3Handler(Opcode::Mul);
+        m["div"] = r3Handler(Opcode::Div);
+        m["rem"] = r3Handler(Opcode::Rem);
+        m["and"] = r3Handler(Opcode::And);
+        m["or"] = r3Handler(Opcode::Or);
+        m["xor"] = r3Handler(Opcode::Xor);
+        m["nor"] = r3Handler(Opcode::Nor);
+        m["slt"] = r3Handler(Opcode::Slt);
+        m["sltu"] = r3Handler(Opcode::Sltu);
+        m["seq"] = r3Handler(Opcode::Seq);
+        m["sne"] = r3Handler(Opcode::Sne);
+        m["sllv"] = r3Handler(Opcode::Sllv);
+        m["srlv"] = r3Handler(Opcode::Srlv);
+        m["srav"] = r3Handler(Opcode::Srav);
+
+        m["sll"] = shiftHandler(Opcode::Sllv, Opcode::Slli);
+        m["srl"] = shiftHandler(Opcode::Srlv, Opcode::Srli);
+        m["sra"] = shiftHandler(Opcode::Srav, Opcode::Srai);
+
+        m["addi"] = m["addiu"] = i2Handler(Opcode::Addi);
+        m["subi"] = i2Handler(Opcode::Addi, -1);
+        m["andi"] = i2Handler(Opcode::Andi);
+        m["ori"] = i2Handler(Opcode::Ori);
+        m["xori"] = i2Handler(Opcode::Xori);
+        m["slti"] = i2Handler(Opcode::Slti);
+        m["sltiu"] = i2Handler(Opcode::Sltiu);
+        m["slli"] = i2Handler(Opcode::Slli);
+        m["srli"] = i2Handler(Opcode::Srli);
+        m["srai"] = i2Handler(Opcode::Srai);
+
+        m["li"] = m["la"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            return Instruction::li(rd, p.expr());
+        };
+        m["lui"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            Instruction i = Instruction::li(rd, p.expr());
+            i.op = Opcode::Lui;
+            return i;
+        };
+        m["li.d"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            const double d = p.floatLit();
+            return Instruction::li(
+                rd, std::bit_cast<std::int64_t>(d));
+        };
+
+        m["ld"] = m["lw"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            std::int64_t imm;
+            RegIndex base;
+            p.memOperand(imm, base);
+            return Instruction::load(rd, imm, base);
+        };
+        m["st"] = m["sw"] = m["sd"] = [](OperandParser &p) {
+            const RegIndex rs2 = p.reg();
+            p.comma();
+            std::int64_t imm;
+            RegIndex base;
+            p.memOperand(imm, base);
+            return Instruction::store(rs2, imm, base);
+        };
+
+        m["beq"] = branchHandler(Opcode::Beq);
+        m["bne"] = branchHandler(Opcode::Bne);
+        m["blt"] = branchHandler(Opcode::Blt);
+        m["bge"] = branchHandler(Opcode::Bge);
+        m["bltu"] = branchHandler(Opcode::Bltu);
+        m["bgeu"] = branchHandler(Opcode::Bgeu);
+        m["bgt"] = branchHandler(Opcode::Blt, /*swap=*/true);
+        m["ble"] = branchHandler(Opcode::Bge, /*swap=*/true);
+
+        m["beqz"] = branchZeroHandler(Opcode::Beq, false);
+        m["bnez"] = branchZeroHandler(Opcode::Bne, false);
+        m["blez"] = branchZeroHandler(Opcode::Bge, true);  // 0 >= r
+        m["bgtz"] = branchZeroHandler(Opcode::Blt, true);  // 0 <  r
+        m["bltz"] = branchZeroHandler(Opcode::Blt, false); // r <  0
+        m["bgez"] = branchZeroHandler(Opcode::Bge, false); // r >= 0
+
+        m["j"] = m["b"] = [](OperandParser &p) {
+            return Instruction::jump(p.target());
+        };
+        m["jal"] = m["call"] = [](OperandParser &p) {
+            return Instruction::jal(p.target());
+        };
+        m["jr"] = [](OperandParser &p) {
+            return Instruction::jr(p.reg());
+        };
+        m["ret"] = [](OperandParser &) {
+            return Instruction::jr(kRaReg);
+        };
+        m["jalr"] = [](OperandParser &p) {
+            const RegIndex a = p.reg();
+            if (p.peek().kind == TokKind::Comma) {
+                p.comma();
+                const RegIndex b = p.reg();
+                return Instruction::jalr(a, b);
+            }
+            return Instruction::jalr(kRaReg, a);
+        };
+
+        m["fadd.d"] = r3Handler(Opcode::FaddD);
+        m["fsub.d"] = r3Handler(Opcode::FsubD);
+        m["fmul.d"] = r3Handler(Opcode::FmulD);
+        m["fdiv.d"] = r3Handler(Opcode::FdivD);
+        m["flt.d"] = r3Handler(Opcode::FltD);
+        m["fle.d"] = r3Handler(Opcode::FleD);
+        m["feq.d"] = r3Handler(Opcode::FeqD);
+        m["fsqrt.d"] = r2Handler(Opcode::FsqrtD);
+        m["fneg.d"] = r2Handler(Opcode::FnegD);
+        // MIPS convention: cvt.<dst>.<src>. cvt.d.l converts a long
+        // to a double (Opcode::CvtLD, named source-to-dest) and
+        // cvt.l.d truncates a double to a long (Opcode::CvtDL).
+        m["cvt.d.l"] = r2Handler(Opcode::CvtLD);
+        m["cvt.l.d"] = r2Handler(Opcode::CvtDL);
+
+        m["mov"] = m["move"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            const RegIndex rs = p.reg();
+            return Instruction::r3(Opcode::Add, rd, rs, kZeroReg);
+        };
+        m["not"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            const RegIndex rs = p.reg();
+            return Instruction::r3(Opcode::Nor, rd, rs, kZeroReg);
+        };
+        m["neg"] = [](OperandParser &p) {
+            const RegIndex rd = p.reg();
+            p.comma();
+            const RegIndex rs = p.reg();
+            return Instruction::r3(Opcode::Sub, rd, kZeroReg, rs);
+        };
+
+        m["in"] = [](OperandParser &p) {
+            return Instruction::input(p.reg());
+        };
+        m["nop"] = [](OperandParser &) { return Instruction::nop(); };
+        m["halt"] = [](OperandParser &) { return Instruction::halt(); };
+
+        return m;
+    }();
+    return table;
+}
+
+/** Per-line parse state shared by both passes. */
+struct ParsedLine
+{
+    unsigned no;
+    std::vector<Token> toks;
+    std::size_t afterLabels; ///< Token index past "label:" prefixes.
+    std::vector<std::string> labels;
+};
+
+} // namespace
+
+Program
+assemble(std::string_view source, std::string name)
+{
+    Program prog;
+    prog.name = std::move(name);
+    prog.symbols.emplace("__input", kInputBase);
+
+    // Tokenize all lines and strip label prefixes once.
+    std::vector<ParsedLine> lines;
+    for (const auto &[no, text] : splitLines(source)) {
+        ParsedLine pl;
+        pl.no = no;
+        pl.toks = tokenizeLine(text, no);
+        std::size_t i = 0;
+        while (pl.toks[i].kind == TokKind::Ident &&
+               pl.toks[i + 1].kind == TokKind::Colon) {
+            pl.labels.push_back(pl.toks[i].text);
+            i += 2;
+        }
+        pl.afterLabels = i;
+        lines.push_back(std::move(pl));
+    }
+
+    // --- Pass 1: lay out sections and record label values. ---
+    enum class Section { Text, Data };
+    Section section = Section::Text;
+    StaticId text_count = 0;
+    Addr data_cursor = kDataBase;
+
+    auto define = [&](const std::string &label, Value v, unsigned no) {
+        if (!prog.symbols.emplace(label, v).second)
+            throw AsmError(no, "duplicate label '" + label + "'");
+    };
+
+    for (const auto &pl : lines) {
+        for (const auto &label : pl.labels) {
+            define(label,
+                   section == Section::Text
+                       ? textAddr(text_count)
+                       : data_cursor,
+                   pl.no);
+        }
+
+        const Token &head = pl.toks[pl.afterLabels];
+        if (head.kind == TokKind::EndOfLine)
+            continue;
+
+        if (head.kind == TokKind::Directive) {
+            const std::string &d = head.text;
+            if (d == ".text") {
+                section = Section::Text;
+            } else if (d == ".data") {
+                section = Section::Data;
+            } else if (d == ".word" || d == ".double") {
+                if (section != Section::Data)
+                    throw AsmError(pl.no, d + " outside .data");
+                // Count comma-separated operands.
+                unsigned count = 1;
+                for (std::size_t i = pl.afterLabels + 1;
+                     pl.toks[i].kind != TokKind::EndOfLine; ++i) {
+                    if (pl.toks[i].kind == TokKind::Comma)
+                        ++count;
+                }
+                data_cursor += Addr(count) * 8;
+            } else if (d == ".space") {
+                if (section != Section::Data)
+                    throw AsmError(pl.no, ".space outside .data");
+                const Token &cnt = pl.toks[pl.afterLabels + 1];
+                if (cnt.kind != TokKind::Int || cnt.value < 0)
+                    throw AsmError(pl.no, ".space needs a word count");
+                data_cursor += Addr(cnt.value) * 8;
+            } else {
+                throw AsmError(pl.no, "unknown directive '" + d + "'");
+            }
+            continue;
+        }
+
+        if (head.kind == TokKind::Ident) {
+            if (section != Section::Text)
+                throw AsmError(pl.no, "instruction outside .text");
+            ++text_count;
+            continue;
+        }
+
+        throw AsmError(pl.no,
+                       "expected instruction, label, or directive");
+    }
+
+    // --- Pass 2: encode instructions and evaluate data. ---
+    section = Section::Text;
+    Addr data_cursor2 = kDataBase;
+    for (const auto &pl : lines) {
+        const Token &head = pl.toks[pl.afterLabels];
+        if (head.kind == TokKind::EndOfLine)
+            continue;
+
+        if (head.kind == TokKind::Directive) {
+            const std::string &d = head.text;
+            if (d == ".text") {
+                section = Section::Text;
+            } else if (d == ".data") {
+                section = Section::Data;
+            } else if (d == ".word") {
+                OperandParser p(pl.toks, pl.afterLabels + 1, &prog,
+                                pl.no);
+                while (true) {
+                    const auto v = static_cast<Value>(p.expr());
+                    prog.dataImage.emplace_back(data_cursor2, v);
+                    data_cursor2 += 8;
+                    if (p.peek().kind != TokKind::Comma)
+                        break;
+                    p.comma();
+                }
+                p.finish();
+            } else if (d == ".double") {
+                OperandParser p(pl.toks, pl.afterLabels + 1, &prog,
+                                pl.no);
+                while (true) {
+                    const double v = p.floatLit();
+                    prog.dataImage.emplace_back(
+                        data_cursor2, std::bit_cast<Value>(v));
+                    data_cursor2 += 8;
+                    if (p.peek().kind != TokKind::Comma)
+                        break;
+                    p.comma();
+                }
+                p.finish();
+            } else if (d == ".space") {
+                const Token &cnt = pl.toks[pl.afterLabels + 1];
+                data_cursor2 += Addr(cnt.value) * 8;
+            }
+            continue;
+        }
+
+        if (section != Section::Text)
+            continue;
+
+        const auto &table = handlerTable();
+        const auto it = table.find(head.text);
+        if (it == table.end())
+            throw AsmError(pl.no, "unknown mnemonic '" + head.text + "'");
+
+        OperandParser p(pl.toks, pl.afterLabels + 1, &prog, pl.no);
+        Instruction instr = it->second(p);
+        p.finish();
+
+        if (instr.traits().format != OpFormat::NoneF &&
+            formatHasTarget(instr.traits().format) &&
+            instr.target >= text_count) {
+            throw AsmError(pl.no, "branch target out of range");
+        }
+
+        prog.text.push_back(instr);
+        prog.lineOf.push_back(pl.no);
+    }
+
+    if (prog.text.empty())
+        throw AsmError(0, "program has no instructions");
+
+    return prog;
+}
+
+} // namespace ppm

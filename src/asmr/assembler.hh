@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-pass assembler for YISA assembly source.
+ *
+ * Syntax summary:
+ *
+ *     # comment            ; also a comment
+ *             .data
+ *     mask:   .word 0x8000bfff, 17, -4
+ *     buf:    .space 64            # 64 zeroed 8-byte words
+ *             .text
+ *     loop:   add   $6, $0, $0
+ *             srl   $2, $6, 5      # srl/sll/sra with imm or reg shift
+ *             ld    $2, mask($2)   # symbol or literal displacement
+ *             beqz  $2, done
+ *             addi  $6, $6, 1
+ *             j     loop
+ *     done:   halt
+ *
+ * Pseudo-instructions (each expands to exactly one instruction):
+ * mov, la, b, beqz, bnez, blez, bgtz, bltz, bgez, not, neg, ret, call,
+ * sll/srl/sra with an immediate shift amount, and subi.
+ */
+
+#ifndef PPM_ASMR_ASSEMBLER_HH
+#define PPM_ASMR_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "asmr/program.hh"
+
+namespace ppm {
+
+/** Error thrown for any assembly problem; message includes the line. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(unsigned line_no, const std::string &message);
+
+    unsigned lineNo() const { return lineNo_; }
+
+  private:
+    unsigned lineNo_;
+};
+
+/**
+ * Assemble @p source into a Program. @p name is recorded in the result
+ * for reports. Throws AsmError on any syntax or semantic problem
+ * (unknown mnemonic, bad register, undefined or duplicate label, ...).
+ */
+Program assemble(std::string_view source, std::string name = "program");
+
+} // namespace ppm
+
+#endif // PPM_ASMR_ASSEMBLER_HH

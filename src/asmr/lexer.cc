@@ -1,0 +1,197 @@
+#include "asmr/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "asmr/assembler.hh"
+
+namespace ppm {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isRegStart(char c)
+{
+    return c == '$';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenizeLine(std::string_view line, unsigned line_no)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+
+    auto push = [&](TokKind kind, std::string text,
+                    std::int64_t value = 0) {
+        out.push_back(Token{kind, std::move(text), value});
+    };
+
+    while (i < n) {
+        const char c = line[i];
+        if (c == '#' || c == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == ',') { push(TokKind::Comma, ","); ++i; continue; }
+        if (c == ':') { push(TokKind::Colon, ":"); ++i; continue; }
+        if (c == '(') { push(TokKind::LParen, "("); ++i; continue; }
+        if (c == ')') { push(TokKind::RParen, ")"); ++i; continue; }
+        if (c == '+') { push(TokKind::Plus, "+"); ++i; continue; }
+
+        if (c == '-' &&
+            (i + 1 >= n ||
+             !std::isdigit(static_cast<unsigned char>(line[i + 1])))) {
+            push(TokKind::Minus, "-");
+            ++i;
+            continue;
+        }
+
+        if (c == '\'') {
+            // Character literal: 'a' or '\n'.
+            if (i + 2 < n && line[i + 1] != '\\' && line[i + 2] == '\'') {
+                push(TokKind::Int, std::string(line.substr(i, 3)),
+                     static_cast<std::int64_t>(
+                         static_cast<unsigned char>(line[i + 1])));
+                i += 3;
+                continue;
+            }
+            throw AsmError(line_no, "malformed character literal");
+        }
+
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            // Numeric literal: [-]dec, [-]0x..., or [-]float with '.'/'e'.
+            const std::size_t start = i;
+            bool negative = false;
+            if (c == '-') {
+                negative = true;
+                ++i;
+            }
+
+            // Detect a float literal: digits followed by '.' + digit or
+            // by an exponent. Hex literals never match (0x stops the
+            // scan below at the 'x').
+            {
+                std::size_t j = i;
+                bool is_hex = j + 1 < n && line[j] == '0' &&
+                              (line[j + 1] == 'x' || line[j + 1] == 'X');
+                if (!is_hex) {
+                    while (j < n && std::isdigit(
+                               static_cast<unsigned char>(line[j]))) {
+                        ++j;
+                    }
+                    const bool is_float =
+                        (j + 1 < n && line[j] == '.' &&
+                         std::isdigit(
+                             static_cast<unsigned char>(line[j + 1]))) ||
+                        (j < n && (line[j] == 'e' || line[j] == 'E') &&
+                         j + 1 < n &&
+                         (std::isdigit(static_cast<unsigned char>(
+                              line[j + 1])) ||
+                          line[j + 1] == '-' || line[j + 1] == '+'));
+                    if (is_float) {
+                        const std::string text(line.substr(start));
+                        char *end = nullptr;
+                        const double d =
+                            std::strtod(text.c_str(), &end);
+                        const std::size_t used =
+                            static_cast<std::size_t>(end - text.c_str());
+                        Token t;
+                        t.kind = TokKind::Float;
+                        t.text = text.substr(0, used);
+                        t.fvalue = d;
+                        out.push_back(std::move(t));
+                        i = start + used;
+                        continue;
+                    }
+                }
+            }
+
+            std::uint64_t mag = 0;
+            if (i + 1 < n && line[i] == '0' &&
+                (line[i + 1] == 'x' || line[i + 1] == 'X')) {
+                i += 2;
+                if (i >= n ||
+                    !std::isxdigit(static_cast<unsigned char>(line[i]))) {
+                    throw AsmError(line_no, "malformed hex literal");
+                }
+                while (i < n && std::isxdigit(
+                           static_cast<unsigned char>(line[i]))) {
+                    const char h = static_cast<char>(
+                        std::tolower(static_cast<unsigned char>(line[i])));
+                    const unsigned d =
+                        h <= '9' ? unsigned(h - '0')
+                                 : unsigned(h - 'a') + 10;
+                    mag = mag * 16 + d;
+                    ++i;
+                }
+            } else {
+                while (i < n && std::isdigit(
+                           static_cast<unsigned char>(line[i]))) {
+                    mag = mag * 10 + unsigned(line[i] - '0');
+                    ++i;
+                }
+            }
+            const std::int64_t v =
+                negative ? -static_cast<std::int64_t>(mag)
+                         : static_cast<std::int64_t>(mag);
+            push(TokKind::Int, std::string(line.substr(start, i - start)),
+                 v);
+            continue;
+        }
+
+        if (isRegStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && (std::isalnum(
+                       static_cast<unsigned char>(line[j])))) {
+                ++j;
+            }
+            push(TokKind::Reg, std::string(line.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+
+        if (c == '.') {
+            std::size_t j = i + 1;
+            while (j < n && isIdentChar(line[j]))
+                ++j;
+            push(TokKind::Directive, std::string(line.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(line[j]))
+                ++j;
+            push(TokKind::Ident, std::string(line.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+
+        throw AsmError(line_no, std::string("unexpected character '") +
+                                    c + "'");
+    }
+
+    push(TokKind::EndOfLine, "");
+    return out;
+}
+
+} // namespace ppm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Line tokenizer for YISA assembly source.
+ */
+
+#ifndef PPM_ASMR_LEXER_HH
+#define PPM_ASMR_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm {
+
+/** Kinds of assembly tokens. */
+enum class TokKind : std::uint8_t
+{
+    Ident,      ///< mnemonic, label, or symbol reference
+    Reg,        ///< $6, $f2, r40, $sp, ...
+    Int,        ///< integer literal (dec, hex, char)
+    Float,      ///< floating-point literal (value in fvalue)
+    Directive,  ///< .data, .word, ...
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    EndOfLine,
+};
+
+/** One token with its spelling and (for Int/Float) its value. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    std::int64_t value = 0;
+    double fvalue = 0.0;
+};
+
+/**
+ * Tokenize one line of assembly. Comments start with '#' or ';' and run
+ * to end of line. Throws AsmError (see assembler.hh) on malformed
+ * literals. The returned vector always ends with an EndOfLine token.
+ */
+std::vector<Token> tokenizeLine(std::string_view line, unsigned line_no);
+
+} // namespace ppm
+
+#endif // PPM_ASMR_LEXER_HH

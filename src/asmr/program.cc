@@ -1,0 +1,42 @@
+#include "asmr/program.hh"
+
+#include <stdexcept>
+
+namespace ppm {
+
+StaticId
+addrToText(Addr addr)
+{
+    if (addr < kTextBase || (addr - kTextBase) % 4 != 0)
+        return kInvalidStatic;
+    const Addr idx = (addr - kTextBase) / 4;
+    if (idx >= kInvalidStatic)
+        return kInvalidStatic;
+    return static_cast<StaticId>(idx);
+}
+
+Value
+Program::symbol(const std::string &sym) const
+{
+    const auto it = symbols.find(sym);
+    if (it == symbols.end())
+        throw std::out_of_range("undefined symbol: " + sym);
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &sym) const
+{
+    return symbols.find(sym) != symbols.end();
+}
+
+StaticId
+Program::labelIndex(const std::string &sym) const
+{
+    const StaticId id = addrToText(symbol(sym));
+    if (id == kInvalidStatic || id >= textSize())
+        throw std::out_of_range("symbol is not a code label: " + sym);
+    return id;
+}
+
+} // namespace ppm

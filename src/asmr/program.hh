@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Program image: assembled text, initial data, and symbols.
+ */
+
+#ifndef PPM_ASMR_PROGRAM_HH
+#define PPM_ASMR_PROGRAM_HH
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "support/types.hh"
+
+namespace ppm {
+
+/** Base address of the text section (used for link-register values). */
+constexpr Addr kTextBase = 0x00400000;
+
+/** Base address of the data section. */
+constexpr Addr kDataBase = 0x10000000;
+
+/** Initial stack pointer (stack grows down). */
+constexpr Addr kStackBase = 0x7ffffff8;
+
+/**
+ * Base address of the input segment: the workload input stream is
+ * mapped here word-by-word before execution (in addition to being
+ * available through the `in` instruction). Reads of it are D-node
+ * arcs, modeling statically-loaded program input the way SPEC95
+ * benchmarks buffer their input files. The assembler predefines the
+ * symbol `__input` to this address.
+ */
+constexpr Addr kInputBase = 0x20000000;
+
+/** Address of static instruction @p id. */
+constexpr Addr
+textAddr(StaticId id)
+{
+    return kTextBase + Addr(id) * 4;
+}
+
+/**
+ * Inverse of textAddr(); returns kInvalidStatic when @p addr is not a
+ * valid text address.
+ */
+StaticId addrToText(Addr addr);
+
+/**
+ * An assembled program: the static instruction sequence, the initial
+ * data-section image (the model's statically allocated input data — reads
+ * of it become D-node arcs), and the symbol table.
+ */
+class Program
+{
+  public:
+    /** The static instructions. Execution starts at index 0. */
+    std::vector<Instruction> text;
+
+    /**
+     * Initial memory image as (address, value) pairs; addresses are
+     * 8-byte aligned and unique.
+     */
+    std::vector<std::pair<Addr, Value>> dataImage;
+
+    /** Label -> value (text address for code labels, address for data). */
+    std::unordered_map<std::string, Value> symbols;
+
+    /** Source line number of each instruction (parallel to text). */
+    std::vector<unsigned> lineOf;
+
+    /** Human-readable program name. */
+    std::string name;
+
+    /** Number of static instructions. */
+    StaticId textSize() const
+    {
+        return static_cast<StaticId>(text.size());
+    }
+
+    /** Look up a symbol; throws std::out_of_range if missing. */
+    Value symbol(const std::string &name) const;
+
+    /** True when @p label is defined. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Static index of a code label; throws if missing or not in text. */
+    StaticId labelIndex(const std::string &name) const;
+};
+
+} // namespace ppm
+
+#endif // PPM_ASMR_PROGRAM_HH

@@ -1,0 +1,40 @@
+#include "dpg/arc_stats.hh"
+
+namespace ppm {
+
+void
+ArcStats::record(ArcUse use, ArcLabel label, std::uint64_t n)
+{
+    counts_[static_cast<unsigned>(use)][static_cast<unsigned>(label)] +=
+        n;
+    total_ += n;
+}
+
+std::uint64_t
+ArcStats::count(ArcUse use, ArcLabel label) const
+{
+    return counts_[static_cast<unsigned>(use)]
+                  [static_cast<unsigned>(label)];
+}
+
+std::uint64_t
+ArcStats::countLabel(ArcLabel label) const
+{
+    std::uint64_t sum = 0;
+    for (unsigned u = 0; u < kNumArcUses; ++u)
+        sum += counts_[u][static_cast<unsigned>(label)];
+    return sum;
+}
+
+void
+ArcStats::merge(const ArcStats &other)
+{
+    for (unsigned u = 0; u < kNumArcUses; ++u) {
+        for (unsigned l = 0; l < kNumArcLabels; ++l)
+            counts_[u][l] += other.counts_[u][l];
+    }
+    total_ += other.total_;
+    dArcs_ += other.dArcs_;
+}
+
+} // namespace ppm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Arc counters by use class and label (paper Figs. 5-8, arc portions).
+ */
+
+#ifndef PPM_DPG_ARC_STATS_HH
+#define PPM_DPG_ARC_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "dpg/classes.hh"
+
+namespace ppm {
+
+/** Counters over (use class, label) arc cells. */
+class ArcStats
+{
+  public:
+    /** Count @p n arcs of (@p use, @p label). */
+    void record(ArcUse use, ArcLabel label, std::uint64_t n = 1);
+
+    /** Count an arc whose tail is a D node (Table 1's D-arc stat). */
+    void recordDataArc(std::uint64_t n = 1) { dArcs_ += n; }
+
+    std::uint64_t count(ArcUse use, ArcLabel label) const;
+
+    /** All arcs with label @p label (any use class). */
+    std::uint64_t countLabel(ArcLabel label) const;
+
+    /** Arcs that generate (<*:n,p>). */
+    std::uint64_t generates() const
+    {
+        return countLabel(ArcLabel::NP);
+    }
+
+    /** Arcs that propagate (<*:p,p>). */
+    std::uint64_t propagates() const
+    {
+        return countLabel(ArcLabel::PP);
+    }
+
+    /** Arcs that terminate (<*:p,n>). */
+    std::uint64_t terminates() const
+    {
+        return countLabel(ArcLabel::PN);
+    }
+
+    /** Total arcs. */
+    std::uint64_t total() const { return total_; }
+
+    /** Arcs out of D nodes. */
+    std::uint64_t dataArcs() const { return dArcs_; }
+
+    void merge(const ArcStats &other);
+
+  private:
+    std::array<std::array<std::uint64_t, kNumArcLabels>, kNumArcUses>
+        counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t dArcs_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_ARC_STATS_HH

@@ -1,0 +1,80 @@
+#include "dpg/branch_stats.hh"
+
+namespace ppm {
+
+std::string_view
+branchSigName(BranchSig sig)
+{
+    switch (sig) {
+      case BranchSig::PP: return "p,p";
+      case BranchSig::PI: return "p,i";
+      case BranchSig::PN: return "p,n";
+      case BranchSig::II: return "i,i";
+      case BranchSig::IN: return "i,n";
+      case BranchSig::NN: return "n,n";
+    }
+    return "?";
+}
+
+BranchSig
+classifyBranchInputs(bool has_pred, bool has_unpred, bool has_imm)
+{
+    if (has_pred) {
+        if (has_unpred)
+            return BranchSig::PN;
+        if (has_imm)
+            return BranchSig::PI;
+        return BranchSig::PP;
+    }
+    if (has_imm)
+        return has_unpred ? BranchSig::IN : BranchSig::II;
+    return BranchSig::NN;
+}
+
+void
+BranchStats::record(BranchSig sig, bool direction_predicted)
+{
+    ++counts_[static_cast<unsigned>(sig)][direction_predicted ? 1 : 0];
+    ++total_;
+}
+
+std::uint64_t
+BranchStats::count(BranchSig sig, bool direction_predicted) const
+{
+    return counts_[static_cast<unsigned>(sig)]
+                  [direction_predicted ? 1 : 0];
+}
+
+std::uint64_t
+BranchStats::mispredicted() const
+{
+    std::uint64_t sum = 0;
+    for (unsigned s = 0; s < kNumBranchSigs; ++s)
+        sum += counts_[s][0];
+    return sum;
+}
+
+std::uint64_t
+BranchStats::propagates() const
+{
+    return count(BranchSig::PP, true) + count(BranchSig::PI, true) +
+           count(BranchSig::PN, true);
+}
+
+std::uint64_t
+BranchStats::mispredictedWithPredictableInputs() const
+{
+    return count(BranchSig::PP, false) + count(BranchSig::PI, false);
+}
+
+void
+BranchStats::merge(const BranchStats &other)
+{
+    for (unsigned s = 0; s < kNumBranchSigs; ++s) {
+        counts_[s][0] += other.counts_[s][0];
+        counts_[s][1] += other.counts_[s][1];
+    }
+    total_ += other.total_;
+}
+
+} // namespace ppm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Conditional-branch predictability counters (paper Fig. 13).
+ *
+ * Branches are nodes whose output is the direction, predicted by
+ * gshare; their inputs are value-predicted like any other operand. The
+ * figure cross-tabulates the input signature (p,p / p,i / p,n / i,i /
+ * i,n / n,n) against the direction outcome.
+ */
+
+#ifndef PPM_DPG_BRANCH_STATS_HH
+#define PPM_DPG_BRANCH_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ppm {
+
+/** Collapsed input signature of a branch node. */
+enum class BranchSig : std::uint8_t
+{
+    PP, ///< all inputs predicted
+    PI, ///< predicted + immediate
+    PN, ///< predicted + mispredicted
+    II, ///< immediates only
+    IN, ///< immediate + mispredicted
+    NN, ///< all inputs mispredicted
+};
+
+constexpr unsigned kNumBranchSigs = 6;
+
+/** Display name ("p,p", ...). */
+std::string_view branchSigName(BranchSig sig);
+
+/** Collapse input flags into a signature. */
+BranchSig classifyBranchInputs(bool has_pred, bool has_unpred,
+                               bool has_imm);
+
+/** Counters over (signature, direction-predicted) cells. */
+class BranchStats
+{
+  public:
+    void record(BranchSig sig, bool direction_predicted);
+
+    std::uint64_t count(BranchSig sig, bool direction_predicted) const;
+
+    /** All branches. */
+    std::uint64_t total() const { return total_; }
+
+    /** All mispredicted branches. */
+    std::uint64_t mispredicted() const;
+
+    /** Branches that propagate (some p input, direction predicted). */
+    std::uint64_t propagates() const;
+
+    /**
+     * Mispredicted branches whose inputs were all value-predictable
+     * (p,p->n or p,i->n) — the paper's headline "slightly over half of
+     * branch mispredictions" statistic.
+     */
+    std::uint64_t mispredictedWithPredictableInputs() const;
+
+    void merge(const BranchStats &other);
+
+  private:
+    std::array<std::array<std::uint64_t, 2>, kNumBranchSigs> counts_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_BRANCH_STATS_HH

@@ -1,0 +1,117 @@
+#include "dpg/classes.hh"
+
+#include <cassert>
+#include <string>
+
+namespace ppm {
+
+std::string_view
+arcLabelName(ArcLabel label)
+{
+    switch (label) {
+      case ArcLabel::NN: return "<n,n>";
+      case ArcLabel::NP: return "<n,p>";
+      case ArcLabel::PN: return "<p,n>";
+      case ArcLabel::PP: return "<p,p>";
+    }
+    return "?";
+}
+
+std::string_view
+arcUseName(ArcUse use)
+{
+    switch (use) {
+      case ArcUse::Single: return "1";
+      case ArcUse::Repeated: return "r";
+      case ArcUse::WriteOnce: return "wl";
+      case ArcUse::DataRead: return "rd";
+    }
+    return "?";
+}
+
+std::string_view
+nodeClassName(NodeClass c)
+{
+    switch (c) {
+      case NodeClass::GenImmImm: return "i,i->p";
+      case NodeClass::GenUnpUnp: return "n,n->p";
+      case NodeClass::GenImmUnp: return "i,n->p";
+      case NodeClass::PropPredPred: return "p,p->p";
+      case NodeClass::PropPredImm: return "p,i->p";
+      case NodeClass::PropPredUnp: return "p,n->p";
+      case NodeClass::TermPredPred: return "p,p->n";
+      case NodeClass::TermPredImm: return "p,i->n";
+      case NodeClass::TermPredUnp: return "p,n->n";
+      case NodeClass::UnpredFlow: return "n->n";
+      case NodeClass::Inert: return "inert";
+    }
+    return "?";
+}
+
+std::string_view
+generatorClassName(GeneratorClass c)
+{
+    switch (c) {
+      case GeneratorClass::C: return "C";
+      case GeneratorClass::D: return "D";
+      case GeneratorClass::W: return "W";
+      case GeneratorClass::I: return "I";
+      case GeneratorClass::N: return "N";
+      case GeneratorClass::M: return "M";
+    }
+    return "?";
+}
+
+std::string
+generatorMaskName(std::uint8_t mask)
+{
+    if (mask == 0)
+        return "-";
+    std::string out;
+    for (unsigned i = 0; i < kNumGeneratorClasses; ++i) {
+        if (mask & (1u << i)) {
+            out += generatorClassName(
+                static_cast<GeneratorClass>(i));
+        }
+    }
+    return out;
+}
+
+NodeClass
+classifyNode(bool has_pred, bool has_unpred, bool has_imm,
+             bool has_output, bool out_pred)
+{
+    if (!has_output)
+        return NodeClass::Inert;
+
+    if (out_pred) {
+        if (has_pred) {
+            if (has_unpred)
+                return NodeClass::PropPredUnp;
+            if (has_imm)
+                return NodeClass::PropPredImm;
+            return NodeClass::PropPredPred;
+        }
+        if (has_imm) {
+            return has_unpred ? NodeClass::GenImmUnp
+                              : NodeClass::GenImmImm;
+        }
+        if (has_unpred)
+            return NodeClass::GenUnpUnp;
+        // No inputs and no immediates at all (cannot happen for real
+        // opcodes: value-producing instructions always have inputs or
+        // immediates), but classify as all-immediate generation.
+        return NodeClass::GenImmImm;
+    }
+
+    if (has_pred) {
+        if (has_unpred)
+            return NodeClass::TermPredUnp;
+        if (has_imm)
+            return NodeClass::TermPredImm;
+        return NodeClass::TermPredPred;
+    }
+    return NodeClass::UnpredFlow;
+}
+
+} // namespace ppm

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The DPG classification taxonomy: arc labels, arc use classes, node
+ * classes, and generator classes — the vocabulary of the paper's
+ * Figs. 5-9.
+ */
+
+#ifndef PPM_DPG_CLASSES_HH
+#define PPM_DPG_CLASSES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ppm {
+
+/**
+ * Arc label <x,y>: x is the producer's output prediction outcome, y the
+ * consumer's input prediction outcome (p = predicted correctly, n = not).
+ */
+enum class ArcLabel : std::uint8_t
+{
+    NN, ///< <n,n> : unpredictability flows through the arc.
+    NP, ///< <n,p> : the arc *generates* predictability.
+    PN, ///< <p,n> : the arc *terminates* predictability.
+    PP, ///< <p,p> : the arc *propagates* predictability.
+};
+
+constexpr unsigned kNumArcLabels = 4;
+
+/**
+ * Arc use class. Repeated-use arcs (one value instance feeding multiple
+ * dynamic instances of the same static consumer — iterative control
+ * flow) subdivide by producer kind, exactly as in the paper's Fig. 6:
+ * write-once producers (<wl:...>), program input data (<rd:...>), and
+ * everything else (<r:...>). All other arcs are single-use (<1:...>).
+ */
+enum class ArcUse : std::uint8_t
+{
+    Single,     ///< <1:...>
+    Repeated,   ///< <r:...>
+    WriteOnce,  ///< <wl:...>
+    DataRead,   ///< <rd:...>
+};
+
+constexpr unsigned kNumArcUses = 4;
+
+/**
+ * Node class: inputs collapse to (has correctly-predicted input p,
+ * has mispredicted input n, has immediate i) and the output outcome is
+ * p or n. Generation = output p with no p input; propagation = output p
+ * with a p input; termination = output n with a p input; UnpredFlow =
+ * output n with no p input; Inert = no classifiable output (j, nop,
+ * halt) or a D node.
+ */
+enum class NodeClass : std::uint8_t
+{
+    GenImmImm,    ///< i,i -> p
+    GenUnpUnp,    ///< n,n -> p
+    GenImmUnp,    ///< i,n -> p
+    PropPredPred, ///< p,p -> p
+    PropPredImm,  ///< p,i -> p
+    PropPredUnp,  ///< p,n -> p
+    TermPredPred, ///< p,p -> n
+    TermPredImm,  ///< p,i -> n
+    TermPredUnp,  ///< p,n -> n
+    UnpredFlow,   ///< {n,n | i,n | i,i} -> n
+    Inert,        ///< no output to classify
+};
+
+constexpr unsigned kNumNodeClasses = 11;
+
+/** True for the three generation node classes. */
+constexpr bool
+nodeClassGenerates(NodeClass c)
+{
+    return c == NodeClass::GenImmImm || c == NodeClass::GenUnpUnp ||
+           c == NodeClass::GenImmUnp;
+}
+
+/** True for the three propagation node classes. */
+constexpr bool
+nodeClassPropagates(NodeClass c)
+{
+    return c == NodeClass::PropPredPred || c == NodeClass::PropPredImm ||
+           c == NodeClass::PropPredUnp;
+}
+
+/** True for the three termination node classes. */
+constexpr bool
+nodeClassTerminates(NodeClass c)
+{
+    return c == NodeClass::TermPredPred || c == NodeClass::TermPredImm ||
+           c == NodeClass::TermPredUnp;
+}
+
+/**
+ * Generator classes for path analysis (paper Sec. 4.5): where a
+ * predictable path begins.
+ */
+enum class GeneratorClass : std::uint8_t
+{
+    C, ///< control flow: generate arcs from ordinary producers
+    D, ///< input data: generate arcs from D-node producers
+    W, ///< write-once: generate arcs from execute-once producers
+    I, ///< nodes with all-immediate inputs (i,i->p)
+    N, ///< nodes with all-unpredictable inputs (n,n->p)
+    M, ///< nodes with mixed immediate/unpredictable inputs (i,n->p)
+};
+
+constexpr unsigned kNumGeneratorClasses = 6;
+
+/** Bitmask with only @p c set. */
+constexpr std::uint8_t
+generatorClassBit(GeneratorClass c)
+{
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(c));
+}
+
+/** Display name of an arc label ("<n,p>"). */
+std::string_view arcLabelName(ArcLabel label);
+
+/** Display name of an arc use class ("r", "1", "wl", "rd"). */
+std::string_view arcUseName(ArcUse use);
+
+/** Display name of a node class ("i,i->p"). */
+std::string_view nodeClassName(NodeClass c);
+
+/** Display letter of a generator class ("C"). */
+std::string_view generatorClassName(GeneratorClass c);
+
+/** Render a class bitmask as a combination string ("CI", "M", ...). */
+std::string generatorMaskName(std::uint8_t mask);
+
+/**
+ * Collapse per-input flags and the output outcome into a NodeClass.
+ * @p has_pred - some input was correctly predicted
+ * @p has_unpred - some input was mispredicted
+ * @p has_imm - the instruction carries an immediate (or reads r0)
+ * @p has_output - there is an output to classify
+ * @p out_pred - that output was correctly predicted
+ */
+NodeClass classifyNode(bool has_pred, bool has_unpred, bool has_imm,
+                       bool has_output, bool out_pred);
+
+/** Combine producer/consumer outcomes into an arc label. */
+constexpr ArcLabel
+makeArcLabel(bool producer_pred, bool consumer_pred)
+{
+    if (producer_pred)
+        return consumer_pred ? ArcLabel::PP : ArcLabel::PN;
+    return consumer_pred ? ArcLabel::NP : ArcLabel::NN;
+}
+
+} // namespace ppm
+
+#endif // PPM_DPG_CLASSES_HH

@@ -1,0 +1,348 @@
+#include "dpg/dpg_analyzer.hh"
+
+#include <cassert>
+
+namespace ppm {
+
+DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
+                         const DpgConfig &config)
+    : prog_(prog),
+      profile_(profile),
+      cfg_(config),
+      bank_(config.kind, config.predictor, config.gshareBits)
+{
+    stats_.workload = prog.name;
+    stats_.kind = config.kind;
+    stats_.paths.influenceCount =
+        LinearHistogram(config.influenceCap + 1);
+}
+
+DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
+                         PredictorBank bank, const DpgConfig &config)
+    : prog_(prog),
+      profile_(profile),
+      cfg_(config),
+      bank_(std::move(bank))
+{
+    stats_.workload = prog.name;
+    stats_.kind = config.kind;
+    stats_.paths.influenceCount =
+        LinearHistogram(config.influenceCap + 1);
+}
+
+void
+DpgAnalyzer::appendPending(ValueInfo &vi, StaticId consumer,
+                           NodeId seq, ArcLabel label)
+{
+    for (auto &pa : vi.pending) {
+        if (pa.consumer == consumer) {
+            ++pa.labelCounts[static_cast<unsigned>(label)];
+            if (pa.lastSeq != seq) {
+                ++pa.instances;
+                pa.lastSeq = seq;
+            }
+            return;
+        }
+    }
+    PendingArc pa;
+    pa.consumer = consumer;
+    pa.instances = 1;
+    pa.lastSeq = seq;
+    ++pa.labelCounts[static_cast<unsigned>(label)];
+    vi.pending.push_back(pa);
+}
+
+void
+DpgAnalyzer::killValue(ValueInfo &vi)
+{
+    if (!vi.live)
+        return;
+    for (const auto &pa : vi.pending) {
+        // Repeated-use: this value instance fed >= 2 dynamic instances
+        // of the same static consumer. Repeated-use arcs subdivide by
+        // producer kind (paper Fig. 6); everything else is single-use.
+        ArcUse use = ArcUse::Single;
+        if (pa.instances > 1) {
+            use = vi.isData        ? ArcUse::DataRead
+                  : vi.writeOnce   ? ArcUse::WriteOnce
+                                   : ArcUse::Repeated;
+        }
+        for (unsigned l = 0; l < kNumArcLabels; ++l) {
+            if (pa.labelCounts[l] != 0) {
+                stats_.arcs.record(use, static_cast<ArcLabel>(l),
+                                   pa.labelCounts[l]);
+            }
+        }
+    }
+    vi.pending.clear();
+    vi.influence.clear();
+    vi.live = false;
+}
+
+DpgAnalyzer::ValueInfo &
+DpgAnalyzer::regValue(RegIndex reg)
+{
+    assert(reg != kZeroReg);
+    ValueInfo &vi = regs_[reg];
+    if (!vi.live) {
+        // First read of a register never written by the program: its
+        // content is pre-existing machine state, modeled as a D node
+        // (this covers the initial stack pointer).
+        vi.live = true;
+        vi.isData = true;
+        vi.outputPredicted = false;
+        vi.writeOnce = false;
+        vi.unpredMask = unpredOriginBit(UnpredOrigin::Data);
+        ++stats_.lazyDataNodes;
+    }
+    return vi;
+}
+
+DpgAnalyzer::ValueInfo &
+DpgAnalyzer::memValue(Addr addr)
+{
+    ValueInfo &vi = mem_[addr];
+    if (!vi.live) {
+        // First load from a word the program never stored: statically
+        // allocated data (or zero-filled space) — a D node.
+        vi.live = true;
+        vi.isData = true;
+        vi.outputPredicted = false;
+        vi.writeOnce = false;
+        vi.unpredMask = unpredOriginBit(UnpredOrigin::Data);
+        ++stats_.lazyDataNodes;
+    }
+    return vi;
+}
+
+void
+DpgAnalyzer::recordPropagateElement(std::uint8_t class_mask,
+                                    unsigned nrefs,
+                                    std::uint32_t max_depth,
+                                    bool saturated)
+{
+    PathStats &ps = stats_.paths;
+    ++ps.propagateElements;
+    for (unsigned c = 0; c < kNumGeneratorClasses; ++c) {
+        if (class_mask & (1u << c))
+            ++ps.perClass[c];
+    }
+    ++ps.perCombo[class_mask & 63];
+    ps.influenceCount.add(saturated ? ps.influenceCount.limit()
+                                    : nrefs);
+    ps.influenceDistance.add(max_depth);
+    if (saturated)
+        ++ps.saturationEvents;
+}
+
+void
+DpgAnalyzer::onInstr(const DynInstr &di)
+{
+    assert(!finalized_);
+    ++stats_.dynInstrs;
+
+    const Instruction &instr = *di.instr;
+    const OpTraits &traits = instr.traits();
+
+    bool has_pred = false;
+    bool has_unpred = false;
+    bool has_imm = formatHasImmediate(traits.format);
+    // jal/jalr produce a PC-derived link value: treat the PC as an
+    // immediate input, like the paper treats load-immediates.
+    if (instr.op == Opcode::Jal || instr.op == Opcode::Jalr ||
+        instr.op == Opcode::J) {
+        has_imm = true;
+    }
+
+    std::array<bool, 3> input_pred{};
+    std::array<InputInfluence, 3> infl{};
+    unsigned n_infl = 0;
+    std::uint8_t unpred_in = 0;
+
+    for (unsigned slot = 0; slot < di.numInputs; ++slot) {
+        const DynInput &in = di.inputs[slot];
+        if (in.kind == InputKind::Imm) {
+            has_imm = true;
+            continue;
+        }
+
+        ValueInfo &vi = in.kind == InputKind::Reg
+                            ? regValue(in.reg)
+                            : memValue(in.addr);
+
+        const bool predicted =
+            bank_.predictInput(di.pc, slot, in.value);
+        input_pred[slot] = predicted;
+        if (predicted)
+            has_pred = true;
+        else
+            has_unpred = true;
+
+        const ArcLabel label =
+            makeArcLabel(vi.outputPredicted, predicted);
+        appendPending(vi, di.pc, di.seq, label);
+        if (vi.isData)
+            stats_.arcs.recordDataArc();
+
+        // Unpredictability origins: a mispredicted input either
+        // carries its producer's origins onward (<n,n>) or marks a
+        // termination on the arc itself (<p,n> filtering).
+        if (!predicted) {
+            unpred_in |= vi.outputPredicted
+                             ? unpredOriginBit(UnpredOrigin::Term)
+                             : vi.unpredMask;
+        }
+
+        if (!cfg_.trackInfluence)
+            continue;
+
+        if (label == ArcLabel::PP) {
+            // The arc itself propagates: it sits on every predictable
+            // path through it, one step past the producer.
+            recordPropagateElement(vi.influence.classMask(),
+                                   vi.influence.size(),
+                                   vi.influence.maxDepth() + 1,
+                                   vi.influence.saturated());
+            for (const auto &ref : vi.influence.refs())
+                stats_.trees.touch(ref.gen, ref.depth + 1);
+            infl[n_infl].set = &vi.influence;
+            ++n_infl;
+        } else if (label == ArcLabel::NP) {
+            // The arc generates predictability. Class: by producer
+            // kind (input data / write-once / control flow).
+            const GeneratorClass cls =
+                vi.isData        ? GeneratorClass::D
+                : vi.writeOnce   ? GeneratorClass::W
+                                 : GeneratorClass::C;
+            const std::uint64_t gen =
+                stats_.trees.newGenerate(cls, di.pc);
+            infl[n_infl].hasFresh = true;
+            infl[n_infl].freshGen = gen;
+            infl[n_infl].freshClass = cls;
+            ++n_infl;
+        }
+    }
+
+    // --- Output prediction. ---
+    bool has_output = false;
+    bool out_pred = false;
+    if (di.outputIsData) {
+        // `in` result: a D node, inherently unpredicted; the node is
+        // not classified.
+        ++stats_.inputDataNodes;
+    } else if (di.isBranch) {
+        has_output = true;
+        out_pred = bank_.predictBranch(di.pc, di.taken);
+    } else if (di.isPassThrough) {
+        // Loads/stores/jr copy the designated input's predictability
+        // to the output; the output predictor is not consulted, so
+        // these can never generate.
+        has_output = true;
+        out_pred = input_pred[di.passSlot];
+    } else if (di.hasValueOutput()) {
+        has_output = true;
+        out_pred = bank_.predictOutput(di.pc, di.outValue);
+    }
+
+    NodeClass cls =
+        di.outputIsData
+            ? NodeClass::Inert
+            : classifyNode(has_pred, has_unpred, has_imm, has_output,
+                           out_pred);
+    stats_.nodes.record(cls, instr.op);
+
+    if (di.isBranch) {
+        stats_.branches.record(
+            classifyBranchInputs(has_pred, has_unpred, has_imm),
+            out_pred);
+    }
+
+    // --- Node-level influence flow. ---
+    scratch_.clear();
+    if (cfg_.trackInfluence) {
+        if (nodeClassPropagates(cls)) {
+            scratch_.buildFromInputs(infl.data(), n_infl,
+                                     cfg_.influenceCap);
+            recordPropagateElement(scratch_.classMask(),
+                                   scratch_.size(),
+                                   scratch_.maxDepth(),
+                                   scratch_.saturated());
+            for (const auto &ref : scratch_.refs())
+                stats_.trees.touch(ref.gen, ref.depth);
+        } else if (nodeClassGenerates(cls)) {
+            const GeneratorClass gcls =
+                cls == NodeClass::GenImmImm   ? GeneratorClass::I
+                : cls == NodeClass::GenUnpUnp ? GeneratorClass::N
+                                              : GeneratorClass::M;
+            const std::uint64_t gen =
+                stats_.trees.newGenerate(gcls, di.pc);
+            scratch_.setGenerate(gen, gcls);
+        }
+    }
+
+    // --- Unpredictability census: where does an unpredicted output's
+    // --- unpredictability come from? ---
+    std::uint8_t unpred_out = 0;
+    if (!di.outputIsData && has_output && !out_pred) {
+        unpred_out = unpred_in;
+        if (has_pred) {
+            // Predictability dies at this node (p,*->n).
+            unpred_out |= unpredOriginBit(UnpredOrigin::Term);
+        }
+        if (unpred_out == 0) {
+            // Never-predictable internal computation (e.g. i,i->n).
+            unpred_out = unpredOriginBit(UnpredOrigin::Fresh);
+        }
+        stats_.unpred.record(unpred_out);
+    }
+
+    // --- Sequence tracking: all inputs and all outputs predicted. ---
+    const bool fully_predicted =
+        !di.outputIsData && !has_unpred && (!has_output || out_pred);
+    stats_.sequences.step(fully_predicted);
+
+    // --- Install the produced value. ---
+    auto install = [&](ValueInfo &dst) {
+        killValue(dst);
+        dst.live = true;
+        dst.isData = di.outputIsData;
+        dst.outputPredicted = !di.outputIsData && out_pred;
+        dst.writeOnce = profile_.executesOnce(di.pc);
+        dst.unpredMask =
+            di.outputIsData ? unpredOriginBit(UnpredOrigin::Data)
+                            : unpred_out;
+        dst.influence = scratch_;
+    };
+
+    if (di.hasRegOutput)
+        install(regs_[di.outReg]);
+    if (di.hasMemOutput)
+        install(mem_[di.outAddr]);
+}
+
+void
+DpgAnalyzer::onRunEnd()
+{
+}
+
+DpgStats
+DpgAnalyzer::takeStats()
+{
+    assert(!finalized_);
+    // The write-once classification is only sound when the profile
+    // covers the identical dynamic stream (same program, input, and
+    // budget) — the loose check promised in the header.
+    assert(profile_.total() == stats_.dynInstrs);
+    finalized_ = true;
+
+    for (auto &vi : regs_)
+        killValue(vi);
+    for (auto &[addr, vi] : mem_)
+        killValue(vi);
+
+    stats_.sequences.finish();
+    stats_.gshareAccuracy = bank_.branchPredictor().accuracy();
+    return std::move(stats_);
+}
+
+} // namespace ppm

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The streaming Dynamic Prediction Graph analyzer — the paper's model.
+ *
+ * Consumes the dynamic instruction stream and labels every node
+ * (dynamic instruction) and arc (true dependence) with prediction
+ * outcomes, classifying generation, propagation, and termination of
+ * predictability, exactly as defined in Sec. 2 of the paper. The full
+ * graph is never materialized: state is kept only for *live* values
+ * (one per register, one per written memory word), and counters are
+ * folded in as values die.
+ *
+ * Requires a pass-1 ExecProfile of the same deterministic run so that
+ * write-once producers (<wl:...> arcs) can be recognized on the fly.
+ */
+
+#ifndef PPM_DPG_DPG_ANALYZER_HH
+#define PPM_DPG_DPG_ANALYZER_HH
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "dpg/arc_stats.hh"
+#include "dpg/branch_stats.hh"
+#include "dpg/influence.hh"
+#include "dpg/node_stats.hh"
+#include "dpg/sequence_stats.hh"
+#include "dpg/tree_stats.hh"
+#include "dpg/unpred_stats.hh"
+#include "pred/predictor_bank.hh"
+#include "sim/profiler.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** Analyzer knobs; defaults reproduce the paper's configuration. */
+struct DpgConfig
+{
+    PredictorKind kind = PredictorKind::Context;
+    PredictorConfig predictor{};
+    unsigned gshareBits = 16;
+    unsigned influenceCap = kDefaultInfluenceCap;
+    /** Path/tree analysis can be disabled for faster label-only runs. */
+    bool trackInfluence = true;
+};
+
+/** Path-analysis aggregates (paper Figs. 9 and 11). */
+struct PathStats
+{
+    /**
+     * Propagating elements influenced by each generator class
+     * (multi-counted: an element on paths from two classes counts in
+     * both — Fig. 9 top).
+     */
+    std::array<std::uint64_t, kNumGeneratorClasses> perClass{};
+
+    /**
+     * Propagating elements by exact generator-class combination
+     * (single-counted — Fig. 9 bottom). Indexed by class bitmask.
+     */
+    std::array<std::uint64_t, 64> perCombo{};
+
+    /** Generates influencing each propagate (Fig. 11 top). */
+    LinearHistogram influenceCount{kDefaultInfluenceCap + 1};
+
+    /** Distance to the farthest influencing generate (Fig. 11 bottom). */
+    Log2Histogram influenceDistance;
+
+    /** Total propagating elements (nodes + arcs) recorded. */
+    std::uint64_t propagateElements = 0;
+
+    /** Elements whose influence set overflowed the cap. */
+    std::uint64_t saturationEvents = 0;
+};
+
+/** Everything one (workload, predictor) model run produces. */
+struct DpgStats
+{
+    std::string workload;
+    PredictorKind kind = PredictorKind::Context;
+
+    std::uint64_t dynInstrs = 0;
+
+    /** D nodes created for initial data / untouched memory / registers. */
+    std::uint64_t lazyDataNodes = 0;
+
+    /** D nodes delivered through `in` instructions. */
+    std::uint64_t inputDataNodes = 0;
+
+    NodeStats nodes;
+    ArcStats arcs;
+    BranchStats branches;
+    SequenceStats sequences;
+    TreeStats trees;
+    PathStats paths;
+
+    /** Unpredictability-origin census (our Sec.-6 extension). */
+    UnpredStats unpred;
+
+    double gshareAccuracy = 0.0;
+
+    /** Table-1 node count: dynamic instructions + lazy D nodes. */
+    std::uint64_t
+    totalNodes() const
+    {
+        return dynInstrs + lazyDataNodes;
+    }
+
+    /** All D nodes (lazy + input-stream). */
+    std::uint64_t
+    dataNodes() const
+    {
+        return lazyDataNodes + inputDataNodes;
+    }
+
+    /** Combined node+arc denominator used by the paper's percentages. */
+    std::uint64_t
+    totalElements() const
+    {
+        return totalNodes() + arcs.total();
+    }
+};
+
+/** The streaming model implementation. */
+class DpgAnalyzer : public TraceSink
+{
+  public:
+    /**
+     * @p profile must come from a pass-1 run of the identical
+     * program + input (checked loosely via instruction totals at
+     * finalize time).
+     */
+    DpgAnalyzer(const Program &prog, const ExecProfile &profile,
+                const DpgConfig &config = DpgConfig{});
+
+    /**
+     * Run the model with a caller-supplied predictor bank (e.g. a
+     * user-defined ValuePredictor implementation — see
+     * examples/custom_predictor.cpp). @p config's kind is ignored.
+     */
+    DpgAnalyzer(const Program &prog, const ExecProfile &profile,
+                PredictorBank bank,
+                const DpgConfig &config = DpgConfig{});
+
+    void onInstr(const DynInstr &di) override;
+    void onRunEnd() override;
+
+    /**
+     * Flush all live values and return the accumulated statistics.
+     * The analyzer must not be fed further instructions afterwards.
+     */
+    DpgStats takeStats();
+
+    /** Access to the predictor bank (for tests/ablations). */
+    PredictorBank &bank() { return bank_; }
+
+  private:
+    /** A deferred arc bundle toward one static consumer. */
+    struct PendingArc
+    {
+        StaticId consumer;
+        /** Distinct dynamic instances of the consumer (repeated-use
+         *  needs >= 2 instances, not merely >= 2 arcs: one dynamic
+         *  instruction consuming a value twice is single-use). */
+        std::uint32_t instances = 0;
+        NodeId lastSeq = kInvalidNode;
+        std::array<std::uint32_t, kNumArcLabels> labelCounts{};
+    };
+
+    /** Model state of one live value (register or memory word). */
+    struct ValueInfo
+    {
+        bool live = false;
+        bool isData = false;
+        bool outputPredicted = false;
+        bool writeOnce = false;
+
+        /** Unpredictability origins (valid when !outputPredicted). */
+        std::uint8_t unpredMask = 0;
+
+        InfluenceSet influence;
+        std::vector<PendingArc> pending;
+    };
+
+    /** Resolve + flush a dying value's deferred arcs. */
+    void killValue(ValueInfo &vi);
+
+    /** Live value in a register, lazily a D node for untouched regs. */
+    ValueInfo &regValue(RegIndex reg);
+
+    /** Live value in a memory word, lazily a D node when untouched. */
+    ValueInfo &memValue(Addr addr);
+
+    /** Append one deferred arc record on @p vi toward @p consumer. */
+    static void appendPending(ValueInfo &vi, StaticId consumer,
+                              NodeId seq, ArcLabel label);
+
+    /** Record Fig. 9 / Fig. 11 entries for one propagating element. */
+    void recordPropagateElement(std::uint8_t class_mask, unsigned nrefs,
+                                std::uint32_t max_depth, bool saturated);
+
+    const Program &prog_;
+    const ExecProfile &profile_;
+    DpgConfig cfg_;
+    PredictorBank bank_;
+    DpgStats stats_;
+    bool finalized_ = false;
+
+    std::array<ValueInfo, kNumRegs> regs_;
+    std::unordered_map<Addr, ValueInfo> mem_;
+
+    /** Scratch for node-output influence construction. */
+    InfluenceSet scratch_;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_DPG_ANALYZER_HH

@@ -1,0 +1,149 @@
+#include "dpg/dpg_graph.hh"
+
+#include <ostream>
+
+#include "isa/disasm.hh"
+
+namespace ppm {
+
+DpgGraphBuilder::DpgGraphBuilder(const Program &prog,
+                                 PredictorKind kind,
+                                 std::size_t window)
+    : prog_(prog), bank_(kind), window_(window)
+{
+    regProducer_.fill(kNone);
+}
+
+std::size_t
+DpgGraphBuilder::dataNode(const std::string &what)
+{
+    GraphNode node;
+    node.id = nodes_.size();
+    node.isData = true;
+    node.label = "D(" + what + ")";
+    nodes_.push_back(std::move(node));
+    return nodes_.size() - 1;
+}
+
+void
+DpgGraphBuilder::onInstr(const DynInstr &di)
+{
+    // Keep tracking producers beyond the window so a later re-entry
+    // would stay consistent, but only materialize inside it.
+    const bool materialize = di.seq < window_;
+
+    std::array<bool, 3> input_pred{};
+    std::array<std::size_t, 3> producer{kNone, kNone, kNone};
+
+    for (unsigned slot = 0; slot < di.numInputs; ++slot) {
+        const DynInput &in = di.inputs[slot];
+        if (in.kind == InputKind::Imm)
+            continue;
+        input_pred[slot] = bank_.predictInput(di.pc, slot, in.value);
+
+        if (!materialize)
+            continue;
+        if (in.kind == InputKind::Reg) {
+            if (regProducer_[in.reg] == kNone) {
+                regProducer_[in.reg] =
+                    dataNode(registerName(in.reg));
+            }
+            producer[slot] = regProducer_[in.reg];
+        } else {
+            auto [it, fresh] = memProducer_.try_emplace(
+                in.addr, kNone);
+            if (fresh || it->second == kNone)
+                it->second = dataNode("mem");
+            producer[slot] = it->second;
+        }
+    }
+
+    bool has_output = false;
+    bool out_pred = false;
+    if (di.outputIsData) {
+        // handled at install below
+    } else if (di.isBranch) {
+        has_output = true;
+        out_pred = bank_.predictBranch(di.pc, di.taken);
+    } else if (di.isPassThrough) {
+        has_output = true;
+        out_pred = input_pred[di.passSlot];
+    } else if (di.hasValueOutput()) {
+        has_output = true;
+        out_pred = bank_.predictOutput(di.pc, di.outValue);
+    }
+
+    if (!materialize)
+        return;
+
+    GraphNode node;
+    node.id = nodes_.size();
+    node.pc = di.pc;
+    node.hasOutput = has_output;
+    node.outputPredicted = out_pred;
+    node.outValue = di.outValue;
+    node.label = disassemble(*di.instr);
+    nodes_.push_back(std::move(node));
+    const std::size_t self = nodes_.size() - 1;
+
+    for (unsigned slot = 0; slot < di.numInputs; ++slot) {
+        if (producer[slot] == kNone)
+            continue;
+        const GraphNode &src = nodes_[producer[slot]];
+        const bool src_pred = src.isData ? false : src.outputPredicted;
+        arcs_.push_back(GraphArc{
+            producer[slot], self,
+            makeArcLabel(src_pred, input_pred[slot])});
+    }
+
+    if (di.outputIsData) {
+        nodes_[self].isData = true;
+        nodes_[self].label = "D(in)";
+    }
+    if (di.hasRegOutput)
+        regProducer_[di.outReg] = self;
+    if (di.hasMemOutput)
+        memProducer_[di.outAddr] = self;
+}
+
+void
+DpgGraphBuilder::writeDot(std::ostream &os) const
+{
+    os << "digraph dpg {\n";
+    os << "  rankdir=TB;\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (const GraphNode &n : nodes_) {
+        os << "  n" << n.id << " [label=\"";
+        if (n.pc != kInvalidStatic)
+            os << n.pc << ": ";
+        // Escape quotes in the disassembly (none expected, but be
+        // safe for dollar signs etc.).
+        for (char c : n.label) {
+            if (c == '"')
+                os << "\\\"";
+            else
+                os << c;
+        }
+        os << "\"";
+        if (n.isData)
+            os << ", style=dashed";
+        else if (n.hasOutput && n.outputPredicted)
+            os << ", style=filled, fillcolor=lightgrey";
+        os << "];\n";
+    }
+    for (const GraphArc &a : arcs_) {
+        os << "  n" << nodes_[a.from].id << " -> n"
+           << nodes_[a.to].id << " [label=\""
+           << arcLabelName(a.label) << "\"";
+        if (a.label == ArcLabel::PP)
+            os << ", penwidth=2";
+        else if (a.label == ArcLabel::NP)
+            os << ", color=darkgreen";
+        else if (a.label == ArcLabel::PN)
+            os << ", color=red";
+        os << "];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace ppm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Explicit DPG materialization for small windows — the labeled graph
+ * fragment the paper draws in Fig. 3.
+ *
+ * The streaming analyzer never builds the graph; this sink does, for
+ * a bounded window of dynamic instructions, so that small examples
+ * can be inspected, asserted on, and exported to Graphviz. Nodes are
+ * dynamic instruction instances and D nodes; arcs carry the model's
+ * <x,y> labels exactly as the analyzer computes them.
+ */
+
+#ifndef PPM_DPG_DPG_GRAPH_HH
+#define PPM_DPG_DPG_GRAPH_HH
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "dpg/classes.hh"
+#include "pred/predictor_bank.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** One materialized DPG node. */
+struct GraphNode
+{
+    NodeId id;
+    StaticId pc = kInvalidStatic; ///< kInvalidStatic for D nodes
+    bool isData = false;
+    bool hasOutput = false;
+    bool outputPredicted = false;
+    Value outValue = 0;
+    std::string label; ///< disassembly or "D"
+};
+
+/** One materialized DPG arc with its <x,y> label. */
+struct GraphArc
+{
+    std::size_t from; ///< index into nodes()
+    std::size_t to;
+    ArcLabel label;
+};
+
+/**
+ * TraceSink that materializes the DPG for the first `window`
+ * executed instructions (plus the D nodes they touch).
+ */
+class DpgGraphBuilder : public TraceSink
+{
+  public:
+    /**
+     * @p prog is used for disassembly; @p kind selects the predictor
+     * pair labeling the arcs; @p window bounds the number of
+     * instruction nodes materialized (further instructions are
+     * ignored).
+     */
+    DpgGraphBuilder(const Program &prog, PredictorKind kind,
+                    std::size_t window = 256);
+
+    void onInstr(const DynInstr &di) override;
+
+    const std::vector<GraphNode> &nodes() const { return nodes_; }
+    const std::vector<GraphArc> &arcs() const { return arcs_; }
+
+    /** Emit the graph in Graphviz dot syntax (Fig. 3 style). */
+    void writeDot(std::ostream &os) const;
+
+  private:
+    /** Producer node index per live location; npos when absent. */
+    static constexpr std::size_t kNone = ~std::size_t(0);
+
+    std::size_t dataNode(const std::string &what);
+
+    const Program &prog_;
+    PredictorBank bank_;
+    std::size_t window_;
+
+    std::vector<GraphNode> nodes_;
+    std::vector<GraphArc> arcs_;
+    std::array<std::size_t, kNumRegs> regProducer_;
+    std::unordered_map<Addr, std::size_t> memProducer_;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_DPG_GRAPH_HH

@@ -1,0 +1,79 @@
+#include "dpg/influence.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppm {
+
+std::uint32_t
+InfluenceSet::maxDepth() const
+{
+    std::uint32_t m = 0;
+    for (const auto &r : refs_)
+        m = std::max(m, r.depth);
+    return m;
+}
+
+void
+InfluenceSet::clear()
+{
+    refs_.clear();
+    classMask_ = 0;
+    saturated_ = false;
+}
+
+void
+InfluenceSet::setGenerate(std::uint64_t gen, GeneratorClass cls)
+{
+    refs_.clear();
+    refs_.push_back(GenRef{gen, 0});
+    classMask_ = generatorClassBit(cls);
+    saturated_ = false;
+}
+
+void
+InfluenceSet::buildFromInputs(const InputInfluence *inputs,
+                              unsigned count, unsigned cap)
+{
+    assert(cap >= 1);
+    refs_.clear();
+    classMask_ = 0;
+    saturated_ = false;
+
+    auto merge_ref = [this](std::uint64_t gen, std::uint32_t depth) {
+        for (auto &r : refs_) {
+            if (r.gen == gen) {
+                r.depth = std::max(r.depth, depth);
+                return;
+            }
+        }
+        refs_.push_back(GenRef{gen, depth});
+    };
+
+    for (unsigned i = 0; i < count; ++i) {
+        const InputInfluence &in = inputs[i];
+        if (in.set) {
+            classMask_ |= in.set->classMask();
+            saturated_ = saturated_ || in.set->saturated();
+            for (const auto &r : in.set->refs())
+                merge_ref(r.gen, r.depth + 2);
+        } else if (in.hasFresh) {
+            classMask_ |= generatorClassBit(in.freshClass);
+            merge_ref(in.freshGen, 1);
+        }
+    }
+
+    if (refs_.size() > cap) {
+        // Keep the deepest refs: they dominate the distance figures and
+        // correspond to the long-lived trees the paper highlights.
+        std::nth_element(refs_.begin(), refs_.begin() + cap,
+                         refs_.end(),
+                         [](const GenRef &a, const GenRef &b) {
+                             return a.depth > b.depth;
+                         });
+        refs_.resize(cap);
+        saturated_ = true;
+    }
+}
+
+} // namespace ppm

@@ -1,0 +1,158 @@
+#include "dpg/node_stats.hh"
+
+namespace ppm {
+
+OpCategory
+opCategory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Addi:
+        return OpCategory::IntArith;
+
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Nor:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+        return OpCategory::Logic;
+
+      case Opcode::Sllv:
+      case Opcode::Srlv:
+      case Opcode::Srav:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+        return OpCategory::Shift;
+
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Seq:
+      case Opcode::Sne:
+      case Opcode::Slti:
+      case Opcode::Sltiu:
+      case Opcode::FltD:
+      case Opcode::FleD:
+      case Opcode::FeqD:
+        return OpCategory::Compare;
+
+      case Opcode::Li:
+      case Opcode::Lui:
+        return OpCategory::ImmLoad;
+
+      case Opcode::Ld:
+        return OpCategory::Load;
+      case Opcode::St:
+        return OpCategory::Store;
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return OpCategory::Branch;
+
+      case Opcode::J:
+      case Opcode::Jal:
+      case Opcode::Jr:
+      case Opcode::Jalr:
+        return OpCategory::Jump;
+
+      case Opcode::FaddD:
+      case Opcode::FsubD:
+      case Opcode::FmulD:
+      case Opcode::FdivD:
+      case Opcode::FsqrtD:
+      case Opcode::FnegD:
+      case Opcode::CvtLD:
+      case Opcode::CvtDL:
+        return OpCategory::FpArith;
+
+      default:
+        return OpCategory::Other;
+    }
+}
+
+std::string_view
+opCategoryName(OpCategory cat)
+{
+    switch (cat) {
+      case OpCategory::IntArith: return "int-arith";
+      case OpCategory::Logic: return "logic";
+      case OpCategory::Shift: return "shift";
+      case OpCategory::Compare: return "compare";
+      case OpCategory::ImmLoad: return "imm-load";
+      case OpCategory::Load: return "load";
+      case OpCategory::Store: return "store";
+      case OpCategory::Branch: return "branch";
+      case OpCategory::Jump: return "jump";
+      case OpCategory::FpArith: return "fp-arith";
+      case OpCategory::Other: return "other";
+    }
+    return "?";
+}
+
+void
+NodeStats::record(NodeClass c, Opcode op)
+{
+    const auto ci = static_cast<unsigned>(c);
+    ++byClass_[ci];
+    ++byClassCat_[ci][static_cast<unsigned>(opCategory(op))];
+    ++total_;
+}
+
+std::uint64_t
+NodeStats::count(NodeClass c) const
+{
+    return byClass_[static_cast<unsigned>(c)];
+}
+
+std::uint64_t
+NodeStats::count(NodeClass c, OpCategory cat) const
+{
+    return byClassCat_[static_cast<unsigned>(c)]
+                      [static_cast<unsigned>(cat)];
+}
+
+std::uint64_t
+NodeStats::generates() const
+{
+    return count(NodeClass::GenImmImm) + count(NodeClass::GenUnpUnp) +
+           count(NodeClass::GenImmUnp);
+}
+
+std::uint64_t
+NodeStats::propagates() const
+{
+    return count(NodeClass::PropPredPred) +
+           count(NodeClass::PropPredImm) +
+           count(NodeClass::PropPredUnp);
+}
+
+std::uint64_t
+NodeStats::terminates() const
+{
+    return count(NodeClass::TermPredPred) +
+           count(NodeClass::TermPredImm) +
+           count(NodeClass::TermPredUnp);
+}
+
+void
+NodeStats::merge(const NodeStats &other)
+{
+    for (unsigned c = 0; c < kNumNodeClasses; ++c) {
+        byClass_[c] += other.byClass_[c];
+        for (unsigned k = 0; k < kNumOpCategories; ++k)
+            byClassCat_[c][k] += other.byClassCat_[c][k];
+    }
+    total_ += other.total_;
+}
+
+} // namespace ppm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Node classification counters (paper Figs. 5-8, node portions) with an
+ * opcode-category breakdown backing the paper's qualitative claims
+ * (e.g. "most p,n->n termination is due to memory instructions").
+ */
+
+#ifndef PPM_DPG_NODE_STATS_HH
+#define PPM_DPG_NODE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "dpg/classes.hh"
+#include "isa/opcode.hh"
+
+namespace ppm {
+
+/** Coarse opcode categories for attribution breakdowns. */
+enum class OpCategory : std::uint8_t
+{
+    IntArith,   ///< add/sub/mul/div/rem (+imm forms)
+    Logic,      ///< and/or/xor/nor (+imm forms)
+    Shift,      ///< shifts (+imm forms)
+    Compare,    ///< slt/seq/... (+imm forms), FP compares
+    ImmLoad,    ///< li/lui
+    Load,
+    Store,
+    Branch,
+    Jump,
+    FpArith,    ///< FP arithmetic and conversions
+    Other,      ///< in/nop/halt
+};
+
+constexpr unsigned kNumOpCategories = 11;
+
+/** Category of @p op. */
+OpCategory opCategory(Opcode op);
+
+/** Display name of @p cat. */
+std::string_view opCategoryName(OpCategory cat);
+
+/** Counters over node classes, total and per opcode category. */
+class NodeStats
+{
+  public:
+    /** Count one node of class @p c executing opcode @p op. */
+    void record(NodeClass c, Opcode op);
+
+    /** Nodes of class @p c. */
+    std::uint64_t count(NodeClass c) const;
+
+    /** Nodes of class @p c in category @p cat. */
+    std::uint64_t count(NodeClass c, OpCategory cat) const;
+
+    /** Sum of the three generation classes. */
+    std::uint64_t generates() const;
+
+    /** Sum of the three propagation classes. */
+    std::uint64_t propagates() const;
+
+    /** Sum of the three termination classes. */
+    std::uint64_t terminates() const;
+
+    /** All recorded nodes. */
+    std::uint64_t total() const { return total_; }
+
+    void merge(const NodeStats &other);
+
+  private:
+    std::array<std::uint64_t, kNumNodeClasses> byClass_{};
+    std::array<std::array<std::uint64_t, kNumOpCategories>,
+               kNumNodeClasses>
+        byClassCat_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_NODE_STATS_HH

@@ -1,0 +1,26 @@
+#include "dpg/sequence_stats.hh"
+
+namespace ppm {
+
+void
+SequenceStats::step(bool fully_predicted)
+{
+    ++total_;
+    if (fully_predicted) {
+        ++run_;
+    } else if (run_ > 0) {
+        hist_.add(run_, run_);
+        run_ = 0;
+    }
+}
+
+void
+SequenceStats::finish()
+{
+    if (run_ > 0) {
+        hist_.add(run_, run_);
+        run_ = 0;
+    }
+}
+
+} // namespace ppm

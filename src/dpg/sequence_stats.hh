@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Predictable contiguous sequence tracking (paper Fig. 12).
+ *
+ * A dynamic instruction is "fully predicted" when every input operand
+ * was predicted correctly at consumption and every output (value or
+ * branch direction) was predicted correctly. Runs of fully predicted
+ * instructions in the dynamic stream form predictable sequences; the
+ * figure reports how many instructions live in sequences of each
+ * length bucket.
+ */
+
+#ifndef PPM_DPG_SEQUENCE_STATS_HH
+#define PPM_DPG_SEQUENCE_STATS_HH
+
+#include <cstdint>
+
+#include "support/histogram.hh"
+
+namespace ppm {
+
+/** Run-length accumulator over the dynamic instruction stream. */
+class SequenceStats
+{
+  public:
+    /** Feed the next instruction's fully-predicted status. */
+    void step(bool fully_predicted);
+
+    /** Close any open run (call at end of trace). */
+    void finish();
+
+    /**
+     * Instructions per sequence-length bucket (log2 buckets: 1, 2,
+     * 3-4, 5-8, ...). Weight is the run length, so the histogram
+     * totals the number of instructions inside predictable sequences.
+     */
+    const Log2Histogram &histogram() const { return hist_; }
+
+    /** Number of completed sequences. */
+    std::uint64_t sequenceCount() const
+    {
+        return hist_.samples();
+    }
+
+    /** Instructions inside predictable sequences. */
+    std::uint64_t instructionsInSequences() const
+    {
+        return hist_.totalWeight();
+    }
+
+    /** All instructions observed. */
+    std::uint64_t totalInstructions() const { return total_; }
+
+  private:
+    Log2Histogram hist_;
+    std::uint64_t run_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_SEQUENCE_STATS_HH

@@ -1,0 +1,99 @@
+#include "dpg/tree_stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace ppm {
+
+std::uint64_t
+TreeStats::newGenerate(GeneratorClass cls, StaticId pc)
+{
+    const std::uint64_t id = trees_.size();
+    trees_.push_back(Tree{0, 0, cls, pc});
+    ++byClass_[static_cast<unsigned>(cls)];
+    return id;
+}
+
+void
+TreeStats::touch(std::uint64_t gen, std::uint32_t depth)
+{
+    assert(gen < trees_.size());
+    Tree &t = trees_[gen];
+    if (t.size != UINT32_MAX)
+        ++t.size;
+    t.longest = std::max(t.longest, depth);
+}
+
+std::uint64_t
+TreeStats::generateCount(GeneratorClass cls) const
+{
+    return byClass_[static_cast<unsigned>(cls)];
+}
+
+std::uint64_t
+TreeStats::treeSize(std::uint64_t gen) const
+{
+    assert(gen < trees_.size());
+    return trees_[gen].size;
+}
+
+std::uint32_t
+TreeStats::longestPath(std::uint64_t gen) const
+{
+    assert(gen < trees_.size());
+    return trees_[gen].longest;
+}
+
+Log2Histogram
+TreeStats::longestPathHistogram() const
+{
+    Log2Histogram h;
+    for (const auto &t : trees_)
+        h.add(t.longest);
+    return h;
+}
+
+Log2Histogram
+TreeStats::aggregatePropagationHistogram() const
+{
+    Log2Histogram h;
+    for (const auto &t : trees_) {
+        if (t.size > 0)
+            h.add(t.longest, t.size);
+    }
+    return h;
+}
+
+std::vector<CriticalSite>
+TreeStats::criticalSites(unsigned top_n) const
+{
+    // Aggregate trees by originating static site.
+    std::unordered_map<StaticId, CriticalSite> by_pc;
+    for (const auto &t : trees_) {
+        if (t.pc == kInvalidStatic)
+            continue;
+        auto &site = by_pc[t.pc];
+        if (site.generates == 0) {
+            site.pc = t.pc;
+            site.cls = t.cls;
+        }
+        ++site.generates;
+        site.influenced += t.size;
+        site.longest = std::max(site.longest, t.longest);
+    }
+
+    std::vector<CriticalSite> sites;
+    sites.reserve(by_pc.size());
+    for (auto &[pc, site] : by_pc)
+        sites.push_back(site);
+    std::sort(sites.begin(), sites.end(),
+              [](const CriticalSite &a, const CriticalSite &b) {
+                  return a.influenced > b.influenced;
+              });
+    if (sites.size() > top_n)
+        sites.resize(top_n);
+    return sites;
+}
+
+} // namespace ppm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-generate predictability-tree statistics (paper Fig. 10).
+ *
+ * Every generate (node or arc) roots a tree of propagating nodes and
+ * arcs. We track, per generate: the tree size (number of propagating
+ * elements influenced by it) and the longest propagate path from it.
+ */
+
+#ifndef PPM_DPG_TREE_STATS_HH
+#define PPM_DPG_TREE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dpg/classes.hh"
+#include "support/histogram.hh"
+#include "support/types.hh"
+
+namespace ppm {
+
+/** One entry of the critical-generate ranking (see criticalSites). */
+struct CriticalSite
+{
+    StaticId pc;            ///< static site where generation happened
+    GeneratorClass cls;     ///< dominant generator class at the site
+    std::uint64_t generates; ///< dynamic generates at this site
+    std::uint64_t influenced; ///< total propagates influenced
+    std::uint32_t longest;  ///< longest propagate path from the site
+};
+
+/** Tracks one record per generate. */
+class TreeStats
+{
+  public:
+    /**
+     * Register a new generate of class @p cls originating at static
+     * instruction @p pc (for arc generates: the consuming site where
+     * the value first became predictable); returns its id.
+     */
+    std::uint64_t newGenerate(GeneratorClass cls,
+                              StaticId pc = kInvalidStatic);
+
+    /**
+     * Record that a propagating element at distance @p depth is
+     * influenced by generate @p gen.
+     */
+    void touch(std::uint64_t gen, std::uint32_t depth);
+
+    /** Total generates seen. */
+    std::uint64_t generateCount() const { return trees_.size(); }
+
+    /** Generates per class. */
+    std::uint64_t generateCount(GeneratorClass cls) const;
+
+    /** Tree size of generate @p gen (testing). */
+    std::uint64_t treeSize(std::uint64_t gen) const;
+
+    /** Longest propagate path from generate @p gen (testing). */
+    std::uint32_t longestPath(std::uint64_t gen) const;
+
+    /**
+     * Distribution of longest path lengths over all generates
+     * (the "trees" curve in Fig. 10; weight 1 per tree).
+     */
+    Log2Histogram longestPathHistogram() const;
+
+    /**
+     * Distribution of aggregate propagation: per tree, its longest
+     * path weighted by its size (the "aggregate propagation" curve).
+     */
+    Log2Histogram aggregatePropagationHistogram() const;
+
+    /**
+     * The paper's "critical points for prediction": static sites
+     * ranked by the total propagation their generates influence.
+     * Returns the top @p top_n sites (fewer if the program is small).
+     */
+    std::vector<CriticalSite> criticalSites(unsigned top_n) const;
+
+  private:
+    struct Tree
+    {
+        std::uint32_t size = 0;
+        std::uint32_t longest = 0;
+        GeneratorClass cls;
+        StaticId pc = kInvalidStatic;
+    };
+
+    std::vector<Tree> trees_;
+    std::array<std::uint64_t, kNumGeneratorClasses> byClass_{};
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_TREE_STATS_HH

@@ -1,0 +1,40 @@
+#include "dpg/unpred_stats.hh"
+
+namespace ppm {
+
+std::string
+unpredMaskName(std::uint8_t mask)
+{
+    if (mask == 0)
+        return "-";
+    std::string out;
+    if (mask & unpredOriginBit(UnpredOrigin::Data))
+        out += 'D';
+    if (mask & unpredOriginBit(UnpredOrigin::Term))
+        out += 'T';
+    if (mask & unpredOriginBit(UnpredOrigin::Fresh))
+        out += 'F';
+    return out;
+}
+
+std::uint64_t
+UnpredStats::countOrigin(UnpredOrigin origin) const
+{
+    const std::uint8_t bit = unpredOriginBit(origin);
+    std::uint64_t sum = 0;
+    for (unsigned mask = 0; mask < 8; ++mask) {
+        if (mask & bit)
+            sum += perCombo_[mask];
+    }
+    return sum;
+}
+
+void
+UnpredStats::merge(const UnpredStats &other)
+{
+    for (unsigned mask = 0; mask < 8; ++mask)
+        perCombo_[mask] += other.perCombo_[mask];
+    total_ += other.total_;
+}
+
+} // namespace ppm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unpredictability-flow analysis — the extension the paper's Sec. 6
+ * explicitly leaves as future work ("unpredictability is as
+ * interesting as predictability").
+ *
+ * Mirroring the predictability model, every *unpredicted* value
+ * carries the set of unpredictability origins upstream of it:
+ *
+ *  - Data: the chain starts at a D node (program input data);
+ *  - Term: predictability was terminated somewhere upstream (a
+ *    p,*->n node or a <p,n> filtering arc) — values that *were*
+ *    predictable until the program combined or filtered them;
+ *  - Fresh: computation that was never predictable (generated
+ *    unpredicted from immediates or other unpredicted values with no
+ *    terminated or data ancestry).
+ *
+ * The per-origin-combination census of unpredicted outputs answers
+ * the dual of the paper's Fig. 9: where does unpredictability come
+ * from?
+ */
+
+#ifndef PPM_DPG_UNPRED_STATS_HH
+#define PPM_DPG_UNPRED_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ppm {
+
+/** Origins of unpredictability. */
+enum class UnpredOrigin : std::uint8_t
+{
+    Data,  ///< program input data (D nodes)
+    Term,  ///< terminated predictability
+    Fresh, ///< never-predictable internal computation
+};
+
+constexpr unsigned kNumUnpredOrigins = 3;
+
+/** Bitmask with only @p origin set. */
+constexpr std::uint8_t
+unpredOriginBit(UnpredOrigin origin)
+{
+    return static_cast<std::uint8_t>(
+        1u << static_cast<unsigned>(origin));
+}
+
+/** Render an origin mask ("DT", "F", ...). */
+std::string unpredMaskName(std::uint8_t mask);
+
+/** Census of unpredicted node outputs by origin combination. */
+class UnpredStats
+{
+  public:
+    /** Count one unpredicted output with origin mask @p mask. */
+    void
+    record(std::uint8_t mask)
+    {
+        ++perCombo_[mask & 7];
+        ++total_;
+    }
+
+    /** Unpredicted outputs whose mask is exactly @p mask. */
+    std::uint64_t
+    count(std::uint8_t mask) const
+    {
+        return perCombo_[mask & 7];
+    }
+
+    /** Unpredicted outputs influenced by @p origin (multi-counted). */
+    std::uint64_t countOrigin(UnpredOrigin origin) const;
+
+    /** All unpredicted outputs recorded. */
+    std::uint64_t total() const { return total_; }
+
+    void merge(const UnpredStats &other);
+
+  private:
+    std::array<std::uint64_t, 8> perCombo_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_UNPRED_STATS_HH

@@ -1,0 +1,67 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace ppm {
+
+std::string
+disassemble(const Instruction &instr)
+{
+    const OpTraits &t = instr.traits();
+    std::ostringstream os;
+    os << t.mnemonic;
+
+    auto target = [&]() {
+        return "@" + std::to_string(instr.target);
+    };
+
+    switch (t.format) {
+      case OpFormat::R3:
+        os << " " << registerName(instr.rd) << ", "
+           << registerName(instr.rs1) << ", "
+           << registerName(instr.rs2);
+        break;
+      case OpFormat::R2:
+        os << " " << registerName(instr.rd) << ", "
+           << registerName(instr.rs1);
+        break;
+      case OpFormat::I2:
+        os << " " << registerName(instr.rd) << ", "
+           << registerName(instr.rs1) << ", " << instr.imm;
+        break;
+      case OpFormat::LiF:
+        os << " " << registerName(instr.rd) << ", " << instr.imm;
+        break;
+      case OpFormat::LoadF:
+        os << " " << registerName(instr.rd) << ", " << instr.imm << "("
+           << registerName(instr.rs1) << ")";
+        break;
+      case OpFormat::StoreF:
+        os << " " << registerName(instr.rs2) << ", " << instr.imm << "("
+           << registerName(instr.rs1) << ")";
+        break;
+      case OpFormat::Br2F:
+        os << " " << registerName(instr.rs1) << ", "
+           << registerName(instr.rs2) << ", " << target();
+        break;
+      case OpFormat::JmpF:
+      case OpFormat::JalF:
+        os << " " << target();
+        break;
+      case OpFormat::JrF:
+        os << " " << registerName(instr.rs1);
+        break;
+      case OpFormat::JalrF:
+        os << " " << registerName(instr.rd) << ", "
+           << registerName(instr.rs1);
+        break;
+      case OpFormat::InF:
+        os << " " << registerName(instr.rd);
+        break;
+      case OpFormat::NoneF:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ppm

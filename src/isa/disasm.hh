@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler: render decoded instructions back to assembly text.
+ */
+
+#ifndef PPM_ISA_DISASM_HH
+#define PPM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace ppm {
+
+/**
+ * Render @p instr as one line of YISA assembly. Branch/jump targets are
+ * printed as "@<static-index>" because label names live in the Program,
+ * not the instruction.
+ */
+std::string disassemble(const Instruction &instr);
+
+} // namespace ppm
+
+#endif // PPM_ISA_DISASM_HH

@@ -1,0 +1,147 @@
+#include "isa/instruction.hh"
+
+#include <cassert>
+
+namespace ppm {
+
+Instruction
+Instruction::r3(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    assert(opTraits(op).format == OpFormat::R3);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+Instruction::r2(Opcode op, RegIndex rd, RegIndex rs1)
+{
+    assert(opTraits(op).format == OpFormat::R2);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    return i;
+}
+
+Instruction
+Instruction::i2(Opcode op, RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    assert(opTraits(op).format == OpFormat::I2);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::li(RegIndex rd, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::load(RegIndex rd, std::int64_t imm, RegIndex base)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::store(RegIndex rs2, std::int64_t imm, RegIndex base)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.rs1 = base;
+    i.rs2 = rs2;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+Instruction::branch(Opcode op, RegIndex rs1, RegIndex rs2, StaticId target)
+{
+    assert(opTraits(op).isBranch);
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.target = target;
+    return i;
+}
+
+Instruction
+Instruction::jump(StaticId target)
+{
+    Instruction i;
+    i.op = Opcode::J;
+    i.target = target;
+    return i;
+}
+
+Instruction
+Instruction::jal(StaticId target)
+{
+    Instruction i;
+    i.op = Opcode::Jal;
+    i.rd = kRaReg;
+    i.target = target;
+    return i;
+}
+
+Instruction
+Instruction::jr(RegIndex rs1)
+{
+    Instruction i;
+    i.op = Opcode::Jr;
+    i.rs1 = rs1;
+    return i;
+}
+
+Instruction
+Instruction::jalr(RegIndex rd, RegIndex rs1)
+{
+    Instruction i;
+    i.op = Opcode::Jalr;
+    i.rd = rd;
+    i.rs1 = rs1;
+    return i;
+}
+
+Instruction
+Instruction::input(RegIndex rd)
+{
+    Instruction i;
+    i.op = Opcode::In;
+    i.rd = rd;
+    return i;
+}
+
+Instruction
+Instruction::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return i;
+}
+
+Instruction
+Instruction::nop()
+{
+    return Instruction{};
+}
+
+} // namespace ppm

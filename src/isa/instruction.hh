@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The decoded static instruction representation.
+ */
+
+#ifndef PPM_ISA_INSTRUCTION_HH
+#define PPM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+#include "isa/registers.hh"
+#include "support/types.hh"
+
+namespace ppm {
+
+/**
+ * One decoded static YISA instruction. Instructions are never bit-packed;
+ * the simulator operates directly on this struct. Targets are static
+ * instruction indexes into the owning Program's text.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = 0;
+    RegIndex rs1 = 0;
+    RegIndex rs2 = 0;
+    std::int64_t imm = 0;
+    StaticId target = kInvalidStatic;
+
+    const OpTraits &traits() const { return opTraits(op); }
+
+    /** Factory helpers used by tests and programmatic builders. */
+    static Instruction r3(Opcode op, RegIndex rd, RegIndex rs1,
+                          RegIndex rs2);
+    static Instruction r2(Opcode op, RegIndex rd, RegIndex rs1);
+    static Instruction i2(Opcode op, RegIndex rd, RegIndex rs1,
+                          std::int64_t imm);
+    static Instruction li(RegIndex rd, std::int64_t imm);
+    static Instruction load(RegIndex rd, std::int64_t imm, RegIndex base);
+    static Instruction store(RegIndex rs2, std::int64_t imm,
+                             RegIndex base);
+    static Instruction branch(Opcode op, RegIndex rs1, RegIndex rs2,
+                              StaticId target);
+    static Instruction jump(StaticId target);
+    static Instruction jal(StaticId target);
+    static Instruction jr(RegIndex rs1);
+    static Instruction jalr(RegIndex rd, RegIndex rs1);
+    static Instruction input(RegIndex rd);
+    static Instruction halt();
+    static Instruction nop();
+};
+
+} // namespace ppm
+
+#endif // PPM_ISA_INSTRUCTION_HH

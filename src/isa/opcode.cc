@@ -1,0 +1,133 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <cassert>
+
+namespace ppm {
+
+namespace {
+
+constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+// One row per Opcode, in declaration order.
+//                 mnemonic   format            br     jmp    ld     st     pass   dest
+constexpr std::array<OpTraits, kNumOps> kTraits = {{
+    {"add",    OpFormat::R3,     false, false, false, false, false, true},
+    {"sub",    OpFormat::R3,     false, false, false, false, false, true},
+    {"mul",    OpFormat::R3,     false, false, false, false, false, true},
+    {"div",    OpFormat::R3,     false, false, false, false, false, true},
+    {"rem",    OpFormat::R3,     false, false, false, false, false, true},
+    {"and",    OpFormat::R3,     false, false, false, false, false, true},
+    {"or",     OpFormat::R3,     false, false, false, false, false, true},
+    {"xor",    OpFormat::R3,     false, false, false, false, false, true},
+    {"nor",    OpFormat::R3,     false, false, false, false, false, true},
+    {"sllv",   OpFormat::R3,     false, false, false, false, false, true},
+    {"srlv",   OpFormat::R3,     false, false, false, false, false, true},
+    {"srav",   OpFormat::R3,     false, false, false, false, false, true},
+    {"slt",    OpFormat::R3,     false, false, false, false, false, true},
+    {"sltu",   OpFormat::R3,     false, false, false, false, false, true},
+    {"seq",    OpFormat::R3,     false, false, false, false, false, true},
+    {"sne",    OpFormat::R3,     false, false, false, false, false, true},
+    {"addi",   OpFormat::I2,     false, false, false, false, false, true},
+    {"andi",   OpFormat::I2,     false, false, false, false, false, true},
+    {"ori",    OpFormat::I2,     false, false, false, false, false, true},
+    {"xori",   OpFormat::I2,     false, false, false, false, false, true},
+    {"slli",   OpFormat::I2,     false, false, false, false, false, true},
+    {"srli",   OpFormat::I2,     false, false, false, false, false, true},
+    {"srai",   OpFormat::I2,     false, false, false, false, false, true},
+    {"slti",   OpFormat::I2,     false, false, false, false, false, true},
+    {"sltiu",  OpFormat::I2,     false, false, false, false, false, true},
+    {"li",     OpFormat::LiF,    false, false, false, false, false, true},
+    {"lui",    OpFormat::LiF,    false, false, false, false, false, true},
+    {"ld",     OpFormat::LoadF,  false, false, true,  false, true,  true},
+    {"st",     OpFormat::StoreF, false, false, false, true,  true,  false},
+    {"beq",    OpFormat::Br2F,   true,  false, false, false, false, false},
+    {"bne",    OpFormat::Br2F,   true,  false, false, false, false, false},
+    {"blt",    OpFormat::Br2F,   true,  false, false, false, false, false},
+    {"bge",    OpFormat::Br2F,   true,  false, false, false, false, false},
+    {"bltu",   OpFormat::Br2F,   true,  false, false, false, false, false},
+    {"bgeu",   OpFormat::Br2F,   true,  false, false, false, false, false},
+    {"j",      OpFormat::JmpF,   false, true,  false, false, false, false},
+    {"jal",    OpFormat::JalF,   false, true,  false, false, false, true},
+    {"jr",     OpFormat::JrF,    false, true,  false, false, true,  false},
+    {"jalr",   OpFormat::JalrF,  false, true,  false, false, false, true},
+    {"fadd.d", OpFormat::R3,     false, false, false, false, false, true},
+    {"fsub.d", OpFormat::R3,     false, false, false, false, false, true},
+    {"fmul.d", OpFormat::R3,     false, false, false, false, false, true},
+    {"fdiv.d", OpFormat::R3,     false, false, false, false, false, true},
+    {"fsqrt.d", OpFormat::R2,    false, false, false, false, false, true},
+    {"fneg.d", OpFormat::R2,     false, false, false, false, false, true},
+    {"cvt.l.d", OpFormat::R2,    false, false, false, false, false, true},
+    {"cvt.d.l", OpFormat::R2,    false, false, false, false, false, true},
+    {"flt.d",  OpFormat::R3,     false, false, false, false, false, true},
+    {"fle.d",  OpFormat::R3,     false, false, false, false, false, true},
+    {"feq.d",  OpFormat::R3,     false, false, false, false, false, true},
+    {"in",     OpFormat::InF,    false, false, false, false, false, true},
+    {"nop",    OpFormat::NoneF,  false, false, false, false, false, false},
+    {"halt",   OpFormat::NoneF,  false, false, false, false, false, false},
+}};
+
+} // namespace
+
+const OpTraits &
+opTraits(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    assert(idx < kNumOps);
+    return kTraits[idx];
+}
+
+std::string_view
+opMnemonic(Opcode op)
+{
+    return opTraits(op).mnemonic;
+}
+
+unsigned
+regSourceCount(OpFormat fmt)
+{
+    switch (fmt) {
+      case OpFormat::R3:
+      case OpFormat::Br2F:
+      case OpFormat::StoreF:
+        return 2;
+      case OpFormat::R2:
+      case OpFormat::I2:
+      case OpFormat::LoadF:
+      case OpFormat::JrF:
+      case OpFormat::JalrF:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+bool
+formatHasImmediate(OpFormat fmt)
+{
+    switch (fmt) {
+      case OpFormat::I2:
+      case OpFormat::LiF:
+      case OpFormat::LoadF:
+      case OpFormat::StoreF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+formatHasTarget(OpFormat fmt)
+{
+    switch (fmt) {
+      case OpFormat::Br2F:
+      case OpFormat::JmpF:
+      case OpFormat::JalF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ppm

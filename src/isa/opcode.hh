@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Opcode enumeration and static per-opcode traits for the YISA mini-ISA.
+ *
+ * YISA is a 64-bit MIPS-flavoured RISC instruction set built for this
+ * reproduction: enough to express the SPEC95-analog workloads (integer
+ * ALU, shifts/masks, 64-bit loads/stores, conditional branches, calls,
+ * indirect jumps, IEEE double arithmetic) while keeping the dynamic
+ * dependence model exact. It plays the role SimpleScalar's PISA played
+ * in the paper.
+ */
+
+#ifndef PPM_ISA_OPCODE_HH
+#define PPM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ppm {
+
+/** All YISA opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Three-register ALU.
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Nor,
+    Sllv, Srlv, Srav, Slt, Sltu, Seq, Sne,
+    // Register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Sltiu,
+    // Wide immediates.
+    Li, Lui,
+    // Memory (64-bit, 8-byte aligned).
+    Ld, St,
+    // Conditional branches (compare two registers).
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Jumps. Jal links into r31; Jalr links into rd.
+    J, Jal, Jr, Jalr,
+    // Double-precision FP on 64-bit register bit patterns.
+    FaddD, FsubD, FmulD, FdivD, FsqrtD, FnegD,
+    CvtLD, CvtDL, FltD, FleD, FeqD,
+    // Input-stream read: destination becomes a D (input data) node.
+    In,
+    // Miscellaneous.
+    Nop, Halt,
+
+    NumOpcodes,
+};
+
+/** Operand/encoding format of an opcode. */
+enum class OpFormat : std::uint8_t
+{
+    R3,     ///< op rd, rs1, rs2
+    R2,     ///< op rd, rs1          (unary: sqrt, neg, cvt)
+    I2,     ///< op rd, rs1, imm
+    LiF,    ///< op rd, imm          (wide immediate load)
+    LoadF,  ///< op rd, imm(rs1)
+    StoreF, ///< op rs2, imm(rs1)
+    Br2F,   ///< op rs1, rs2, target
+    JmpF,   ///< op target
+    JalF,   ///< op target           (implicit link into r31)
+    JrF,    ///< op rs1
+    JalrF,  ///< op rd, rs1
+    InF,    ///< op rd
+    NoneF,  ///< op                  (nop, halt)
+};
+
+/** Static description of an opcode. */
+struct OpTraits
+{
+    std::string_view mnemonic;
+    OpFormat format;
+    bool isBranch;      ///< Conditional branch (direction output).
+    bool isJump;        ///< Unconditional control transfer.
+    bool isLoad;
+    bool isStore;
+    /**
+     * Pass-through semantics (paper Sec. 3): the output's predictability
+     * is copied from one designated input instead of consulting the
+     * output predictor, so the instruction can never generate
+     * predictability. True for loads (memory data input), stores (stored
+     * register input), and register-indirect jumps (target register).
+     */
+    bool passThrough;
+    bool hasDest;       ///< Writes a destination register.
+};
+
+/** Look up the traits of @p op. */
+const OpTraits &opTraits(Opcode op);
+
+/** Mnemonic of @p op. */
+std::string_view opMnemonic(Opcode op);
+
+/** Number of register source operands for @p fmt (memory input excluded). */
+unsigned regSourceCount(OpFormat fmt);
+
+/** True when @p fmt carries an immediate operand. */
+bool formatHasImmediate(OpFormat fmt);
+
+/** True when @p fmt names a branch/jump target label. */
+bool formatHasTarget(OpFormat fmt);
+
+} // namespace ppm
+
+#endif // PPM_ISA_OPCODE_HH

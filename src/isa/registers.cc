@@ -1,0 +1,75 @@
+#include "isa/registers.hh"
+
+#include <cctype>
+
+namespace ppm {
+
+namespace {
+
+std::optional<unsigned>
+parseUint(std::string_view s)
+{
+    if (s.empty())
+        return std::nullopt;
+    unsigned v = 0;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        v = v * 10 + static_cast<unsigned>(c - '0');
+        if (v > 1000)
+            return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace
+
+std::optional<RegIndex>
+parseRegister(std::string_view name)
+{
+    if (name.size() < 2)
+        return std::nullopt;
+
+    if (name == "$zero")
+        return kZeroReg;
+    if (name == "$sp")
+        return kSpReg;
+    if (name == "$ra")
+        return kRaReg;
+    if (name == "$gp")
+        return RegIndex(28);
+    if (name == "$fp")
+        return RegIndex(30);
+    if (name == "$at")
+        return RegIndex(1);
+
+    if (name[0] == '$' && name[1] == 'f') {
+        const auto n = parseUint(name.substr(2));
+        if (n && *n < 32)
+            return static_cast<RegIndex>(kFpRegBase + *n);
+        return std::nullopt;
+    }
+    if (name[0] == '$') {
+        const auto n = parseUint(name.substr(1));
+        if (n && *n < 32)
+            return static_cast<RegIndex>(*n);
+        return std::nullopt;
+    }
+    if (name[0] == 'r') {
+        const auto n = parseUint(name.substr(1));
+        if (n && *n < kNumRegs)
+            return static_cast<RegIndex>(*n);
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::string
+registerName(RegIndex reg)
+{
+    if (reg < 32)
+        return "$" + std::to_string(static_cast<unsigned>(reg));
+    return "$f" + std::to_string(static_cast<unsigned>(reg - kFpRegBase));
+}
+
+} // namespace ppm

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Register file naming for YISA.
+ *
+ * 64 general registers: r0 is hardwired zero (reads count as immediate
+ * inputs in the predictability model, matching the paper's treatment of
+ * "add $6,$0,$0"); r1-r31 follow integer conventions ($sp, $ra, ...);
+ * r32-r63 are the floating-point names $f0-$f31. The DPG model does not
+ * care about the split; it exists only for workload readability.
+ */
+
+#ifndef PPM_ISA_REGISTERS_HH
+#define PPM_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ppm {
+
+/** Register index type; valid range is [0, kNumRegs). */
+using RegIndex = std::uint8_t;
+
+constexpr unsigned kNumRegs = 64;
+constexpr RegIndex kZeroReg = 0;
+constexpr RegIndex kRaReg = 31;       ///< Link register for jal.
+constexpr RegIndex kSpReg = 29;       ///< Stack pointer by convention.
+constexpr RegIndex kFpRegBase = 32;   ///< $f0 == r32.
+
+/**
+ * Parse a register name: "$0".."$31", "r0".."r63", "$f0".."$f31", plus
+ * the conventional aliases "$zero", "$sp", "$ra", "$gp", "$fp", "$at".
+ * Returns std::nullopt for anything else.
+ */
+std::optional<RegIndex> parseRegister(std::string_view name);
+
+/** Canonical printable name for @p reg ("$6", "$f2", ...). */
+std::string registerName(RegIndex reg);
+
+} // namespace ppm
+
+#endif // PPM_ISA_REGISTERS_HH

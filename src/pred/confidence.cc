@@ -1,0 +1,79 @@
+#include "pred/confidence.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+ConfidenceEstimator::ConfidenceEstimator(unsigned index_bits,
+                                         unsigned counter_max,
+                                         unsigned threshold,
+                                         bool reset_on_miss)
+    : table_(std::size_t(1) << index_bits, 0),
+      mask_(lowBits(index_bits)),
+      max_(static_cast<std::uint8_t>(counter_max)),
+      threshold_(static_cast<std::uint8_t>(threshold)),
+      resetOnMiss_(reset_on_miss)
+{
+    assert(counter_max >= 1 && counter_max <= 255);
+    assert(threshold >= 1 && threshold <= counter_max);
+}
+
+bool
+ConfidenceEstimator::assess(std::uint64_t key, bool correct)
+{
+    std::uint8_t &ctr = table_[key & mask_];
+    const bool use = ctr >= threshold_;
+
+    ++assessed_;
+    if (use) {
+        ++used_;
+        if (correct)
+            ++usedCorrect_;
+    }
+
+    if (correct) {
+        if (ctr < max_)
+            ++ctr;
+    } else if (resetOnMiss_) {
+        ctr = 0;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+    return use;
+}
+
+unsigned
+ConfidenceEstimator::level(std::uint64_t key) const
+{
+    return table_[key & mask_];
+}
+
+double
+ConfidenceEstimator::coverage() const
+{
+    return assessed_ == 0 ? 0.0
+                          : static_cast<double>(used_) /
+                                static_cast<double>(assessed_);
+}
+
+double
+ConfidenceEstimator::accuracyWhenUsed() const
+{
+    return used_ == 0 ? 0.0
+                      : static_cast<double>(usedCorrect_) /
+                            static_cast<double>(used_);
+}
+
+void
+ConfidenceEstimator::reset()
+{
+    std::fill(table_.begin(), table_.end(), 0);
+    assessed_ = 0;
+    used_ = 0;
+    usedCorrect_ = 0;
+}
+
+} // namespace ppm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Prediction-confidence estimation (Jacobsen/Rotenberg/Smith style,
+ * the paper's reference [8] — "probably essential for effective value
+ * prediction and speculation").
+ *
+ * A table of resetting/saturating counters tracks, per key, how often
+ * recent predictions were correct; a prediction is *used* only when
+ * the counter is at or above a threshold. The classic coverage vs.
+ * accuracy trade-off falls out of the threshold choice, which
+ * bench/ext_confidence sweeps.
+ */
+
+#ifndef PPM_PRED_CONFIDENCE_HH
+#define PPM_PRED_CONFIDENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ppm {
+
+/** Saturating-counter confidence table with reset-on-miss option. */
+class ConfidenceEstimator
+{
+  public:
+    /**
+     * @p index_bits  table size (2^bits entries)
+     * @p counter_max saturation ceiling
+     * @p threshold   minimum count to mark a prediction confident
+     * @p reset_on_miss zero the counter on a misprediction (the
+     *                  Jacobsen et al. resetting counter) instead of
+     *                  decrementing.
+     */
+    ConfidenceEstimator(unsigned index_bits, unsigned counter_max,
+                        unsigned threshold, bool reset_on_miss = true);
+
+    /**
+     * Consult + train: returns whether the prediction for @p key
+     * should be *used* (confidence >= threshold before training), and
+     * then updates the counter with the outcome @p correct.
+     */
+    bool assess(std::uint64_t key, bool correct);
+
+    /** Confidence state for @p key without training (testing). */
+    unsigned level(std::uint64_t key) const;
+
+    // Trade-off accounting (over all assess() calls):
+    std::uint64_t assessed() const { return assessed_; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t usedCorrect() const { return usedCorrect_; }
+
+    /** Fraction of predictions marked confident. */
+    double coverage() const;
+
+    /** Accuracy among confident predictions. */
+    double accuracyWhenUsed() const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+    std::uint8_t max_;
+    std::uint8_t threshold_;
+    bool resetOnMiss_;
+    std::uint64_t assessed_ = 0;
+    std::uint64_t used_ = 0;
+    std::uint64_t usedCorrect_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_CONFIDENCE_HH

@@ -1,0 +1,90 @@
+#include "pred/context_predictor.hh"
+
+#include <cassert>
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+ContextPredictor::ContextPredictor(const PredictorConfig &config)
+    : l1_(std::size_t(1) << config.tableBits),
+      l2_(std::size_t(1) << config.l2Bits),
+      l1Mask_(lowBits(config.tableBits)),
+      l2Mask_(lowBits(config.l2Bits)),
+      historyLen_(config.historyLen),
+      sharedL2_(config.sharedL2)
+{
+    assert(historyLen_ >= 1 && historyLen_ <= 4);
+}
+
+std::size_t
+ContextPredictor::l1Index(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(key & l1Mask_);
+}
+
+std::size_t
+ContextPredictor::l2Index(std::uint64_t key, std::uint64_t history) const
+{
+    std::uint64_t h = mix64(history);
+    if (!sharedL2_)
+        h = hashCombine(h, key);
+    return static_cast<std::size_t>(h & l2Mask_);
+}
+
+std::uint64_t
+ContextPredictor::pushHistory(std::uint64_t history, Value v) const
+{
+    const std::uint64_t folded = foldBits(v, 16) & 0xffff;
+    const std::uint64_t kept =
+        historyLen_ >= 4 ? ~std::uint64_t(0)
+                         : lowBits(16 * historyLen_);
+    return ((history << 16) | folded) & kept;
+}
+
+bool
+ContextPredictor::predictAndUpdate(std::uint64_t key, Value actual)
+{
+    L1Entry &l1 = l1_[l1Index(key)];
+    L2Entry &l2 = l2_[l2Index(key, l1.history)];
+
+    bool correct = false;
+    if (l2.valid && l2.value == actual) {
+        correct = true;
+        l2.counter.increment();
+    } else if (!l2.valid) {
+        l2.value = actual;
+        l2.counter.set(1);
+        l2.valid = true;
+    } else {
+        l2.counter.decrement();
+        if (l2.counter.isZero()) {
+            l2.value = actual;
+            l2.counter.set(1);
+        }
+    }
+
+    l1.history = pushHistory(l1.history, actual);
+    return correct;
+}
+
+std::optional<Value>
+ContextPredictor::peek(std::uint64_t key) const
+{
+    const L1Entry &l1 = l1_[l1Index(key)];
+    const L2Entry &l2 = l2_[l2Index(key, l1.history)];
+    if (!l2.valid)
+        return std::nullopt;
+    return l2.value;
+}
+
+void
+ContextPredictor::reset()
+{
+    for (auto &e : l1_)
+        e = L1Entry{};
+    for (auto &e : l2_)
+        e = L2Entry{};
+}
+
+} // namespace ppm

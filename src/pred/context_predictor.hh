@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Two-level context-based (FCM) value predictor, after Sazeides & Smith,
+ * "Implementations of Context-Based Value Predictors" (TR ECE-97-8) and
+ * "The Predictability of Data Values" (MICRO-30).
+ */
+
+#ifndef PPM_PRED_CONTEXT_PREDICTOR_HH
+#define PPM_PRED_CONTEXT_PREDICTOR_HH
+
+#include <vector>
+
+#include "pred/value_predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace ppm {
+
+/**
+ * First level: 2^tableBits entries indexed by (truncated) key, each
+ * holding the last `historyLen` produced values in hashed (16-bit
+ * folded) form — the context. Second level: 2^l2Bits entries indexed by
+ * a hash of the context, each holding the predicted next value and a
+ * 3-bit saturating replacement counter.
+ *
+ * As in the paper, the second level is shared across all keys by
+ * default (constructive and destructive interference are both possible
+ * and are part of what the paper observes); `sharedL2 = false` mixes the
+ * key into the level-2 index for ablation studies.
+ */
+class ContextPredictor : public ValuePredictor
+{
+  public:
+    explicit ContextPredictor(const PredictorConfig &config);
+
+    bool predictAndUpdate(std::uint64_t key, Value actual) override;
+    std::optional<Value> peek(std::uint64_t key) const override;
+    void reset() override;
+    std::string name() const override { return "context"; }
+
+  private:
+    struct L1Entry
+    {
+        /** historyLen 16-bit folded values packed oldest..newest. */
+        std::uint64_t history = 0;
+    };
+
+    struct L2Entry
+    {
+        Value value = 0;
+        SatCounter counter{3, 0};
+        bool valid = false;
+    };
+
+    std::size_t l1Index(std::uint64_t key) const;
+    std::size_t l2Index(std::uint64_t key, std::uint64_t history) const;
+    std::uint64_t pushHistory(std::uint64_t history, Value v) const;
+
+    std::vector<L1Entry> l1_;
+    std::vector<L2Entry> l2_;
+    std::uint64_t l1Mask_;
+    std::uint64_t l2Mask_;
+    unsigned historyLen_;
+    bool sharedL2_;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_CONTEXT_PREDICTOR_HH

@@ -1,0 +1,62 @@
+#include "pred/delayed_update.hh"
+
+#include <cassert>
+
+namespace ppm {
+
+DelayedUpdatePredictor::DelayedUpdatePredictor(
+    std::unique_ptr<ValuePredictor> inner, unsigned delay)
+    : inner_(std::move(inner)), delay_(delay)
+{
+    assert(inner_);
+}
+
+bool
+DelayedUpdatePredictor::predictAndUpdate(std::uint64_t key,
+                                         Value actual)
+{
+    if (delay_ == 0)
+        return inner_->predictAndUpdate(key, actual);
+
+    // Predict from the *stale* state (training still in flight).
+    const auto predicted = inner_->peek(key);
+    const bool correct = predicted && *predicted == actual;
+
+    queue_.push_back(Pending{key, actual});
+    if (queue_.size() > delay_) {
+        const Pending p = queue_.front();
+        queue_.pop_front();
+        inner_->train(p.key, p.actual);
+    }
+    return correct;
+}
+
+std::optional<Value>
+DelayedUpdatePredictor::peek(std::uint64_t key) const
+{
+    return inner_->peek(key);
+}
+
+void
+DelayedUpdatePredictor::reset()
+{
+    inner_->reset();
+    queue_.clear();
+}
+
+std::string
+DelayedUpdatePredictor::name() const
+{
+    return inner_->name() + "+delay" + std::to_string(delay_);
+}
+
+void
+DelayedUpdatePredictor::flush()
+{
+    while (!queue_.empty()) {
+        inner_->train(queue_.front().key, queue_.front().actual);
+        queue_.pop_front();
+    }
+}
+
+} // namespace ppm

@@ -1,0 +1,63 @@
+#include "pred/gshare.hh"
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+Gshare::Gshare(unsigned index_bits)
+    : table_(std::size_t(1) << index_bits, SatCounter(2, 1)),
+      mask_(lowBits(index_bits))
+{
+}
+
+std::size_t
+Gshare::index(StaticId pc) const
+{
+    return static_cast<std::size_t>((pc ^ history_) & mask_);
+}
+
+bool
+Gshare::predictAndUpdate(StaticId pc, bool taken)
+{
+    SatCounter &ctr = table_[index(pc)];
+    const bool predicted = ctr.upperHalf();
+    const bool correct = predicted == taken;
+
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+
+    ++lookups_;
+    if (correct)
+        ++hits_;
+    return correct;
+}
+
+bool
+Gshare::peek(StaticId pc) const
+{
+    return table_[index(pc)].upperHalf();
+}
+
+void
+Gshare::reset()
+{
+    for (auto &ctr : table_)
+        ctr = SatCounter(2, 1);
+    history_ = 0;
+    lookups_ = 0;
+    hits_ = 0;
+}
+
+double
+Gshare::accuracy() const
+{
+    return lookups_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) /
+                     static_cast<double>(lookups_);
+}
+
+} // namespace ppm

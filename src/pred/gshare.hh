@@ -1,0 +1,61 @@
+/**
+ * @file
+ * gshare conditional branch predictor (McFarling, DEC WRL TN-36).
+ */
+
+#ifndef PPM_PRED_GSHARE_HH
+#define PPM_PRED_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sat_counter.hh"
+#include "support/types.hh"
+
+namespace ppm {
+
+/**
+ * A table of 2-bit counters indexed by (pc xor global-history). The
+ * paper uses a 64K-entry instance (16 index bits) to predict all
+ * conditional branch directions; that is the default here.
+ */
+class Gshare
+{
+  public:
+    explicit Gshare(unsigned index_bits = 16);
+
+    /**
+     * Predict the direction of the branch at @p pc, then train on
+     * @p taken and shift it into the global history. Returns true iff
+     * the prediction matched.
+     */
+    bool predictAndUpdate(StaticId pc, bool taken);
+
+    /** Direction the table would currently predict for @p pc. */
+    bool peek(StaticId pc) const;
+
+    /** Forget all state. */
+    void reset();
+
+    /** Predictions made so far. */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** Correct predictions so far. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Prediction accuracy in [0,1]; 0 when no lookups yet. */
+    double accuracy() const;
+
+  private:
+    std::size_t index(StaticId pc) const;
+
+    std::vector<SatCounter> table_;
+    std::uint64_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_GSHARE_HH

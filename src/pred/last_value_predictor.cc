@@ -1,0 +1,60 @@
+#include "pred/last_value_predictor.hh"
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+LastValuePredictor::LastValuePredictor(const PredictorConfig &config)
+    : table_(std::size_t(1) << config.tableBits),
+      mask_(lowBits(config.tableBits))
+{
+}
+
+std::size_t
+LastValuePredictor::index(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(key & mask_);
+}
+
+bool
+LastValuePredictor::predictAndUpdate(std::uint64_t key, Value actual)
+{
+    Entry &e = table_[index(key)];
+
+    if (!e.valid) {
+        e.value = actual;
+        e.counter.set(2);
+        e.valid = true;
+        return false;
+    }
+
+    const bool correct = e.value == actual;
+    if (correct) {
+        e.counter.increment();
+    } else {
+        e.counter.decrement();
+        if (e.counter.isZero()) {
+            e.value = actual;
+            e.counter.set(1);
+        }
+    }
+    return correct;
+}
+
+std::optional<Value>
+LastValuePredictor::peek(std::uint64_t key) const
+{
+    const Entry &e = table_[index(key)];
+    if (!e.valid)
+        return std::nullopt;
+    return e.value;
+}
+
+void
+LastValuePredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+} // namespace ppm

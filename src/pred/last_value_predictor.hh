@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Last-value predictor (Lipasti/Wilkerson/Shen style) with 2-bit
+ * replacement hysteresis.
+ */
+
+#ifndef PPM_PRED_LAST_VALUE_PREDICTOR_HH
+#define PPM_PRED_LAST_VALUE_PREDICTOR_HH
+
+#include <vector>
+
+#include "pred/value_predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace ppm {
+
+/**
+ * Predicts that a sequence repeats its previous value. Each of the
+ * 2^tableBits direct-mapped entries holds the candidate value plus a
+ * 2-bit saturating counter: correct predictions increment it, incorrect
+ * ones decrement it, and when it reaches zero the stored value is
+ * replaced by the actual value (counter restarts at 1). A fresh install
+ * starts the counter at 2, so it takes two consecutive misses to evict —
+ * the hysteresis described in the paper.
+ */
+class LastValuePredictor : public ValuePredictor
+{
+  public:
+    explicit LastValuePredictor(const PredictorConfig &config);
+
+    bool predictAndUpdate(std::uint64_t key, Value actual) override;
+    std::optional<Value> peek(std::uint64_t key) const override;
+    void reset() override;
+    std::string name() const override { return "last-value"; }
+
+  private:
+    struct Entry
+    {
+        Value value = 0;
+        SatCounter counter{2, 0};
+        bool valid = false;
+    };
+
+    std::size_t index(std::uint64_t key) const;
+
+    std::vector<Entry> table_;
+    std::uint64_t mask_;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_LAST_VALUE_PREDICTOR_HH

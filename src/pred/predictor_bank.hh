@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The predictor bank: separate, identical input and output value
+ * predictors plus the gshare branch predictor, as configured in the
+ * paper's methodology section.
+ */
+
+#ifndef PPM_PRED_PREDICTOR_BANK_HH
+#define PPM_PRED_PREDICTOR_BANK_HH
+
+#include <memory>
+
+#include "pred/gshare.hh"
+#include "pred/value_predictor.hh"
+
+namespace ppm {
+
+/**
+ * Bundles the prediction machinery the DPG analyzer consults:
+ *
+ *  - an *output* value predictor, keyed by producing static pc, asked
+ *    when a result is produced;
+ *  - an *input* value predictor — a separate but identically configured
+ *    instance, keyed by (consuming static pc, operand slot) — asked when
+ *    an operand is consumed. Separation prevents the input/output
+ *    "short circuit" the paper warns about;
+ *  - a gshare direction predictor for conditional branches.
+ */
+class PredictorBank
+{
+  public:
+    /** Build a bank of @p kind predictors sized by @p config. */
+    explicit PredictorBank(PredictorKind kind,
+                           const PredictorConfig &config =
+                               PredictorConfig{},
+                           unsigned gshare_bits = 16);
+
+    /** Custom predictors (e.g. user-supplied); both must be non-null. */
+    PredictorBank(std::unique_ptr<ValuePredictor> output_pred,
+                  std::unique_ptr<ValuePredictor> input_pred,
+                  unsigned gshare_bits = 16);
+
+    /** Predict-and-train the output of the instruction at @p pc. */
+    bool predictOutput(StaticId pc, Value actual);
+
+    /** Predict-and-train input operand @p slot of the instr at @p pc. */
+    bool predictInput(StaticId pc, unsigned slot, Value actual);
+
+    /** Predict-and-train the direction of the branch at @p pc. */
+    bool predictBranch(StaticId pc, bool taken);
+
+    /** Reset all component predictors. */
+    void reset();
+
+    Gshare &branchPredictor() { return gshare_; }
+    const Gshare &branchPredictor() const { return gshare_; }
+    ValuePredictor &outputPredictor() { return *output_; }
+    ValuePredictor &inputPredictor() { return *input_; }
+
+    /** Key used for input predictions (exposed for tests). */
+    static std::uint64_t inputKey(StaticId pc, unsigned slot);
+
+  private:
+    std::unique_ptr<ValuePredictor> output_;
+    std::unique_ptr<ValuePredictor> input_;
+    Gshare gshare_;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_PREDICTOR_BANK_HH

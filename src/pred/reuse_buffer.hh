@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Instruction-reuse buffer (Sodani & Sohi, ISCA'97 — the paper's
+ * reference [16], and the mechanism behind its Sec. 6 suggestion that
+ * "the large number of p,p->p nodes ... naturally suggest
+ * reuse/memoization of regions").
+ *
+ * A direct-mapped table keyed by static pc holds the operand values
+ * and result of an instruction's last execution; a *reuse hit* means
+ * the current instance's operands match, so the stored result could
+ * be forwarded without executing. Where value prediction asks "is the
+ * output guessable?", reuse asks "are the inputs literally the same?"
+ * — the relationship between the two rates is what
+ * bench/ext_reuse_memoization quantifies against the model's
+ * propagation numbers.
+ */
+
+#ifndef PPM_PRED_REUSE_BUFFER_HH
+#define PPM_PRED_REUSE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ppm {
+
+/** Direct-mapped (pc -> last inputs/output) reuse table. */
+class ReuseBuffer
+{
+  public:
+    explicit ReuseBuffer(unsigned index_bits = 16);
+
+    /**
+     * Look up the instruction at @p pc with operand values
+     * @p inputs[0..n); returns true on a reuse hit (all operands
+     * match the stored instance). Always installs the current
+     * instance afterwards.
+     */
+    bool lookupAndUpdate(StaticId pc, const Value *inputs,
+                         unsigned n_inputs, Value output);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+    /** Reuse rate over all lookups. */
+    double hitRate() const;
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Value inputs[3] = {};
+        Value output = 0;
+        std::uint32_t tag = 0;
+        std::uint8_t nInputs = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> table_;
+    std::uint64_t mask_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_REUSE_BUFFER_HH

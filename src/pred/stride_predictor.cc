@@ -1,0 +1,61 @@
+#include "pred/stride_predictor.hh"
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+StridePredictor::StridePredictor(const PredictorConfig &config)
+    : table_(std::size_t(1) << config.tableBits),
+      mask_(lowBits(config.tableBits))
+{
+}
+
+std::size_t
+StridePredictor::index(std::uint64_t key) const
+{
+    return static_cast<std::size_t>(key & mask_);
+}
+
+bool
+StridePredictor::predictAndUpdate(std::uint64_t key, Value actual)
+{
+    Entry &e = table_[index(key)];
+
+    if (!e.valid) {
+        e.last = actual;
+        e.predStride = 0;
+        e.lastStride = 0;
+        e.valid = true;
+        return false;
+    }
+
+    const Value predicted = e.last + e.predStride;
+    const bool correct = predicted == actual;
+
+    // 2-delta update: adopt a new stride only after seeing it twice.
+    const Value delta = actual - e.last;
+    if (delta == e.lastStride)
+        e.predStride = delta;
+    e.lastStride = delta;
+    e.last = actual;
+
+    return correct;
+}
+
+std::optional<Value>
+StridePredictor::peek(std::uint64_t key) const
+{
+    const Entry &e = table_[index(key)];
+    if (!e.valid)
+        return std::nullopt;
+    return e.last + e.predStride;
+}
+
+void
+StridePredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+} // namespace ppm

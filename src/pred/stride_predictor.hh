@@ -1,0 +1,50 @@
+/**
+ * @file
+ * 2-delta stride predictor (Eickemeyer & Vassiliadis style).
+ */
+
+#ifndef PPM_PRED_STRIDE_PREDICTOR_HH
+#define PPM_PRED_STRIDE_PREDICTOR_HH
+
+#include <vector>
+
+#include "pred/value_predictor.hh"
+
+namespace ppm {
+
+/**
+ * Predicts last + stride. Two stride fields implement the 2-delta rule:
+ * `predStride` is only updated to a newly observed delta after that
+ * delta has appeared twice in a row (tracked by `lastStride`), so a
+ * one-off irregular value does not destroy a learned stride. A zero
+ * stride makes this subsume last-value prediction, which is why the
+ * paper's stride rows always dominate its last-value rows.
+ */
+class StridePredictor : public ValuePredictor
+{
+  public:
+    explicit StridePredictor(const PredictorConfig &config);
+
+    bool predictAndUpdate(std::uint64_t key, Value actual) override;
+    std::optional<Value> peek(std::uint64_t key) const override;
+    void reset() override;
+    std::string name() const override { return "stride"; }
+
+  private:
+    struct Entry
+    {
+        Value last = 0;
+        Value predStride = 0;
+        Value lastStride = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(std::uint64_t key) const;
+
+    std::vector<Entry> table_;
+    std::uint64_t mask_;
+};
+
+} // namespace ppm
+
+#endif // PPM_PRED_STRIDE_PREDICTOR_HH

@@ -1,0 +1,102 @@
+#include "pred/value_branch_predictor.hh"
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+ValueBranchPredictor::ValueBranchPredictor(unsigned index_bits)
+    : gshare_(index_bits),
+      valueTable_(std::size_t(1) << index_bits, SatCounter(2, 1)),
+      chooser_(std::size_t(1) << index_bits, SatCounter(2, 1)),
+      valueHistory_(std::size_t(1) << index_bits, 0),
+      mask_(lowBits(index_bits))
+{
+}
+
+std::size_t
+ValueBranchPredictor::valueIndex(StaticId pc) const
+{
+    return static_cast<std::size_t>(
+        (pc ^ valueHistory_[pc & mask_]) & mask_);
+}
+
+std::size_t
+ValueBranchPredictor::chooserIndex(StaticId pc) const
+{
+    return static_cast<std::size_t>(pc & mask_);
+}
+
+bool
+ValueBranchPredictor::predictAndUpdate(StaticId pc, Value a, Value b,
+                                       bool taken)
+{
+    const std::size_t vi = valueIndex(pc);
+    SatCounter &vctr = valueTable_[vi];
+    SatCounter &chooser = chooser_[chooserIndex(pc)];
+
+    const bool value_pred = vctr.upperHalf();
+    const bool gshare_pred = gshare_.peek(pc);
+    const bool use_value = chooser.upperHalf();
+    const bool chosen = use_value ? value_pred : gshare_pred;
+    const bool correct = chosen == taken;
+
+    // Train the chooser toward whichever component was right.
+    const bool value_right = value_pred == taken;
+    const bool gshare_right = gshare_pred == taken;
+    if (value_right && !gshare_right)
+        chooser.increment();
+    else if (gshare_right && !value_right)
+        chooser.decrement();
+
+    // Train both components.
+    if (taken)
+        vctr.increment();
+    else
+        vctr.decrement();
+    gshare_.predictAndUpdate(pc, taken);
+
+    // Fold this instance's operand values into the branch's value
+    // history for the *next* instance — the paper's "values from
+    // previous instances of the same static branch".
+    valueHistory_[pc & mask_] =
+        (foldBits(mix64(a), 10) << 6) ^ foldBits(mix64(b), 16);
+
+    ++lookups_;
+    if (correct)
+        ++hits_;
+    if (use_value)
+        ++valueChosen_;
+    return correct;
+}
+
+double
+ValueBranchPredictor::accuracy() const
+{
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+}
+
+double
+ValueBranchPredictor::valueComponentShare() const
+{
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(valueChosen_) /
+                               static_cast<double>(lookups_);
+}
+
+void
+ValueBranchPredictor::reset()
+{
+    gshare_.reset();
+    for (auto &c : valueTable_)
+        c = SatCounter(2, 1);
+    for (auto &c : chooser_)
+        c = SatCounter(2, 1);
+    std::fill(valueHistory_.begin(), valueHistory_.end(), 0);
+    lookups_ = 0;
+    hits_ = 0;
+    valueChosen_ = 0;
+}
+
+} // namespace ppm

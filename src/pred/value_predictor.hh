@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The value-predictor interface and factory.
+ *
+ * The paper's model is parameterized by "a specified finite state
+ * predictor" that watches a sequence keyed by program location and
+ * guesses the next value. Three concrete predictors are studied:
+ * last-value, 2-delta stride, and two-level context-based (FCM). All are
+ * implemented here behind one interface so the DPG analyzer, the
+ * experiment drivers, and user code (see examples/custom_predictor.cpp)
+ * can swap them freely.
+ *
+ * Predictors are updated immediately after each prediction (paper
+ * Sec. 3: "the predictors are immediately updated following a
+ * prediction"), so the primitive operation is predict-and-update.
+ */
+
+#ifndef PPM_PRED_VALUE_PREDICTOR_HH
+#define PPM_PRED_VALUE_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "support/types.hh"
+
+namespace ppm {
+
+/** Abstract last-level interface all value predictors implement. */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /**
+     * Predict the next value of the sequence identified by @p key, then
+     * train on @p actual. Returns true iff the prediction was correct.
+     * Keys encode (static pc, operand slot); tables may alias keys.
+     */
+    virtual bool predictAndUpdate(std::uint64_t key, Value actual) = 0;
+
+    /**
+     * The value that predictAndUpdate would currently predict for
+     * @p key, without training; nullopt when the predictor has no
+     * confident mapping yet. For tests, introspection, and
+     * delayed-update wrappers.
+     */
+    virtual std::optional<Value> peek(std::uint64_t key) const = 0;
+
+    /**
+     * Train on @p actual without reporting a prediction outcome.
+     * The default implementation reuses predictAndUpdate; concrete
+     * predictors need not override it.
+     */
+    virtual void
+    train(std::uint64_t key, Value actual)
+    {
+        (void)predictAndUpdate(key, actual);
+    }
+
+    /** Forget all learned state. */
+    virtual void reset() = 0;
+
+    /** Short name for reports ("last", "stride", "context"). */
+    virtual std::string name() const = 0;
+};
+
+/** The predictor families studied in the paper. */
+enum class PredictorKind
+{
+    LastValue,
+    Stride2Delta,
+    Context,
+};
+
+/** All three kinds, in the paper's L / S / C presentation order. */
+inline constexpr PredictorKind kAllPredictorKinds[] = {
+    PredictorKind::LastValue,
+    PredictorKind::Stride2Delta,
+    PredictorKind::Context,
+};
+
+/** One-letter label used in the paper's figures (L / S / C). */
+char predictorLetter(PredictorKind kind);
+
+/** Full display name ("last-value", "stride", "context"). */
+std::string predictorName(PredictorKind kind);
+
+/** Sizing knobs; defaults reproduce the paper's configuration. */
+struct PredictorConfig
+{
+    unsigned tableBits = 16;   ///< log2 first-level / main table entries.
+    unsigned l2Bits = 20;      ///< log2 FCM second-level entries.
+    unsigned historyLen = 4;   ///< FCM context depth (values).
+    bool sharedL2 = true;      ///< FCM second level shared across PCs.
+};
+
+/** Build a fresh predictor of @p kind sized by @p config. */
+std::unique_ptr<ValuePredictor>
+makeValuePredictor(PredictorKind kind,
+                   const PredictorConfig &config = PredictorConfig{});
+
+} // namespace ppm
+
+#endif // PPM_PRED_VALUE_PREDICTOR_HH

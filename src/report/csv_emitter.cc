@@ -1,0 +1,67 @@
+#include "report/csv_emitter.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace ppm {
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+namespace {
+
+void
+writeRow(std::ofstream &os, const std::vector<std::string> &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << csvEscape(row[i]);
+    }
+    os << "\n";
+}
+
+} // namespace
+
+bool
+writeCsv(const std::string &dir, const std::string &name,
+         const CsvTable &table)
+{
+    if (dir.empty())
+        return false;
+    const std::string path = dir + "/" + name + ".csv";
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot write " + path);
+    writeRow(os, table.header);
+    for (const auto &row : table.rows)
+        writeRow(os, row);
+    return true;
+}
+
+bool
+maybeWriteCsv(const std::string &name, const CsvTable &table)
+{
+    const char *dir = std::getenv("PPM_CSV_DIR");
+    if (!dir || !*dir)
+        return false;
+    return writeCsv(dir, name, table);
+}
+
+} // namespace ppm

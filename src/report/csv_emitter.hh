@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Optional CSV output for external plotting. Experiment drivers call
+ * maybeWriteCsv(); rows land in $PPM_CSV_DIR when that variable is set
+ * and are skipped silently otherwise.
+ */
+
+#ifndef PPM_REPORT_CSV_EMITTER_HH
+#define PPM_REPORT_CSV_EMITTER_HH
+
+#include <string>
+#include <vector>
+
+namespace ppm {
+
+/** One CSV table: a header row plus data rows of equal arity. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Write @p table to @p dir/@p name.csv. Returns false (without
+ * touching the filesystem) when @p dir is empty; throws
+ * std::runtime_error when the file cannot be written.
+ */
+bool writeCsv(const std::string &dir, const std::string &name,
+              const CsvTable &table);
+
+/**
+ * Write to $PPM_CSV_DIR when set; returns whether a file was written.
+ */
+bool maybeWriteCsv(const std::string &name, const CsvTable &table);
+
+/** Quote/escape one CSV field per RFC 4180. */
+std::string csvEscape(const std::string &field);
+
+} // namespace ppm
+
+#endif // PPM_REPORT_CSV_EMITTER_HH

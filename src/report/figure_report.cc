@@ -1,0 +1,340 @@
+#include "report/figure_report.hh"
+
+#include <ostream>
+
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+
+namespace ppm {
+
+namespace {
+
+std::string
+runLabel(const RunResult &run)
+{
+    return run.stats.workload + " (" +
+           std::string(1, predictorLetter(run.stats.kind)) + ")";
+}
+
+} // namespace
+
+void
+printPerRunTable(
+    std::ostream &os, const std::string &title,
+    const std::vector<std::string> &columns,
+    const std::vector<RunResult> &runs,
+    const std::function<std::vector<double>(const DpgStats &)> &extract)
+{
+    TablePrinter table(title);
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), columns.begin(), columns.end());
+    table.addRow(header);
+
+    // Per-(isFloat, kind) accumulation for the average rows, so
+    // "INT avg (C)" averages only the context rows, as in the paper.
+    std::vector<std::vector<double>> sums[2][3];
+
+    for (const auto &run : runs) {
+        const std::vector<double> vals = extract(run.stats);
+        std::vector<std::string> row = {runLabel(run)};
+        for (double v : vals)
+            row.push_back(formatDouble(v, 2));
+        table.addRow(std::move(row));
+
+        auto &bucket =
+            sums[run.isFloat ? 1 : 0]
+                [static_cast<unsigned>(run.stats.kind)];
+        bucket.push_back(vals);
+    }
+
+    table.addRule();
+
+    const char *group_names[2] = {"INT", "FLOAT"};
+    for (unsigned g = 0; g < 2; ++g) {
+        for (unsigned k = 0; k < 3; ++k) {
+            const auto &bucket = sums[g][k];
+            if (bucket.empty())
+                continue;
+            std::vector<std::string> row = {
+                std::string(group_names[g]) + " avg (" +
+                std::string(1, predictorLetter(
+                                   static_cast<PredictorKind>(k))) +
+                ")"};
+            const std::size_t ncols = bucket.front().size();
+            for (std::size_t c = 0; c < ncols; ++c) {
+                std::vector<double> col;
+                col.reserve(bucket.size());
+                for (const auto &vals : bucket)
+                    col.push_back(vals[c]);
+                row.push_back(formatDouble(arithmeticMean(col), 2));
+            }
+            table.addRow(std::move(row));
+        }
+    }
+
+    table.print(os);
+    os << "\n";
+}
+
+void
+printTable1(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    TablePrinter table(
+        "Table 1: Benchmark characteristics "
+        "(dynamic instrs, DPG nodes/edges, D fractions)");
+    table.addRow({"benchmark", "dyn instrs", "nodes", "edges",
+                  "edges/node", "D-node %", "D-arc %"});
+    for (const auto &run : runs) {
+        const Table1Row r = table1Row(run.stats);
+        table.addRow({r.workload, formatCount(r.dynInstrs),
+                      formatCount(r.nodes), formatCount(r.arcs),
+                      formatDouble(r.arcsPerNode, 2),
+                      formatDouble(r.dataNodePct, 3),
+                      formatDouble(r.dataArcPct, 2)});
+    }
+    table.print(os);
+    os << "\n";
+}
+
+void
+printFig5(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    printPerRunTable(
+        os,
+        "Fig. 5: Overall node and arc predictability "
+        "(% of total nodes+arcs)",
+        {"node gen", "node prop", "node term", "arc gen", "arc prop",
+         "arc term"},
+        runs, [](const DpgStats &s) {
+            const Fig5Row r = fig5Row(s);
+            return std::vector<double>{r.nodeGen, r.nodeProp,
+                                       r.nodeTerm, r.arcGen, r.arcProp,
+                                       r.arcTerm};
+        });
+}
+
+void
+printFig6(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    printPerRunTable(
+        os,
+        "Fig. 6: Node and arc generation (% of total nodes+arcs)",
+        {"i,i->p", "n,n->p", "i,n->p", "<wl:n,p>", "<rd:n,p>",
+         "<r:n,p>", "<1:n,p>"},
+        runs, [](const DpgStats &s) {
+            const Fig6Row r = fig6Row(s);
+            return std::vector<double>{
+                r.nodeImmImm, r.nodeUnpUnp, r.nodeImmUnp,
+                r.arcWriteOnce, r.arcDataRead, r.arcRepeated,
+                r.arcSingle};
+        });
+}
+
+void
+printFig7(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    printPerRunTable(
+        os,
+        "Fig. 7: Node and arc propagation (% of total nodes+arcs)",
+        {"p,p->p", "p,i->p", "p,n->p", "<1:p,p>", "<r:p,p>",
+         "<wl:p,p>", "<rd:p,p>"},
+        runs, [](const DpgStats &s) {
+            const Fig7Row r = fig7Row(s);
+            return std::vector<double>{
+                r.nodePredPred, r.nodePredImm, r.nodePredUnp,
+                r.arcSingle, r.arcRepeated, r.arcWriteOnce,
+                r.arcDataRead};
+        });
+}
+
+void
+printFig8(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    printPerRunTable(
+        os,
+        "Fig. 8: Node and arc termination (% of total nodes+arcs)",
+        {"p,n->n", "p,p->n", "p,i->n", "<1:p,n>", "<r:p,n>",
+         "<wl:p,n>", "<rd:p,n>"},
+        runs, [](const DpgStats &s) {
+            const Fig8Row r = fig8Row(s);
+            return std::vector<double>{
+                r.nodePredUnp, r.nodePredPred, r.nodePredImm,
+                r.arcSingle, r.arcRepeated, r.arcWriteOnce,
+                r.arcDataRead};
+        });
+}
+
+void
+printFig9(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    printPerRunTable(
+        os,
+        "Fig. 9 (top): propagates influenced by each generator class "
+        "(% of total nodes+arcs, multi-counted)",
+        {"C", "D", "W", "I", "N", "M"}, runs,
+        [](const DpgStats &s) {
+            const auto a = fig9Overall(s);
+            return std::vector<double>(a.begin(), a.end());
+        });
+
+    // Combination sets, averaged over the runs of each predictor
+    // kind (the paper's Fig. 9 bottom averages the integer set).
+    for (unsigned k = 0; k < 3; ++k) {
+        const auto kind = static_cast<PredictorKind>(k);
+
+        std::array<std::vector<double>, 64> per_mask;
+        unsigned nruns = 0;
+        for (const auto &run : runs) {
+            if (run.stats.kind != kind)
+                continue;
+            ++nruns;
+            for (unsigned mask = 1; mask < 64; ++mask) {
+                per_mask[mask].push_back(pctOfElements(
+                    run.stats, run.stats.paths.perCombo[mask]));
+            }
+        }
+        if (nruns == 0)
+            continue;
+
+        std::vector<ComboEntry> combos;
+        for (unsigned mask = 1; mask < 64; ++mask) {
+            const double mean = arithmeticMean(per_mask[mask]);
+            if (mean < 0.005)
+                continue;
+            ComboEntry e;
+            e.mask = static_cast<std::uint8_t>(mask);
+            e.name = generatorMaskName(static_cast<std::uint8_t>(mask));
+            e.pct = mean;
+            combos.push_back(std::move(e));
+        }
+        std::sort(combos.begin(), combos.end(),
+                  [](const ComboEntry &a, const ComboEntry &b) {
+                      return a.pct > b.pct;
+                  });
+        if (combos.size() > 24)
+            combos.resize(24);
+
+        TablePrinter table(
+            "Fig. 9 (bottom): top generator-class combinations, "
+            "average over runs (" +
+            predictorName(kind) +
+            "; % of total nodes+arcs, single-counted)");
+        table.addRow({"combination", "%"});
+        for (const auto &combo : combos)
+            table.addRow({combo.name, formatDouble(combo.pct, 2)});
+        table.print(os);
+        os << "\n";
+    }
+}
+
+namespace {
+
+void
+printCurve(std::ostream &os, const std::string &title,
+           const std::vector<CumulativePoint> &curve)
+{
+    TablePrinter table(title);
+    table.addRow({"bucket", "cumulative %"});
+    for (const auto &p : curve) {
+        table.addRow(
+            {p.bucket, formatDouble(p.cumulative * 100.0, 1)});
+    }
+    table.print(os);
+    os << "\n";
+}
+
+} // namespace
+
+void
+printFig10(std::ostream &os, const DpgStats &stats)
+{
+    printCurve(os,
+               "Fig. 10: trees — cumulative % of generates with "
+               "longest path <= L (" + stats.workload + ", " +
+                   predictorName(stats.kind) + ")",
+               fig10Trees(stats));
+    printCurve(os,
+               "Fig. 10: aggregate propagation — cumulative % in trees "
+               "with longest path <= L",
+               fig10Aggregate(stats));
+}
+
+void
+printFig11(std::ostream &os, const DpgStats &stats)
+{
+    printCurve(os,
+               "Fig. 11 (top): cumulative % of propagates influenced "
+               "by <= k generates (" + stats.workload + ", " +
+                   predictorName(stats.kind) + ")",
+               fig11InfluenceCount(stats));
+    printCurve(os,
+               "Fig. 11 (bottom): cumulative % of propagates with "
+               "farthest generate <= distance",
+               fig11Distance(stats));
+}
+
+void
+printFig12(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    // Buckets can differ per run; use a fixed bucket range.
+    constexpr unsigned kBuckets = 12; // up to 1025-2048
+    std::vector<std::string> columns;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        columns.push_back(Log2Histogram::bucketLabel(b));
+    columns.push_back(">2048");
+
+    printPerRunTable(
+        os,
+        "Fig. 12: % of dynamic instructions inside predictable "
+        "sequences, by sequence length",
+        columns, runs, [](const DpgStats &s) {
+            std::vector<double> out(kBuckets + 1, 0.0);
+            const Log2Histogram &h = s.sequences.histogram();
+            const double denom =
+                s.dynInstrs == 0 ? 1.0
+                                 : static_cast<double>(s.dynInstrs);
+            for (unsigned b = 0; b < h.bucketCount(); ++b) {
+                const double v =
+                    100.0 * static_cast<double>(h.bucketWeight(b)) /
+                    denom;
+                if (b < kBuckets)
+                    out[b] += v;
+                else
+                    out[kBuckets] += v;
+            }
+            return out;
+        });
+}
+
+void
+printFig13(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    std::vector<std::string> columns;
+    for (unsigned s = 0; s < kNumBranchSigs; ++s) {
+        columns.push_back(std::string(branchSigName(
+                              static_cast<BranchSig>(s))) + "->p");
+    }
+    for (unsigned s = 0; s < kNumBranchSigs; ++s) {
+        columns.push_back(std::string(branchSigName(
+                              static_cast<BranchSig>(s))) + "->n");
+    }
+    columns.push_back("gshare acc %");
+    columns.push_back("mispred w/ pred inputs %");
+
+    printPerRunTable(
+        os,
+        "Fig. 13: branch predictability behaviour (% of branches)",
+        columns, runs, [](const DpgStats &s) {
+            const Fig13Row r = fig13Row(s);
+            std::vector<double> out;
+            for (unsigned sig = 0; sig < kNumBranchSigs; ++sig)
+                out.push_back(r.pct[sig][1]);
+            for (unsigned sig = 0; sig < kNumBranchSigs; ++sig)
+                out.push_back(r.pct[sig][0]);
+            out.push_back(r.gshareAccuracy * 100.0);
+            out.push_back(r.mispredictedWithPredictableInputsPct);
+            return out;
+        });
+}
+
+} // namespace ppm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Printers that render model results in the layout of the paper's
+ * tables and figures (as ASCII tables: one row per benchmark/predictor,
+ * INT and FLOAT arithmetic-mean rows at the bottom, exactly the
+ * quantities the paper plots).
+ */
+
+#ifndef PPM_REPORT_FIGURE_REPORT_HH
+#define PPM_REPORT_FIGURE_REPORT_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.hh"
+
+namespace ppm {
+
+/**
+ * A labeled collection of model runs. Rows print in insertion order;
+ * isFloat controls which average (INT / FLOAT) a run contributes to.
+ */
+struct RunResult
+{
+    DpgStats stats;
+    bool isFloat = false;
+};
+
+/**
+ * Generic per-run table: @p columns names the value columns and
+ * @p extract maps one run to that many values. Appends INT and FLOAT
+ * arithmetic-mean rows (the paper's averaging rule) when both groups
+ * are present.
+ */
+void printPerRunTable(
+    std::ostream &os, const std::string &title,
+    const std::vector<std::string> &columns,
+    const std::vector<RunResult> &runs,
+    const std::function<std::vector<double>(const DpgStats &)> &extract);
+
+/** Table 1: benchmark characteristics (predictor-independent). */
+void printTable1(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 5: overall node/arc generation, propagation, termination. */
+void printFig5(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 6: generation breakdown. */
+void printFig6(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 7: propagation breakdown. */
+void printFig7(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 8: termination breakdown. */
+void printFig8(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 9: generator-class path analysis (overall + combinations). */
+void printFig9(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 10: tree longest-path and aggregate-propagation curves. */
+void printFig10(std::ostream &os, const DpgStats &stats);
+
+/** Fig. 11: influence count and distance curves for one run. */
+void printFig11(std::ostream &os, const DpgStats &stats);
+
+/** Fig. 12: predictable sequence length distribution. */
+void printFig12(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Fig. 13: branch predictability behaviour. */
+void printFig13(std::ostream &os, const std::vector<RunResult> &runs);
+
+} // namespace ppm
+
+#endif // PPM_REPORT_FIGURE_REPORT_HH

@@ -1,0 +1,230 @@
+#include "report/json_emitter.hh"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/figures.hh"
+
+namespace ppm {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Tiny streaming helper: tracks commas inside the current object. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os)
+        : os_(os)
+    {
+    }
+
+    void
+    openObject(const std::string &key = "")
+    {
+        comma();
+        if (!key.empty())
+            os_ << "\"" << key << "\":";
+        os_ << "{";
+        first_ = true;
+    }
+
+    void
+    closeObject()
+    {
+        os_ << "}";
+        first_ = false;
+    }
+
+    void
+    openArray(const std::string &key)
+    {
+        comma();
+        os_ << "\"" << key << "\":[";
+        first_ = true;
+    }
+
+    void
+    closeArray()
+    {
+        os_ << "]";
+        first_ = false;
+    }
+
+    void
+    field(const std::string &key, std::uint64_t v)
+    {
+        comma();
+        os_ << "\"" << key << "\":" << v;
+    }
+
+    void
+    field(const std::string &key, double v)
+    {
+        comma();
+        os_ << "\"" << key << "\":" << v;
+    }
+
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        comma();
+        os_ << "\"" << key << "\":\"" << jsonEscape(v) << "\"";
+    }
+
+    void
+    element(double v)
+    {
+        comma();
+        os_ << v;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            os_ << ",";
+        first_ = false;
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+void
+writeCurve(JsonWriter &w, const std::string &key,
+           const std::vector<CumulativePoint> &curve)
+{
+    w.openArray(key);
+    for (const auto &p : curve) {
+        w.openObject();
+        w.field("high", std::uint64_t(p.bucketHigh));
+        w.field("cumulative", p.cumulative);
+        w.closeObject();
+    }
+    w.closeArray();
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const DpgStats &stats)
+{
+    JsonWriter w(os);
+    w.openObject();
+    w.field("workload", stats.workload);
+    w.field("predictor", predictorName(stats.kind));
+    w.field("dyn_instrs", stats.dynInstrs);
+    w.field("nodes", stats.totalNodes());
+    w.field("arcs", stats.arcs.total());
+    w.field("data_nodes", stats.dataNodes());
+    w.field("data_arcs", stats.arcs.dataArcs());
+    w.field("gshare_accuracy", stats.gshareAccuracy);
+
+    w.openObject("node_classes");
+    for (unsigned c = 0; c < kNumNodeClasses; ++c) {
+        w.field(std::string(nodeClassName(
+                    static_cast<NodeClass>(c))),
+                stats.nodes.count(static_cast<NodeClass>(c)));
+    }
+    w.closeObject();
+
+    w.openObject("arc_cells");
+    for (unsigned u = 0; u < kNumArcUses; ++u) {
+        for (unsigned l = 0; l < kNumArcLabels; ++l) {
+            const auto use = static_cast<ArcUse>(u);
+            const auto label = static_cast<ArcLabel>(l);
+            const std::uint64_t n = stats.arcs.count(use, label);
+            if (n == 0)
+                continue;
+            w.field("<" + std::string(arcUseName(use)) + ":" +
+                        std::string(arcLabelName(label)).substr(1),
+                    n);
+        }
+    }
+    w.closeObject();
+
+    const Fig5Row f5 = fig5Row(stats);
+    w.openObject("overall_pct");
+    w.field("node_gen", f5.nodeGen);
+    w.field("node_prop", f5.nodeProp);
+    w.field("node_term", f5.nodeTerm);
+    w.field("arc_gen", f5.arcGen);
+    w.field("arc_prop", f5.arcProp);
+    w.field("arc_term", f5.arcTerm);
+    w.closeObject();
+
+    w.openObject("paths");
+    for (unsigned c = 0; c < kNumGeneratorClasses; ++c) {
+        w.field(std::string(generatorClassName(
+                    static_cast<GeneratorClass>(c))),
+                stats.paths.perClass[c]);
+    }
+    w.field("propagate_elements", stats.paths.propagateElements);
+    w.field("saturation_events", stats.paths.saturationEvents);
+    w.closeObject();
+
+    writeCurve(w, "tree_longest_cumulative", fig10Trees(stats));
+    writeCurve(w, "influence_distance_cumulative",
+               fig11Distance(stats));
+
+    w.openObject("branches");
+    for (unsigned s = 0; s < kNumBranchSigs; ++s) {
+        const auto sig = static_cast<BranchSig>(s);
+        w.field(std::string(branchSigName(sig)) + "->p",
+                stats.branches.count(sig, true));
+        w.field(std::string(branchSigName(sig)) + "->n",
+                stats.branches.count(sig, false));
+    }
+    w.closeObject();
+
+    w.openObject("unpredictability");
+    for (unsigned mask = 1; mask < 8; ++mask) {
+        const std::uint64_t n =
+            stats.unpred.count(static_cast<std::uint8_t>(mask));
+        if (n != 0) {
+            w.field(unpredMaskName(static_cast<std::uint8_t>(mask)),
+                    n);
+        }
+    }
+    w.closeObject();
+
+    w.closeObject();
+    os << "\n";
+}
+
+std::string
+toJson(const DpgStats &stats)
+{
+    std::ostringstream oss;
+    writeJson(oss, stats);
+    return oss.str();
+}
+
+} // namespace ppm

@@ -1,0 +1,441 @@
+#include "sim/machine.hh"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace ppm {
+
+SimError::SimError(const std::string &message)
+    : std::runtime_error(message)
+{
+}
+
+Machine::Machine(const Program &prog, std::vector<Value> input)
+    : prog_(prog), input_(std::move(input))
+{
+    mem_.loadImage(prog.dataImage);
+    // The input stream is also mapped at the input segment so programs
+    // can read it with ordinary loads (the paper's "program input data"
+    // D nodes); `in` remains available for stream-style access.
+    for (std::size_t i = 0; i < input_.size(); ++i)
+        mem_.write(kInputBase + Addr(i) * 8, input_[i]);
+    regs_[kSpReg] = kStackBase;
+}
+
+void
+Machine::setReg(RegIndex r, Value v)
+{
+    if (r != kZeroReg)
+        regs_[r] = v;
+}
+
+DynInput
+Machine::readOperand(RegIndex r) const
+{
+    DynInput in;
+    if (r == kZeroReg) {
+        // Zero-register reads are immediates in the model (the paper
+        // treats "add $6,$0,$0" as an all-immediate initializer).
+        in.kind = InputKind::Imm;
+        in.value = 0;
+    } else {
+        in.kind = InputKind::Reg;
+        in.reg = r;
+        in.value = regs_[r];
+    }
+    return in;
+}
+
+namespace {
+
+std::int64_t
+asSigned(Value v)
+{
+    return static_cast<std::int64_t>(v);
+}
+
+double
+asDouble(Value v)
+{
+    return std::bit_cast<double>(v);
+}
+
+Value
+fromDouble(double d)
+{
+    return std::bit_cast<Value>(d);
+}
+
+Value
+divSigned(Value a, Value b)
+{
+    if (b == 0)
+        return ~Value(0);
+    const std::int64_t sa = asSigned(a);
+    const std::int64_t sb = asSigned(b);
+    if (sa == INT64_MIN && sb == -1)
+        return a;
+    return static_cast<Value>(sa / sb);
+}
+
+Value
+remSigned(Value a, Value b)
+{
+    if (b == 0)
+        return a;
+    const std::int64_t sa = asSigned(a);
+    const std::int64_t sb = asSigned(b);
+    if (sa == INT64_MIN && sb == -1)
+        return 0;
+    return static_cast<Value>(sa % sb);
+}
+
+Value
+cvtDoubleToLong(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return static_cast<Value>(INT64_MAX);
+    if (d <= -9.2233720368547758e18)
+        return static_cast<Value>(INT64_MIN);
+    return static_cast<Value>(static_cast<std::int64_t>(d));
+}
+
+} // namespace
+
+void
+Machine::step(DynInstr &di)
+{
+    if (pc_ >= prog_.textSize())
+        throw SimError("pc out of range: " + std::to_string(pc_));
+
+    const Instruction &instr = prog_.text[pc_];
+
+    di = DynInstr{};
+    di.seq = icount_;
+    di.pc = pc_;
+    di.instr = &instr;
+
+    auto add_input = [&](const DynInput &in) {
+        assert(di.numInputs < di.inputs.size());
+        di.inputs[di.numInputs++] = in;
+    };
+
+    auto set_reg_output = [&](RegIndex rd, Value v) {
+        di.outValue = v;
+        if (rd != kZeroReg) {
+            di.hasRegOutput = true;
+            di.outReg = rd;
+            regs_[rd] = v;
+        }
+    };
+
+    StaticId next_pc = pc_ + 1;
+
+    switch (instr.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Nor:
+      case Opcode::Sllv:
+      case Opcode::Srlv:
+      case Opcode::Srav:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Seq:
+      case Opcode::Sne:
+      case Opcode::FaddD:
+      case Opcode::FsubD:
+      case Opcode::FmulD:
+      case Opcode::FdivD:
+      case Opcode::FltD:
+      case Opcode::FleD:
+      case Opcode::FeqD: {
+        const DynInput a = readOperand(instr.rs1);
+        const DynInput b = readOperand(instr.rs2);
+        add_input(a);
+        add_input(b);
+        Value v = 0;
+        switch (instr.op) {
+          case Opcode::Add: v = a.value + b.value; break;
+          case Opcode::Sub: v = a.value - b.value; break;
+          case Opcode::Mul: v = a.value * b.value; break;
+          case Opcode::Div: v = divSigned(a.value, b.value); break;
+          case Opcode::Rem: v = remSigned(a.value, b.value); break;
+          case Opcode::And: v = a.value & b.value; break;
+          case Opcode::Or:  v = a.value | b.value; break;
+          case Opcode::Xor: v = a.value ^ b.value; break;
+          case Opcode::Nor: v = ~(a.value | b.value); break;
+          case Opcode::Sllv: v = a.value << (b.value & 63); break;
+          case Opcode::Srlv: v = a.value >> (b.value & 63); break;
+          case Opcode::Srav:
+            v = static_cast<Value>(asSigned(a.value) >>
+                                   (b.value & 63));
+            break;
+          case Opcode::Slt:
+            v = asSigned(a.value) < asSigned(b.value) ? 1 : 0;
+            break;
+          case Opcode::Sltu: v = a.value < b.value ? 1 : 0; break;
+          case Opcode::Seq: v = a.value == b.value ? 1 : 0; break;
+          case Opcode::Sne: v = a.value != b.value ? 1 : 0; break;
+          case Opcode::FaddD:
+            v = fromDouble(asDouble(a.value) + asDouble(b.value));
+            break;
+          case Opcode::FsubD:
+            v = fromDouble(asDouble(a.value) - asDouble(b.value));
+            break;
+          case Opcode::FmulD:
+            v = fromDouble(asDouble(a.value) * asDouble(b.value));
+            break;
+          case Opcode::FdivD:
+            v = fromDouble(asDouble(a.value) / asDouble(b.value));
+            break;
+          case Opcode::FltD:
+            v = asDouble(a.value) < asDouble(b.value) ? 1 : 0;
+            break;
+          case Opcode::FleD:
+            v = asDouble(a.value) <= asDouble(b.value) ? 1 : 0;
+            break;
+          case Opcode::FeqD:
+            v = asDouble(a.value) == asDouble(b.value) ? 1 : 0;
+            break;
+          default: assert(false);
+        }
+        set_reg_output(instr.rd, v);
+        break;
+      }
+
+      case Opcode::FsqrtD:
+      case Opcode::FnegD:
+      case Opcode::CvtLD:
+      case Opcode::CvtDL: {
+        const DynInput a = readOperand(instr.rs1);
+        add_input(a);
+        Value v = 0;
+        switch (instr.op) {
+          case Opcode::FsqrtD:
+            v = fromDouble(std::sqrt(asDouble(a.value)));
+            break;
+          case Opcode::FnegD:
+            v = fromDouble(-asDouble(a.value));
+            break;
+          case Opcode::CvtLD:
+            v = fromDouble(static_cast<double>(asSigned(a.value)));
+            break;
+          case Opcode::CvtDL:
+            v = cvtDoubleToLong(asDouble(a.value));
+            break;
+          default: assert(false);
+        }
+        set_reg_output(instr.rd, v);
+        break;
+      }
+
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Slti:
+      case Opcode::Sltiu: {
+        const DynInput a = readOperand(instr.rs1);
+        add_input(a);
+        const Value imm = static_cast<Value>(instr.imm);
+        Value v = 0;
+        switch (instr.op) {
+          case Opcode::Addi: v = a.value + imm; break;
+          case Opcode::Andi: v = a.value & imm; break;
+          case Opcode::Ori:  v = a.value | imm; break;
+          case Opcode::Xori: v = a.value ^ imm; break;
+          case Opcode::Slli: v = a.value << (imm & 63); break;
+          case Opcode::Srli: v = a.value >> (imm & 63); break;
+          case Opcode::Srai:
+            v = static_cast<Value>(asSigned(a.value) >> (imm & 63));
+            break;
+          case Opcode::Slti:
+            v = asSigned(a.value) < instr.imm ? 1 : 0;
+            break;
+          case Opcode::Sltiu: v = a.value < imm ? 1 : 0; break;
+          default: assert(false);
+        }
+        set_reg_output(instr.rd, v);
+        break;
+      }
+
+      case Opcode::Li:
+        set_reg_output(instr.rd, static_cast<Value>(instr.imm));
+        break;
+      case Opcode::Lui:
+        set_reg_output(instr.rd,
+                       static_cast<Value>(instr.imm) << 16);
+        break;
+
+      case Opcode::Ld: {
+        const DynInput base = readOperand(instr.rs1);
+        const Addr addr = base.value + static_cast<Value>(instr.imm);
+        if (addr % 8 != 0)
+            throw SimError("misaligned load at pc " +
+                           std::to_string(pc_));
+        add_input(base);
+        DynInput mem_in;
+        mem_in.kind = InputKind::Mem;
+        mem_in.addr = addr;
+        mem_in.value = mem_.read(addr);
+        add_input(mem_in);
+        di.isPassThrough = true;
+        di.passSlot = 1;
+        set_reg_output(instr.rd, mem_in.value);
+        break;
+      }
+
+      case Opcode::St: {
+        const DynInput base = readOperand(instr.rs1);
+        const DynInput data = readOperand(instr.rs2);
+        const Addr addr = base.value + static_cast<Value>(instr.imm);
+        if (addr % 8 != 0)
+            throw SimError("misaligned store at pc " +
+                           std::to_string(pc_));
+        add_input(base);
+        add_input(data);
+        di.isPassThrough = true;
+        di.passSlot = 1;
+        di.hasMemOutput = true;
+        di.outAddr = addr;
+        di.outValue = data.value;
+        mem_.write(addr, data.value);
+        break;
+      }
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu: {
+        const DynInput a = readOperand(instr.rs1);
+        const DynInput b = readOperand(instr.rs2);
+        add_input(a);
+        add_input(b);
+        bool taken = false;
+        switch (instr.op) {
+          case Opcode::Beq: taken = a.value == b.value; break;
+          case Opcode::Bne: taken = a.value != b.value; break;
+          case Opcode::Blt:
+            taken = asSigned(a.value) < asSigned(b.value);
+            break;
+          case Opcode::Bge:
+            taken = asSigned(a.value) >= asSigned(b.value);
+            break;
+          case Opcode::Bltu: taken = a.value < b.value; break;
+          case Opcode::Bgeu: taken = a.value >= b.value; break;
+          default: assert(false);
+        }
+        di.isBranch = true;
+        di.taken = taken;
+        if (taken)
+            next_pc = instr.target;
+        break;
+      }
+
+      case Opcode::J:
+        di.isJump = true;
+        next_pc = instr.target;
+        break;
+
+      case Opcode::Jal:
+        di.isJump = true;
+        set_reg_output(instr.rd, textAddr(pc_ + 1));
+        next_pc = instr.target;
+        break;
+
+      case Opcode::Jr: {
+        const DynInput a = readOperand(instr.rs1);
+        add_input(a);
+        di.isJump = true;
+        di.isPassThrough = true;
+        di.passSlot = 0;
+        di.outValue = a.value;
+        const StaticId dest = addrToText(a.value);
+        if (dest == kInvalidStatic || dest >= prog_.textSize()) {
+            throw SimError("jr to invalid address at pc " +
+                           std::to_string(pc_));
+        }
+        next_pc = dest;
+        break;
+      }
+
+      case Opcode::Jalr: {
+        const DynInput a = readOperand(instr.rs1);
+        add_input(a);
+        di.isJump = true;
+        set_reg_output(instr.rd, textAddr(pc_ + 1));
+        const StaticId dest = addrToText(a.value);
+        if (dest == kInvalidStatic || dest >= prog_.textSize()) {
+            throw SimError("jalr to invalid address at pc " +
+                           std::to_string(pc_));
+        }
+        next_pc = dest;
+        break;
+      }
+
+      case Opcode::In: {
+        if (inputPos_ >= input_.size())
+            throw SimError("input stream exhausted at pc " +
+                           std::to_string(pc_));
+        const Value v = input_[inputPos_++];
+        di.outputIsData = true;
+        set_reg_output(instr.rd, v);
+        break;
+      }
+
+      case Opcode::Nop:
+        break;
+
+      case Opcode::Halt:
+        halted_ = true;
+        next_pc = pc_;
+        break;
+
+      case Opcode::NumOpcodes:
+        assert(false);
+        break;
+    }
+
+    pc_ = next_pc;
+    ++icount_;
+}
+
+StopReason
+Machine::run(TraceSink *sink, std::uint64_t max_instrs)
+{
+    DynInstr di;
+    std::uint64_t executed = 0;
+    while (!halted_ && executed < max_instrs) {
+        step(di);
+        ++executed;
+        if (sink)
+            sink->onInstr(di);
+    }
+    if (sink)
+        sink->onRunEnd();
+    return halted_ ? StopReason::Halted : StopReason::MaxInstrs;
+}
+
+StopReason
+runProgram(const Program &prog, std::vector<Value> input,
+           TraceSink *sink, std::uint64_t max_instrs)
+{
+    Machine m(prog, std::move(input));
+    return m.run(sink, max_instrs);
+}
+
+} // namespace ppm

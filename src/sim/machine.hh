@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The functional YISA simulator.
+ */
+
+#ifndef PPM_SIM_MACHINE_HH
+#define PPM_SIM_MACHINE_HH
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "sim/memory.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** Thrown on simulated traps: misaligned access, wild jump, bad input. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &message);
+};
+
+/** Why a run() call returned. */
+enum class StopReason
+{
+    Halted,     ///< The program executed halt.
+    MaxInstrs,  ///< The dynamic instruction budget was reached.
+};
+
+/**
+ * Executes a Program instruction-by-instruction, emitting one DynInstr
+ * per executed instruction to an optional TraceSink. Execution is fully
+ * deterministic given the program and input stream, which the two-pass
+ * analysis (profile, then model) relies on.
+ *
+ * Architectural conventions: r0 reads as zero and ignores writes; $sp is
+ * initialized to kStackBase; `in` pops the next value off the input
+ * stream (a trap if exhausted); division by zero yields all-ones (rem:
+ * the dividend) rather than trapping, mirroring MIPS/RISC-V practice.
+ */
+class Machine
+{
+  public:
+    /** Bind a machine to @p prog with input stream @p input. */
+    Machine(const Program &prog, std::vector<Value> input = {});
+
+    /**
+     * Run until halt or until @p max_instrs instructions have executed.
+     * @p sink may be null (pure execution, e.g. for warm-up or tests).
+     * Can be called again to continue after MaxInstrs.
+     */
+    StopReason run(TraceSink *sink, std::uint64_t max_instrs);
+
+    /** Current value of a register. */
+    Value reg(RegIndex r) const { return regs_[r]; }
+
+    /** Set a register (testing/bootstrapping). */
+    void setReg(RegIndex r, Value v);
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    /** Total dynamic instructions executed so far. */
+    std::uint64_t instrCount() const { return icount_; }
+
+    /** Current program counter (static index). */
+    StaticId pc() const { return pc_; }
+
+    /** True once halt has executed. */
+    bool halted() const { return halted_; }
+
+    /** Values consumed from the input stream so far. */
+    std::size_t inputConsumed() const { return inputPos_; }
+
+  private:
+    /** Execute one instruction; fills @p di and advances state. */
+    void step(DynInstr &di);
+
+    /** Read a register as an operand, marking r0 as an immediate. */
+    DynInput readOperand(RegIndex r) const;
+
+    const Program &prog_;
+    Memory mem_;
+    std::array<Value, kNumRegs> regs_{};
+    StaticId pc_ = 0;
+    std::uint64_t icount_ = 0;
+    bool halted_ = false;
+    std::vector<Value> input_;
+    std::size_t inputPos_ = 0;
+};
+
+/**
+ * Convenience: run @p prog to completion (or @p max_instrs) through
+ * @p sink and return the stop reason.
+ */
+StopReason runProgram(const Program &prog, std::vector<Value> input,
+                      TraceSink *sink,
+                      std::uint64_t max_instrs = 100'000'000);
+
+} // namespace ppm
+
+#endif // PPM_SIM_MACHINE_HH

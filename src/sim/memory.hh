@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sparse paged 64-bit-word memory for the functional simulator.
+ */
+
+#ifndef PPM_SIM_MEMORY_HH
+#define PPM_SIM_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ppm {
+
+/**
+ * Byte-addressed, 8-byte-word-grained sparse memory. All accesses must be
+ * 8-byte aligned (the simulator traps otherwise). Unbacked words read as
+ * zero, so `.space` data and fresh stack live for free.
+ */
+class Memory
+{
+  public:
+    /** Read the aligned word at @p addr (0 if never written). */
+    Value read(Addr addr) const;
+
+    /** Write the aligned word at @p addr. */
+    void write(Addr addr, Value value);
+
+    /** Load an initial image of (address, value) pairs. */
+    void loadImage(const std::vector<std::pair<Addr, Value>> &image);
+
+    /** Number of allocated pages (observability for tests). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    static constexpr unsigned kPageBytesLog2 = 12;
+    static constexpr Addr kPageBytes = Addr(1) << kPageBytesLog2;
+    static constexpr unsigned kWordsPerPage = kPageBytes / 8;
+
+  private:
+    struct Page
+    {
+        Value words[kWordsPerPage] = {};
+    };
+
+    Page *findPage(Addr addr) const;
+    Page *getPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace ppm
+
+#endif // PPM_SIM_MEMORY_HH

@@ -1,0 +1,41 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppm {
+
+ExecProfile::ExecProfile(StaticId text_size)
+    : counts_(text_size, 0)
+{
+}
+
+void
+ExecProfile::onInstr(const DynInstr &di)
+{
+    assert(di.pc < counts_.size());
+    ++counts_[di.pc];
+    ++total_;
+}
+
+std::uint64_t
+ExecProfile::count(StaticId pc) const
+{
+    return pc < counts_.size() ? counts_[pc] : 0;
+}
+
+bool
+ExecProfile::executesOnce(StaticId pc) const
+{
+    return count(pc) == 1;
+}
+
+std::uint64_t
+ExecProfile::staticTouched() const
+{
+    return static_cast<std::uint64_t>(
+        std::count_if(counts_.begin(), counts_.end(),
+                      [](std::uint64_t c) { return c > 0; }));
+}
+
+} // namespace ppm

@@ -1,0 +1,149 @@
+#include "sim/trace_file.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ppm {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'M', 'T', 'R', 'C', '0', '1'};
+
+/** On-disk header. */
+struct Header
+{
+    char magic[8];
+    std::uint64_t textSize;
+};
+
+/** On-disk per-instruction record (fixed size). */
+struct Record
+{
+    std::uint32_t pc;
+    std::uint8_t flags;     // bit 0 hasReg, 1 hasMem, 2 outputIsData,
+                            // 3 isPassThrough, 4 isBranch, 5 taken,
+                            // 6 isJump
+    std::uint8_t numInputs;
+    std::uint8_t passSlot;
+    std::uint8_t outReg;
+    std::uint64_t outAddr;
+    std::uint64_t outValue;
+    struct
+    {
+        std::uint8_t kind;
+        std::uint8_t reg;
+        std::uint64_t addr;
+        std::uint64_t value;
+    } in[3];
+};
+
+constexpr std::uint8_t kHasReg = 1 << 0;
+constexpr std::uint8_t kHasMem = 1 << 1;
+constexpr std::uint8_t kOutData = 1 << 2;
+constexpr std::uint8_t kPassThrough = 1 << 3;
+constexpr std::uint8_t kIsBranch = 1 << 4;
+constexpr std::uint8_t kTaken = 1 << 5;
+constexpr std::uint8_t kIsJump = 1 << 6;
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, const Program &prog)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        throw std::runtime_error("cannot open trace file " + path);
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.textSize = prog.textSize();
+    out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+void
+TraceWriter::onInstr(const DynInstr &di)
+{
+    Record r{};
+    r.pc = di.pc;
+    r.flags = (di.hasRegOutput ? kHasReg : 0) |
+              (di.hasMemOutput ? kHasMem : 0) |
+              (di.outputIsData ? kOutData : 0) |
+              (di.isPassThrough ? kPassThrough : 0) |
+              (di.isBranch ? kIsBranch : 0) |
+              (di.taken ? kTaken : 0) | (di.isJump ? kIsJump : 0);
+    r.numInputs = di.numInputs;
+    r.passSlot = di.passSlot;
+    r.outReg = di.outReg;
+    r.outAddr = di.outAddr;
+    r.outValue = di.outValue;
+    for (unsigned i = 0; i < di.numInputs; ++i) {
+        r.in[i].kind = static_cast<std::uint8_t>(di.inputs[i].kind);
+        r.in[i].reg = di.inputs[i].reg;
+        r.in[i].addr = di.inputs[i].addr;
+        r.in[i].value = di.inputs[i].value;
+    }
+    out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    ++count_;
+}
+
+void
+TraceWriter::onRunEnd()
+{
+    out_.flush();
+    if (!out_)
+        throw std::runtime_error("trace write failed");
+}
+
+std::uint64_t
+replayTrace(const std::string &path, const Program &prog,
+            TraceSink &sink)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file " + path);
+
+    Header h{};
+    in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("not a ppm trace: " + path);
+    if (h.textSize != prog.textSize()) {
+        throw std::runtime_error(
+            "trace was captured from a different program");
+    }
+
+    std::uint64_t count = 0;
+    Record r{};
+    while (in.read(reinterpret_cast<char *>(&r), sizeof(r))) {
+        if (r.pc >= prog.textSize())
+            throw std::runtime_error("corrupt trace record");
+        DynInstr di;
+        di.seq = count;
+        di.pc = r.pc;
+        di.instr = &prog.text[r.pc];
+        di.numInputs = r.numInputs > 3 ? 3 : r.numInputs;
+        for (unsigned i = 0; i < di.numInputs; ++i) {
+            di.inputs[i].kind =
+                static_cast<InputKind>(r.in[i].kind);
+            di.inputs[i].reg = r.in[i].reg;
+            di.inputs[i].addr = r.in[i].addr;
+            di.inputs[i].value = r.in[i].value;
+        }
+        di.hasRegOutput = r.flags & kHasReg;
+        di.hasMemOutput = r.flags & kHasMem;
+        di.outputIsData = r.flags & kOutData;
+        di.isPassThrough = r.flags & kPassThrough;
+        di.isBranch = r.flags & kIsBranch;
+        di.taken = r.flags & kTaken;
+        di.isJump = r.flags & kIsJump;
+        di.passSlot = r.passSlot;
+        di.outReg = r.outReg;
+        di.outAddr = r.outAddr;
+        di.outValue = r.outValue;
+        sink.onInstr(di);
+        ++count;
+    }
+    if (!in.eof() && in.gcount() != 0)
+        throw std::runtime_error("truncated trace record");
+    sink.onRunEnd();
+    return count;
+}
+
+} // namespace ppm

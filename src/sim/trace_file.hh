@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dynamic-trace serialization: capture a run once, re-analyze it many
+ * times — the trace-driven methodology the paper used (SimpleScalar
+ * traces of SPEC95), made explicit.
+ *
+ * The format is a fixed-size little-endian record per dynamic
+ * instruction, preceded by a small header that binds the trace to the
+ * program it was captured from (text size check on replay). Traces
+ * are bit-exact: replaying one through any TraceSink produces the
+ * same DynInstr stream the simulator emitted, so model statistics are
+ * identical between live and replayed analysis (asserted in
+ * tests/test_trace_file.cc).
+ */
+
+#ifndef PPM_SIM_TRACE_FILE_HH
+#define PPM_SIM_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "asmr/program.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** TraceSink that streams every DynInstr to a file. */
+class TraceWriter : public TraceSink
+{
+  public:
+    /** Opens @p path and writes the header; throws on I/O failure. */
+    TraceWriter(const std::string &path, const Program &prog);
+
+    void onInstr(const DynInstr &di) override;
+    void onRunEnd() override;
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Replay the trace at @p path through @p sink. @p prog must be the
+ * program the trace was captured from (checked via the header).
+ * Returns the number of records replayed; throws std::runtime_error
+ * on a malformed or mismatched trace.
+ */
+std::uint64_t replayTrace(const std::string &path, const Program &prog,
+                          TraceSink &sink);
+
+} // namespace ppm
+
+#endif // PPM_SIM_TRACE_FILE_HH

@@ -1,0 +1,46 @@
+#include "support/bit_ops.hh"
+
+#include <bit>
+
+namespace ppm {
+
+std::uint64_t
+foldBits(std::uint64_t v, unsigned bits)
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return v;
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & lowBits(bits);
+        v >>= bits;
+    }
+    return r;
+}
+
+std::uint64_t
+mix64(std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ULL;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return v ^ (v >> 31);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t v)
+{
+    return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                   (seed >> 2));
+}
+
+unsigned
+log2Bucket(std::uint64_t v)
+{
+    if (v <= 1)
+        return 0;
+    return 64 - std::countl_zero(v - 1);
+}
+
+} // namespace ppm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by predictors and hash indexing.
+ */
+
+#ifndef PPM_SUPPORT_BIT_OPS_HH
+#define PPM_SUPPORT_BIT_OPS_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace ppm {
+
+/** Return a mask with the low @p bits bits set. @p bits must be <= 64. */
+constexpr std::uint64_t
+lowBits(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t(0)
+                      : ((std::uint64_t(1) << bits) - 1);
+}
+
+/**
+ * Fold a 64-bit value down to @p bits bits by xor-ing successive chunks.
+ * Used to hash values into predictor history registers; every input bit
+ * influences the result.
+ */
+std::uint64_t foldBits(std::uint64_t v, unsigned bits);
+
+/**
+ * Mix bits of a 64-bit value (splitmix64 finalizer). A cheap, high-quality
+ * scrambler used for table indexing so that nearby PCs/values do not
+ * systematically collide.
+ */
+std::uint64_t mix64(std::uint64_t v);
+
+/** Combine two hash values into one (order-sensitive). */
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v);
+
+/** Integer log2 of the smallest power-of-two bucket containing @p v.
+ *  log2Bucket(0) == 0, log2Bucket(1) == 0, log2Bucket(2) == 1,
+ *  log2Bucket(3..4) == 2, log2Bucket(5..8) == 3, ... i.e. the bucket index
+ *  for histogram buckets (0], (0,1], (1,2], (2,4], (4,8] ...
+ */
+unsigned log2Bucket(std::uint64_t v);
+
+/** Sign-extend the low @p bits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned bits)
+{
+    const std::uint64_t m = std::uint64_t(1) << (bits - 1);
+    v &= lowBits(bits);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_BIT_OPS_HH

@@ -1,0 +1,134 @@
+#include "support/histogram.hh"
+
+#include <cassert>
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    const unsigned b = log2Bucket(value);
+    if (b >= weights_.size())
+        weights_.resize(b + 1, 0);
+    weights_[b] += weight;
+    total_ += weight;
+    ++samples_;
+}
+
+unsigned
+Log2Histogram::bucketCount() const
+{
+    return static_cast<unsigned>(weights_.size());
+}
+
+std::uint64_t
+Log2Histogram::bucketWeight(unsigned b) const
+{
+    return b < weights_.size() ? weights_[b] : 0;
+}
+
+double
+Log2Histogram::cumulativeFraction(unsigned b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i <= b && i < weights_.size(); ++i)
+        acc += weights_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double
+Log2Histogram::tailFraction(unsigned b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (unsigned i = b; i < weights_.size(); ++i)
+        acc += weights_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string
+Log2Histogram::bucketLabel(unsigned b)
+{
+    if (b == 0)
+        return "0-1";
+    const std::uint64_t hi = bucketHigh(b);
+    const std::uint64_t lo = (hi / 2) + 1;
+    if (lo == hi)
+        return std::to_string(hi);
+    return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+std::uint64_t
+Log2Histogram::bucketHigh(unsigned b)
+{
+    return b >= 64 ? ~std::uint64_t(0) : (std::uint64_t(1) << b);
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    if (other.weights_.size() > weights_.size())
+        weights_.resize(other.weights_.size(), 0);
+    for (std::size_t i = 0; i < other.weights_.size(); ++i)
+        weights_[i] += other.weights_[i];
+    total_ += other.total_;
+    samples_ += other.samples_;
+}
+
+LinearHistogram::LinearHistogram(unsigned limit)
+    : weights_(limit, 0)
+{
+    assert(limit >= 1);
+}
+
+void
+LinearHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    if (value < weights_.size())
+        weights_[value] += weight;
+    else
+        overflow_ += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+LinearHistogram::bucketWeight(unsigned b) const
+{
+    return b < weights_.size() ? weights_[b] : 0;
+}
+
+unsigned
+LinearHistogram::limit() const
+{
+    return static_cast<unsigned>(weights_.size());
+}
+
+double
+LinearHistogram::cumulativeFraction(std::uint64_t v) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i <= v && i < weights_.size(); ++i)
+        acc += weights_[i];
+    if (v >= weights_.size())
+        acc += overflow_;
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+void
+LinearHistogram::merge(const LinearHistogram &other)
+{
+    assert(weights_.size() == other.weights_.size());
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+        weights_[i] += other.weights_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+} // namespace ppm

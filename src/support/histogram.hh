@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Histograms used to build the paper's cumulative figures.
+ */
+
+#ifndef PPM_SUPPORT_HISTOGRAM_HH
+#define PPM_SUPPORT_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppm {
+
+/**
+ * A power-of-two bucketed histogram over non-negative 64-bit samples.
+ *
+ * Bucket b holds samples in (2^(b-1), 2^b] with bucket 0 holding {0, 1};
+ * this matches the x-axes of the paper's Figs. 10-12 (1, 2, 3-4, 5-8,
+ * 9-16, ... sequences). Samples can carry a weight so the same type
+ * serves both "count of items" and "aggregate propagation" curves.
+ */
+class Log2Histogram
+{
+  public:
+    /** Add one sample of @p value with @p weight. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of buckets with any mass (indexes 0..maxBucket). */
+    unsigned bucketCount() const;
+
+    /** Total weight in bucket @p b (0 if beyond allocated buckets). */
+    std::uint64_t bucketWeight(unsigned b) const;
+
+    /** Sum of all weights. */
+    std::uint64_t totalWeight() const { return total_; }
+
+    /** Number of add() calls. */
+    std::uint64_t samples() const { return samples_; }
+
+    /**
+     * Cumulative fraction of weight in buckets <= @p b, in [0, 1].
+     * Returns 0 when the histogram is empty.
+     */
+    double cumulativeFraction(unsigned b) const;
+
+    /**
+     * Fraction of weight in buckets >= @p b (used for "aggregate
+     * propagation due to trees with longest path >= L").
+     */
+    double tailFraction(unsigned b) const;
+
+    /** Human-readable label for bucket @p b: "0-1", "2", "3-4", ... */
+    static std::string bucketLabel(unsigned b);
+
+    /** Upper bound (inclusive) of bucket @p b. */
+    static std::uint64_t bucketHigh(unsigned b);
+
+    /** Merge another histogram into this one. */
+    void merge(const Log2Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> weights_;
+    std::uint64_t total_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * A fixed-range linear histogram (bucket per integer value, with a final
+ * overflow bucket). Used for small-cardinality distributions such as
+ * "number of generates influencing a propagate".
+ */
+class LinearHistogram
+{
+  public:
+    /** Values >= @p limit land in the overflow bucket. */
+    explicit LinearHistogram(unsigned limit);
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t bucketWeight(unsigned b) const;
+    std::uint64_t overflowWeight() const { return overflow_; }
+    std::uint64_t totalWeight() const { return total_; }
+    unsigned limit() const;
+
+    /** Cumulative fraction of weight for values <= @p v. */
+    double cumulativeFraction(std::uint64_t v) const;
+
+    void merge(const LinearHistogram &other);
+
+  private:
+    std::vector<std::uint64_t> weights_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_HISTOGRAM_HH

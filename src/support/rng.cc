@@ -1,0 +1,79 @@
+#include "support/rng.hh"
+
+#include <cassert>
+
+#include "support/bit_ops.hh"
+
+namespace ppm {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four lanes via splitmix64 as recommended by the xoshiro
+    // authors; guarantees a nonzero state for any seed.
+    std::uint64_t sm = seed;
+    for (auto &lane : s_) {
+        sm += 0x9e3779b97f4a7c15ULL;
+        lane = mix64(sm);
+    }
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound != 0);
+    // Rejection-free modulo is fine here: inputs are workload noise, not
+    // cryptography, and determinism is the only hard requirement.
+    return next() % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : nextBelow(span));
+}
+
+bool
+Rng::chancePercent(unsigned percent)
+{
+    return nextBelow(100) < percent;
+}
+
+std::uint64_t
+Rng::nextSkewed(unsigned max_bits)
+{
+    assert(max_bits >= 1 && max_bits <= 64);
+    const unsigned bits = 1 + static_cast<unsigned>(nextBelow(max_bits));
+    return next() & lowBits(bits);
+}
+
+} // namespace ppm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload inputs.
+ *
+ * Workload input generators must be reproducible across the profiling pass
+ * and the analysis pass, and across machines, so we implement our own
+ * xoshiro256** generator instead of relying on implementation-defined
+ * standard-library distributions.
+ */
+
+#ifndef PPM_SUPPORT_RNG_HH
+#define PPM_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace ppm {
+
+/** xoshiro256** deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability @p percent / 100. */
+    bool chancePercent(unsigned percent);
+
+    /**
+     * A value drawn from a geometric-ish "small values common" shape:
+     * uniform number of low bits kept, giving a heavy skew toward small
+     * magnitudes (mimics text bytes / small integer program data).
+     */
+    std::uint64_t nextSkewed(unsigned max_bits);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_RNG_HH

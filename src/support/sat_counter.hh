@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Saturating counter used for predictor hysteresis.
+ */
+
+#ifndef PPM_SUPPORT_SAT_COUNTER_HH
+#define PPM_SUPPORT_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace ppm {
+
+/**
+ * An n-bit saturating counter. Increment saturates at 2^bits - 1,
+ * decrement saturates at 0. Predictor tables use these both as
+ * replacement hysteresis (value predictors) and as direction state
+ * (gshare's 2-bit counters).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** Construct an n-bit counter with an initial count. */
+    SatCounter(unsigned bits, unsigned initial)
+        : count_(static_cast<std::uint8_t>(initial)),
+          max_(static_cast<std::uint8_t>((1u << bits) - 1))
+    {
+        assert(bits >= 1 && bits <= 8);
+        assert(initial <= max_);
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (count_ < max_)
+            ++count_;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (count_ > 0)
+            --count_;
+    }
+
+    /** Reset the count to @p v. */
+    void
+    set(unsigned v)
+    {
+        assert(v <= max_);
+        count_ = static_cast<std::uint8_t>(v);
+    }
+
+    unsigned value() const { return count_; }
+    unsigned max() const { return max_; }
+    bool saturatedHigh() const { return count_ == max_; }
+    bool isZero() const { return count_ == 0; }
+
+    /** True when the counter is in the upper half (e.g. taken for 2-bit). */
+    bool upperHalf() const { return count_ > max_ / 2; }
+
+  private:
+    std::uint8_t count_ = 0;
+    std::uint8_t max_ = 3;
+};
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_SAT_COUNTER_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers used by the assembler and report printers.
+ */
+
+#ifndef PPM_SUPPORT_STRING_UTILS_HH
+#define PPM_SUPPORT_STRING_UTILS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split @p s on @p sep, trimming each piece; empty pieces are kept. */
+std::vector<std::string_view> splitAndTrim(std::string_view s, char sep);
+
+/** Case-sensitive "does s start with prefix". */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Render a double as a fixed-width percentage like "12.3". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Render a count with thousands separators: 1234567 -> "1,234,567". */
+std::string formatCount(std::uint64_t v);
+
+/** Render a double with @p decimals digits. */
+std::string formatDouble(double v, int decimals = 2);
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_STRING_UTILS_HH

@@ -1,0 +1,97 @@
+#include "support/table_printer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace ppm {
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRule()
+{
+    ruleAfter_.push_back(rows_.size());
+}
+
+bool
+TablePrinter::looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != ',' && c != 'e')
+            return false;
+    }
+    return std::isdigit(static_cast<unsigned char>(cell.front())) ||
+           cell.front() == '-' || cell.front() == '+';
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto rule = [&]() {
+        os << std::string(total, '-') << "\n";
+    };
+
+    auto has_rule_after = [&](std::size_t idx) {
+        return std::find(ruleAfter_.begin(), ruleAfter_.end(), idx) !=
+               ruleAfter_.end();
+    };
+
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (has_rule_after(r))
+            rule();
+        const auto &row = rows_[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t w = widths[c];
+            const std::string &cell = row[c];
+            if (looksNumeric(cell))
+                os << std::string(w - cell.size(), ' ') << cell;
+            else
+                os << cell << std::string(w - cell.size(), ' ');
+            os << "  ";
+        }
+        os << "\n";
+        if (r == 0)
+            rule();
+    }
+    if (has_rule_after(rows_.size()))
+        rule();
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace ppm

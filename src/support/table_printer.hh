@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Column-aligned ASCII table printer used by every experiment driver.
+ */
+
+#ifndef PPM_SUPPORT_TABLE_PRINTER_HH
+#define PPM_SUPPORT_TABLE_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppm {
+
+/**
+ * Accumulates rows of strings and prints them with columns padded to the
+ * widest cell. The first row added is treated as the header and separated
+ * by a rule. Numeric-looking cells are right-aligned, text left-aligned.
+ */
+class TablePrinter
+{
+  public:
+    /** Optional title printed above the table. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Add a row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule at the current position. */
+    void addRule();
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+  private:
+    static bool looksNumeric(const std::string &cell);
+
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> ruleAfter_;
+};
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_TABLE_PRINTER_HH

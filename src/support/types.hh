@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the ppm library.
+ */
+
+#ifndef PPM_SUPPORT_TYPES_HH
+#define PPM_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace ppm {
+
+/** A 64-bit architectural value (registers, memory words, immediates). */
+using Value = std::uint64_t;
+
+/** A byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** Index of a static instruction within a Program (its "PC"). */
+using StaticId = std::uint32_t;
+
+/** Sequence number of a dynamic node in the DPG (instruction or D node). */
+using NodeId = std::uint64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = ~NodeId(0);
+
+/** Sentinel for "no static instruction". */
+constexpr StaticId kInvalidStatic = ~StaticId(0);
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_TYPES_HH

@@ -1,0 +1,50 @@
+#include "workloads/workload.hh"
+
+#include <stdexcept>
+
+namespace ppm {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        wlCompress(), wlGcc(),     wlGo(),    wlIjpeg(),
+        wlLi(),       wlM88ksim(), wlPerl(),  wlVortex(),
+        wlApplu(),    wlFpppp(),   wlMgrid(), wlSwim(),
+    };
+    return workloads;
+}
+
+std::vector<Workload>
+integerWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &w : allWorkloads()) {
+        if (!w.isFloat)
+            out.push_back(w);
+    }
+    return out;
+}
+
+std::vector<Workload>
+floatWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &w : allWorkloads()) {
+        if (w.isFloat)
+            out.push_back(w);
+    }
+    return out;
+}
+
+const Workload &
+findWorkload(std::string_view name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    throw std::out_of_range("unknown workload: " + std::string(name));
+}
+
+} // namespace ppm

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * 141.applu analog: SSOR-style 3D relaxation sweeps.
+ *
+ * A 12^3 double grid (boundary included) is repeatedly smoothed with a
+ * 7-point stencil; coefficients come from static data and the initial
+ * field from program input, so the FP inner loop consumes D-node data
+ * and propagates predictability through long dependence chains in the
+ * nested-loop pattern the paper's FP benchmarks show (repeated-use
+ * propagation from outer-loop invariants).
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr unsigned kN = 12;
+constexpr std::uint64_t kCells = kN * kN * kN;
+constexpr std::uint64_t kIters = 38;
+
+constexpr std::string_view kSource = R"(
+# --- 141.applu analog ------------------------------------------------
+        .data
+ugrid:  .space 1728           # 12^3 field
+rhs:    .space 1728           # right-hand side
+coefs:  .double 0.5, 0.08, 0.012
+resid:  .space 1
+
+        .text
+main:
+        la   $20, ugrid
+        la   $21, rhs
+        jal  init_grids
+        # load stencil coefficients once (static data reads)
+        la   $2, coefs
+        ld   $f0, 0($2)       # c0: centre weight
+        ld   $f1, 8($2)       # c1: neighbour weight
+        ld   $f2, 16($2)      # c2: rhs weight
+        li   $16, 38          # SSOR iterations
+iter:
+        beqz $16, fin
+        jal  sweep
+        addi $16, $16, -1
+        j    iter
+fin:
+        halt
+
+# --- fill both (contiguous) grids from the input segment -------------
+init_grids:
+        la   $6, __input
+        mov  $9, $20
+        li   $7, 3456
+ig_loop:
+        ld   $4, 0($6)
+        st   $4, 0($9)
+        addi $6, $6, 8
+        addi $9, $9, 8
+        addi $7, $7, -1
+        bnez $7, ig_loop
+        ret
+
+# --- one 7-point SSOR sweep over the interior ------------------------
+# u[ijk] = c0*u[ijk] + c1*(sum of 6 neighbours) + c2*rhs[ijk]
+# strides: k = 8 bytes, j = 96, i = 1152.
+sweep:
+        li.d $f10, 0.0        # residual accumulator
+        li   $8, 1            # i
+sw_i:
+        li   $9, 1            # j
+sw_j:
+        # p = ugrid + ((i*12 + j)*12 + 1)*8 ; r likewise into rhs
+        li   $2, 12
+        mul  $11, $8, $2
+        addu $11, $11, $9
+        mul  $11, $11, $2
+        addi $11, $11, 1
+        sll  $11, $11, 3
+        addu $12, $11, $21    # rhs pointer
+        addu $11, $11, $20    # u pointer
+        li   $10, 1           # k
+sw_k:
+        ld   $f4, 0($11)      # centre
+        ld   $f5, -8($11)     # k-1
+        ld   $f6, 8($11)      # k+1
+        fadd.d $f5, $f5, $f6
+        ld   $f6, -96($11)    # j-1
+        fadd.d $f5, $f5, $f6
+        ld   $f6, 96($11)     # j+1
+        fadd.d $f5, $f5, $f6
+        ld   $f6, -1152($11)  # i-1
+        fadd.d $f5, $f5, $f6
+        ld   $f6, 1152($11)   # i+1
+        fadd.d $f5, $f5, $f6
+        ld   $f7, 0($12)      # rhs
+        fmul.d $f4, $f4, $f0
+        fmul.d $f5, $f5, $f1
+        fmul.d $f7, $f7, $f2
+        fadd.d $f4, $f4, $f5
+        fadd.d $f4, $f4, $f7
+        # residual contribution: new value squared
+        fmul.d $f8, $f4, $f4
+        fadd.d $f10, $f10, $f8
+        st   $f4, 0($11)
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $10, $10, 1
+        slti $2, $10, 11
+        bnez $2, sw_k
+        addi $9, $9, 1
+        slti $2, $9, 11
+        bnez $2, sw_j
+        addi $8, $8, 1
+        slti $2, $8, 11
+        bnez $2, sw_i
+        la   $2, resid
+        st   $f10, 0($2)
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kCells * 2);
+    // A smooth initial field plus a small rough right-hand side,
+    // both in [0, 1) so the damped stencil stays bounded.
+    for (std::uint64_t i = 0; i < kCells; ++i) {
+        const double base =
+            0.25 + 0.5 * static_cast<double>(i % kN) / kN;
+        const double noise =
+            static_cast<double>(rng.nextBelow(1000)) / 10000.0;
+        input.push_back(std::bit_cast<Value>(base + noise));
+    }
+    for (std::uint64_t i = 0; i < kCells; ++i) {
+        const double v =
+            static_cast<double>(rng.nextBelow(1000)) / 5000.0;
+        input.push_back(std::bit_cast<Value>(v));
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlApplu()
+{
+    Workload w;
+    w.name = "applu";
+    w.isFloat = true;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kIters * 32'000;
+    return w;
+}
+
+} // namespace ppm

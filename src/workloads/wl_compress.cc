@@ -1,0 +1,194 @@
+/**
+ * @file
+ * 129.compress analog: an LZW compressor core.
+ *
+ * Mirrors compress's dominant loop: read a byte, form (prefix, byte)
+ * key, probe an open-addressed code table, either extend the prefix or
+ * emit the prefix's code into a shifting bit buffer and insert a new
+ * code, clearing the table when it fills. Loop-dominated simple control
+ * flow — the paper uses compress as its "short influence distance"
+ * example in Fig. 11.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kBytes = 48'000;
+
+constexpr std::string_view kSource = R"(
+# --- 129.compress analog (LZW core) --------------------------------
+        .data
+hkeys:  .space 4096           # open-addressed table: keys
+hcodes: .space 4096           # open-addressed table: codes
+outbuf: .space 512            # compressed output ring
+ratio:  .space 1
+hmult:  .space 1              # hash multiplier global, set at startup
+maxcode: .space 1             # code-table capacity, set at startup
+
+        .text
+main:
+        li   $16, 48000       # input length in bytes
+        la   $19, hkeys
+        la   $20, hcodes
+        la   $21, outbuf
+        li   $17, 0           # current prefix code
+        li   $18, 256         # next free code
+        li   $22, 0           # bit buffer
+        li   $23, 0           # bits in buffer
+        li   $24, 0           # output cursor (words)
+        li   $25, 0           # emitted code count
+        la   $26, __input     # packed input cursor (8 bytes per word)
+        li   $27, 0           # bytes left in the unpack register
+        # algorithm globals, written once and reloaded from the hot
+        # loop (real compress keeps hshift/maxcode in globals)
+        li   $2, 40503
+        la   $3, hmult
+        st   $2, 0($3)
+        li   $2, 4096
+        la   $3, maxcode
+        st   $2, 0($3)
+byteloop:
+        beqz $16, flush
+        bnez $27, unpack      # refill the unpack register?
+        ld   $28, 0($26)
+        addi $26, $26, 8
+        li   $27, 8
+unpack:
+        andi $4, $28, 255     # next input byte (0..255)
+        srl  $28, $28, 8
+        addi $27, $27, -1
+        addi $16, $16, -1
+
+        # key = (prefix << 8) | byte  (0 means "empty" so bias by 1)
+        sll  $5, $17, 8
+        or   $5, $5, $4
+        addi $5, $5, 1
+
+        # hash = (key * hmult) >> 4, 4096 buckets
+        la   $2, hmult
+        ld   $2, 0($2)
+        mul  $6, $5, $2
+        srl  $6, $6, 4
+        andi $6, $6, 4095
+probe:
+        sll  $7, $6, 3
+        addu $8, $7, $19
+        ld   $9, 0($8)
+        beqz $9, miss         # empty slot: new string
+        bne  $9, $5, collide
+        # hit: extend the prefix with this code
+        addu $8, $7, $20
+        ld   $17, 0($8)
+        j    byteloop
+collide:
+        addiu $6, $6, 1
+        andi $6, $6, 4095
+        j    probe
+
+miss:
+        # emit current prefix code into the bit buffer (12 bits)
+        sllv $10, $17, $23
+        or   $22, $22, $10
+        addi $23, $23, 12
+        addiu $25, $25, 1
+        slti $2, $23, 48
+        bnez $2, no_flush
+        # flush 48 buffered bits to the output ring
+        andi $11, $24, 63
+        sll  $11, $11, 3
+        addu $11, $11, $21
+        st   $22, 0($11)
+        addiu $24, $24, 1
+        li   $22, 0
+        li   $23, 0
+no_flush:
+        # insert the new (prefix,byte) string if the table has room
+        la   $2, maxcode
+        ld   $2, 0($2)
+        bge  $18, $2, clear
+        st   $5, 0($8)        # $8 still points at the empty key slot
+        sll  $7, $6, 3
+        addu $8, $7, $20
+        st   $18, 0($8)
+        addiu $18, $18, 1
+        mov  $17, $4          # restart prefix at the raw byte
+        j    byteloop
+
+clear:
+        # table full: clear it (block-clear loop) and restart codes
+        li   $6, 0
+cl_loop:
+        sll  $7, $6, 3
+        addu $8, $7, $19
+        st   $0, 0($8)
+        addiu $6, $6, 1
+        slti $2, $6, 4096
+        bnez $2, cl_loop
+        li   $18, 256
+        mov  $17, $4
+        j    byteloop
+
+flush:
+        # final statistics: emitted codes vs input length
+        la   $5, ratio
+        st   $25, 0($5)
+        halt
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kBytes / 8 + 1);
+
+    // Text-like byte stream from a tiny digram model: a small alphabet
+    // where each byte biases the next, giving compress real string
+    // repetition to find (and the predictors realistic value locality).
+    // Bytes are packed eight to a word, as a file buffer would be.
+    Value prev = 'e';
+    Value word = 0;
+    unsigned in_word = 0;
+    for (std::uint64_t i = 0; i < kBytes; ++i) {
+        Value b;
+        if (rng.chancePercent(75)) {
+            // Follow the digram: a deterministic successor of prev.
+            b = 'a' + ((prev * 7 + 3) % 26);
+        } else if (rng.chancePercent(20)) {
+            b = ' ';
+        } else {
+            b = 'a' + rng.nextBelow(26);
+        }
+        word |= b << (8 * in_word);
+        if (++in_word == 8) {
+            input.push_back(word);
+            word = 0;
+            in_word = 0;
+        }
+        prev = b;
+    }
+    if (in_word != 0)
+        input.push_back(word);
+    return input;
+}
+
+} // namespace
+
+Workload
+wlCompress()
+{
+    Workload w;
+    w.name = "compress";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kBytes * 35;
+    return w;
+}
+
+} // namespace ppm

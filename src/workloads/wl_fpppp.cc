@@ -1,0 +1,169 @@
+/**
+ * @file
+ * 145.fpppp analog: enormous straight-line floating-point blocks.
+ *
+ * fpppp's two-electron-integral kernels are machine-generated
+ * straight-line code — hundreds of FP operations per basic block with
+ * almost no control flow, over a small set of physical constants read
+ * once at startup. We reproduce that shape the same way: the kernel
+ * below is generated (deterministically) at static-init time as one
+ * long block of fadd/fsub and constant multiplies/divides over a
+ * 16-double working set that is re-derived from the iteration counter
+ * each pass (bounded by construction, so 5000 iterations stay finite).
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+#include <string>
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kOuter = 4'200;
+constexpr unsigned kRounds = 12;
+constexpr unsigned kOpsPerRound = 15;
+
+const std::string &
+buildSource()
+{
+    static const std::string source = [] {
+        auto freg = [](unsigned r) {
+            return "$f" + std::to_string(4 + (r % 16));
+        };
+
+        // Working-set refill: sixteen values derived from the
+        // iteration counter (bounded in [base, base+4)).
+        std::string refill;
+        for (unsigned i = 0; i < 16; ++i) {
+            const unsigned a = 37 + 11 * i;
+            const unsigned c = 3 + 7 * i;
+            refill += "        addi $6, $17, " + std::to_string(c) +
+                      "\n";
+            refill += "        li   $2, " + std::to_string(a) + "\n";
+            refill += "        mul  $6, $6, $2\n";
+            refill += "        andi $6, $6, 255\n";
+            refill += "        cvt.d.l " + freg(i) + ", $6\n";
+            refill += "        fmul.d " + freg(i) + ", " + freg(i) +
+                      ", $f1\n";
+            refill += "        fadd.d " + freg(i) + ", " + freg(i) +
+                      ", $f" + std::to_string(20 + i % 4) + "\n";
+        }
+
+        // The generated kernel: adds/subs between working registers,
+        // multiplies and divides only by the constant registers, so
+        // magnitudes grow at most linearly per round.
+        std::string kernel;
+        for (unsigned r = 0; r < kRounds; ++r) {
+            for (unsigned i = 0; i < kOpsPerRound; ++i) {
+                const std::string d = freg(i + 1);
+                const std::string a = freg(i);
+                const std::string b = freg(i + 5 + r);
+                switch ((r * 7 + i) % 12) {
+                  case 0: case 3: case 6: case 9:
+                    kernel += "        fadd.d " + d + ", " + a +
+                              ", " + b + "\n";
+                    break;
+                  case 1: case 4: case 7: case 10:
+                    kernel += "        fsub.d " + d + ", " + a +
+                              ", " + b + "\n";
+                    break;
+                  case 2: case 5: case 8:
+                    kernel += "        fmul.d " + d + ", " + a +
+                              ", $f" + std::to_string(20 + (r + i) % 4) +
+                              "\n";
+                    break;
+                  default:
+                    kernel += "        fdiv.d " + d + ", " + a +
+                              ", $f2\n";
+                    break;
+                }
+            }
+        }
+
+        return std::string(R"(
+# --- 145.fpppp analog (generated straight-line FP kernel) -----------
+        .data
+outp:   .space 16             # kernel results
+norm:   .double 1.0625, 0.015625, 0.03125
+
+        .text
+main:
+        la   $21, outp
+        la   $2, norm
+        ld   $f2, 0($2)       # divide constant
+        ld   $f1, 8($2)       # working-set scale
+        ld   $f3, 16($2)      # damping constant
+        # physics constants, read once from program input
+        la   $2, __input
+        ld   $f20, 0($2)
+        ld   $f21, 8($2)
+        ld   $f22, 16($2)
+        ld   $f23, 24($2)
+        li   $17, 0           # iteration counter
+        li   $16, 4200        # outer iterations
+outer:
+        beqz $16, fin
+# ---- derive the 16-double working set from the iteration counter ----
+)") + refill +
+               std::string("# ---- generated kernel ----\n") + kernel +
+               std::string(R"(# ---- end generated kernel ----
+        # damp and store the first eight results
+        fmul.d $f4, $f4, $f3
+        st   $f4, 0($21)
+        fmul.d $f5, $f5, $f3
+        st   $f5, 8($21)
+        fmul.d $f6, $f6, $f3
+        st   $f6, 16($21)
+        fmul.d $f7, $f7, $f3
+        st   $f7, 24($21)
+        fmul.d $f8, $f8, $f3
+        st   $f8, 32($21)
+        fmul.d $f9, $f9, $f3
+        st   $f9, 40($21)
+        fmul.d $f10, $f10, $f3
+        st   $f10, 48($21)
+        fmul.d $f11, $f11, $f3
+        st   $f11, 56($21)
+        addi $17, $17, 1
+        addi $16, $16, -1
+        j    outer
+fin:
+        halt
+)");
+    }();
+    return source;
+}
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    // Four "physics constants" near 1.0, read once at startup.
+    for (int i = 0; i < 4; ++i) {
+        const double v =
+            0.9 + static_cast<double>(rng.nextBelow(2000)) / 10000.0;
+        input.push_back(std::bit_cast<Value>(v));
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlFpppp()
+{
+    Workload w;
+    w.name = "fpppp";
+    w.isFloat = true;
+    w.source = buildSource();
+    w.makeInput = makeInput;
+    w.approxInstrs = kOuter * 320;
+    return w;
+}
+
+} // namespace ppm

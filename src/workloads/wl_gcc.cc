@@ -1,0 +1,257 @@
+/**
+ * @file
+ * 126.gcc analog.
+ *
+ * Centerpiece: a faithful transcription of the paper's Fig. 1 loop from
+ * gcc's invalidate_for_call — the 64-iteration register-mask scan whose
+ * value sequences the paper uses to introduce generation/propagation.
+ * Around it: a register-info sweep with filtering branches, a symbol
+ * hash-table insert (linear probing), and a jump-table dispatch over
+ * "insn codes" (register-indirect jumps), reproducing gcc's mix of
+ * bit tests, hashing, and irregular control flow.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kCalls = 1100;
+
+constexpr std::string_view kSource = R"(
+# --- 126.gcc analog ------------------------------------------------
+        .data
+regs_mask:  .space 2          # 64 register bits, 32 per word (paper Fig.1)
+reg_info:   .space 64         # per-register contents info
+sym_keys:   .space 256        # symbol hash table: keys
+sym_counts: .space 256        # symbol hash table: counts
+jumptab:    .word ins_add, ins_move, ins_cmp, ins_jump
+            .word ins_load, ins_store, ins_call, ins_other
+ins_stats:  .space 8
+nregs:      .space 1          # FIRST_PSEUDO_REGISTER, set at startup
+flagword:   .space 1          # target flags word, set at startup
+
+        .text
+main:
+        li   $16, 1100        # number of simulated function calls
+        la   $20, reg_info
+        la   $21, sym_keys
+        la   $22, sym_counts
+        la   $23, jumptab
+        la   $24, ins_stats
+        la   $26, __input     # input cursor (4 words per call)
+        # target configuration "globals", written once at startup and
+        # consulted from the hot loops (as gcc consults
+        # FIRST_PSEUDO_REGISTER / target_flags everywhere)
+        li   $2, 64
+        la   $3, nregs
+        st   $2, 0($3)
+        li   $2, 5
+        la   $3, flagword
+        st   $2, 0($3)
+mainloop:
+        beqz $16, done
+
+        # Fetch this call's clobber mask (two 32-bit halves) from input
+        # and mark every reg "live" before invalidation.
+        la   $19, regs_mask
+        ld   $4, 0($26)
+        st   $4, 0($19)
+        ld   $4, 8($26)
+        st   $4, 8($19)
+        jal  fill_reg_info
+        jal  invalidate_for_call
+        jal  reg_scan
+        ld   $4, 16($26)      # a symbol id
+        jal  sym_insert
+        ld   $4, 24($26)      # an insn code 0..7
+        jal  dispatch
+        addi $26, $26, 32
+        addi $16, $16, -1
+        j    mainloop
+done:
+        halt
+
+# --- mark all 64 registers live with a value derived from the index
+fill_reg_info:
+        li   $6, 0
+fri_loop:
+        sll  $5, $6, 3
+        addu $5, $5, $20
+        addi $7, $6, 17
+        st   $7, 0($5)
+        addiu $6, $6, 1
+        la   $2, nregs
+        ld   $2, 0($2)
+        blt  $6, $2, fri_loop
+        ret
+
+# --- the paper's Fig. 1 loop: test bit i of the mask for each of 64
+# --- registers, invalidating (store 0) those whose bit is set.
+invalidate_for_call:
+        # prologue: spill callee-saved registers to the frame
+        addi $29, $29, -16
+        st   $19, 0($29)
+        st   $20, 8($29)
+        li   $6, 0            # instr 0: add $6,$0,$0 in the paper
+ifc_loop:
+        srl  $2, $6, 5        # instr 1: word index (32 bits per word)
+        sll  $2, $2, 3        # instr 2: byte offset (8-byte words here)
+        addu $2, $2, $19      # instr 3
+        ld   $2, 0($2)        # instr 4: the mask word
+        andi $3, $6, 31       # instr 5
+        srlv $2, $2, $3       # instr 6
+        andi $2, $2, 1        # instr 7
+        beqz $2, ifc_skip     # instr 8 (beq $2,0,LL2)
+        sll  $5, $6, 3
+        addu $5, $5, $20
+        st   $0, 0($5)        # invalidate reg_info[i]
+ifc_skip:
+        addiu $6, $6, 1       # instr 9
+        la   $2, nregs
+        ld   $2, 0($2)        # loop bound reloaded from a global
+        blt  $6, $2, ifc_loop # instrs 10/11
+        # epilogue: reload the spilled registers
+        ld   $19, 0($29)
+        ld   $20, 8($29)
+        addi $29, $29, 16
+        ret
+
+# --- scan reg_info, counting survivors; the load feeds a filtering
+# --- branch, the surviving values feed a small reduction.
+reg_scan:
+        addi $29, $29, -16
+        st   $20, 0($29)
+        st   $24, 8($29)
+        li   $6, 0
+        li   $8, 0            # survivor count
+        li   $9, 0            # value checksum
+rs_loop:
+        sll  $5, $6, 3
+        addu $5, $5, $20
+        ld   $7, 0($5)
+        beqz $7, rs_next      # filtering branch: invalidated regs skip
+        addiu $8, $8, 1
+        addu $9, $9, $7
+rs_next:
+        addiu $6, $6, 1
+        la   $2, nregs
+        ld   $2, 0($2)
+        blt  $6, $2, rs_loop
+        # publish the survivor count where later calls can reload it
+        la   $5, ins_stats
+        st   $8, 0($5)
+        ld   $20, 0($29)
+        ld   $24, 8($29)
+        addi $29, $29, 16
+        ret
+
+# --- symbol-table insert with linear probing ($4 = key).
+sym_insert:
+        # hash = (key * 2654435761) >> 27, 32 buckets
+        li   $2, 2654435761
+        mul  $3, $4, $2
+        srl  $3, $3, 27
+        andi $3, $3, 31
+si_probe:
+        sll  $5, $3, 3
+        addu $6, $5, $21
+        ld   $7, 0($6)
+        beqz $7, si_insert    # empty bucket
+        beq  $7, $4, si_hit   # existing key
+        addiu $3, $3, 1
+        andi $3, $3, 31
+        j    si_probe
+si_insert:
+        st   $4, 0($6)
+si_hit:
+        addu $6, $5, $22
+        ld   $7, 0($6)
+        addiu $7, $7, 1
+        st   $7, 0($6)
+        ret
+
+# --- insn-code dispatch through a jump table ($4 = code 0..7).
+dispatch:
+        andi $4, $4, 7
+        sll  $5, $4, 3
+        addu $5, $5, $23
+        ld   $9, 0($5)
+        jr   $9
+ins_add:
+        li   $10, 1
+        j    ins_tally
+ins_move:
+        li   $10, 2
+        j    ins_tally
+ins_cmp:
+        li   $10, 3
+        j    ins_tally
+ins_jump:
+        li   $10, 4
+        j    ins_tally
+ins_load:
+        li   $10, 5
+        j    ins_tally
+ins_store:
+        li   $10, 6
+        j    ins_tally
+ins_call:
+        li   $10, 7
+        j    ins_tally
+ins_other:
+        li   $10, 8
+ins_tally:
+        ld   $7, 0($24)
+        addu $7, $7, $10
+        st   $7, 0($24)
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kCalls * 4);
+    for (std::uint64_t i = 0; i < kCalls; ++i) {
+        // Clobber masks in the style of the paper's 0x8000bfff: mostly
+        // set with a few cleared caller-saved holes.
+        Value lo = 0xffffffffULL;
+        Value hi = 0xffffffffULL;
+        for (int k = 0; k < 3; ++k) {
+            lo &= ~(Value(1) << rng.nextBelow(32));
+            hi &= ~(Value(1) << rng.nextBelow(32));
+        }
+        if (rng.chancePercent(70))
+            lo &= 0x8000bfffULL; // the literal mask from Fig. 1
+        input.push_back(lo);
+        input.push_back(hi);
+        // Symbol ids: working set no larger than the 32-bucket table,
+        // so probing always terminates (on a hit once the table fills).
+        input.push_back(1 + rng.nextSkewed(5));
+        // Insn codes: biased toward a few common ones, like real RTL.
+        input.push_back(rng.chancePercent(60) ? rng.nextBelow(3)
+                                              : rng.nextBelow(8));
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlGcc()
+{
+    Workload w;
+    w.name = "gcc";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kCalls * 1400;
+    return w;
+}
+
+} // namespace ppm

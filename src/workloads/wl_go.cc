@@ -1,0 +1,269 @@
+/**
+ * @file
+ * 099.go analog: board evaluation with irregular control flow.
+ *
+ * A 19x19 board (with sentinel border) receives a stream of moves;
+ * each placed stone triggers a neighbourhood evaluation that counts
+ * liberties, friends and foes, and walks friendly chains in each
+ * direction — data-dependent branch nests and variable-length walks,
+ * the "complex control" profile the paper contrasts with compress in
+ * Fig. 11.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kMoves = 6'000;
+
+constexpr std::string_view kSource = R"(
+# --- 099.go analog --------------------------------------------------
+        .data
+board:  .space 441            # 21x21 with sentinel border
+noffs:  .word -8, 8, -168, 168
+score:  .space 2              # per-colour evaluation totals
+bdim:   .space 1              # board dimension global (19)
+brow:   .space 1              # bordered row length global (21)
+
+        .text
+main:
+        li   $16, 6000        # moves to process
+        la   $20, board
+        la   $26, __input     # packed move stream
+        # board geometry globals, written once, reloaded in hot paths
+        li   $2, 19
+        la   $3, bdim
+        st   $2, 0($3)
+        li   $2, 21
+        la   $3, brow
+        st   $2, 0($3)
+        jal  init_board
+mloop:
+        beqz $16, fin
+        ld   $4, 0($26)       # packed move: pos | colour<<10
+        addi $26, $26, 8
+        srl  $5, $4, 10
+        andi $5, $5, 3        # colour 1 or 2
+        andi $4, $4, 1023     # position 0..360
+        # every 16th move, run a whole-board influence scan (the bulk
+        # of a real go engine's work)
+        andi $2, $16, 15
+        bnez $2, no_scan
+        jal  board_scan
+no_scan:
+        la   $2, bdim
+        ld   $2, 0($2)
+        div  $6, $4, $2       # row
+        rem  $7, $4, $2       # col
+        addi $6, $6, 1        # skip border
+        addi $7, $7, 1
+        la   $2, brow
+        ld   $2, 0($2)
+        mul  $8, $6, $2
+        addu $8, $8, $7
+        sll  $8, $8, 3
+        addu $8, $8, $20      # cell address
+        ld   $9, 0($8)
+        bnez $9, mskip        # occupied: discard the move
+        st   $5, 0($8)
+        jal  eval_point
+        # score[colour-1] += evaluation
+        sll  $2, $5, 3
+        addi $2, $2, -8
+        la   $3, score
+        addu $3, $3, $2
+        ld   $10, 0($3)
+        addu $10, $10, $22
+        st   $10, 0($3)
+        # every 16th move "captures": clear the cell again so the
+        # board keeps churning instead of filling up
+        andi $2, $4, 15
+        bnez $2, mskip
+        st   $0, 0($8)
+mskip:
+        addi $16, $16, -1
+        j    mloop
+fin:
+        halt
+
+# --- whole-board influence scan: classify every cell, tally counts,
+# --- and accumulate a positional weight for occupied cells -----------
+board_scan:
+        li   $6, 0            # cell index
+        li   $9, 0            # empties
+        li   $10, 0           # black influence
+        li   $11, 0           # white influence
+bs_cell:
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        ld   $3, 0($2)
+        beqz $3, bs_empty
+        li   $2, 1
+        beq  $3, $2, bs_black
+        li   $2, 2
+        beq  $3, $2, bs_white
+        j    bs_next          # border sentinel
+bs_empty:
+        addiu $9, $9, 1
+        j    bs_next
+bs_black:
+        # weight central cells higher: weight = 21 - |col - 10|
+        la   $2, brow
+        ld   $2, 0($2)
+        rem  $7, $6, $2
+        addi $7, $7, -10
+        bgez $7, bs_babs
+        neg  $7, $7
+bs_babs:
+        la   $2, brow
+        ld   $2, 0($2)
+        sub  $7, $2, $7
+        addu $10, $10, $7
+        j    bs_next
+bs_white:
+        la   $2, brow
+        ld   $2, 0($2)
+        rem  $7, $6, $2
+        addi $7, $7, -10
+        bgez $7, bs_wabs
+        neg  $7, $7
+bs_wabs:
+        la   $2, brow
+        ld   $2, 0($2)
+        sub  $7, $2, $7
+        addu $11, $11, $7
+bs_next:
+        addiu $6, $6, 1
+        slti $2, $6, 441
+        bnez $2, bs_cell
+        # fold the influence estimate into the score array
+        la   $2, score
+        ld   $3, 0($2)
+        addu $3, $3, $10
+        st   $3, 0($2)
+        ld   $3, 8($2)
+        addu $3, $3, $11
+        st   $3, 8($2)
+        ret
+
+# --- zero the interior, write sentinel 3 on the border --------------
+init_board:
+        li   $6, 0
+ib_loop:
+        li   $2, 21
+        div  $7, $6, $2
+        rem  $9, $6, $2
+        li   $10, 0
+        beqz $7, ib_border
+        beqz $9, ib_border
+        li   $2, 20
+        beq  $7, $2, ib_border
+        beq  $9, $2, ib_border
+        j    ib_store
+ib_border:
+        li   $10, 3
+ib_store:
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        st   $10, 0($2)
+        addiu $6, $6, 1
+        slti $2, $6, 441
+        bnez $2, ib_loop
+        ret
+
+# --- evaluate the point at $8 for colour $5; result in $22 ----------
+# counts liberties (empty neighbours), friends, foes; walks friendly
+# chains outward per direction (variable-length, data-dependent).
+eval_point:
+        addi $29, $29, -16
+        st   $20, 0($29)
+        st   $26, 8($29)
+        la   $11, noffs
+        li   $12, 0           # direction index
+        li   $13, 0           # liberties
+        li   $14, 0           # friends
+        li   $15, 0           # foes
+ep_loop:
+        sll  $2, $12, 3
+        addu $2, $2, $11
+        ld   $17, 0($2)       # direction offset (bytes)
+        addu $3, $17, $8
+        ld   $9, 0($3)        # neighbour stone
+        beqz $9, ep_lib
+        beq  $9, $5, ep_friend
+        li   $2, 3
+        beq  $9, $2, ep_next  # border sentinel
+        addiu $15, $15, 1     # foe
+        j    ep_next
+ep_lib:
+        addiu $13, $13, 1
+        j    ep_next
+ep_friend:
+        addiu $14, $14, 1
+ep_walk:
+        addu $3, $3, $17      # continue along the chain
+        ld   $9, 0($3)
+        bne  $9, $5, ep_next  # chain ends (empty/foe/border)
+        addiu $14, $14, 1
+        j    ep_walk
+ep_next:
+        addiu $12, $12, 1
+        slti $2, $12, 4
+        bnez $2, ep_loop
+        # evaluation = liberties*4 + friends*2 - foes
+        sll  $22, $13, 2
+        sll  $2, $14, 1
+        addu $22, $22, $2
+        sub  $22, $22, $15
+        ld   $20, 0($29)
+        ld   $26, 8($29)
+        addi $29, $29, 16
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kMoves);
+    Value prev_pos = 180;
+    for (std::uint64_t i = 0; i < kMoves; ++i) {
+        // Cluster moves: half the time play near the previous move's
+        // area (go games are local), otherwise anywhere.
+        static_assert(19 * 19 == 361);
+        Value pos;
+        if (rng.chancePercent(70)) {
+            const std::int64_t jitter = rng.nextRange(-21, 21);
+            const std::int64_t p =
+                static_cast<std::int64_t>(prev_pos) + jitter;
+            pos = static_cast<Value>(p < 0 ? 0 : (p > 360 ? 360 : p));
+        } else {
+            pos = rng.nextBelow(361);
+        }
+        const Value colour = 1 + (i & 1); // alternating
+        input.push_back(pos | (colour << 10));
+        prev_pos = pos;
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlGo()
+{
+    Workload w;
+    w.name = "go";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kMoves * 280;
+    return w;
+}
+
+} // namespace ppm

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * 132.ijpeg analog: integer 8x8 forward DCT + quantization + zigzag.
+ *
+ * Streams 8x8 sample blocks through a shared 1-D transform routine
+ * (rows then columns), divides by a static quantization table, and
+ * scatters coefficients in zigzag order — the regular loop nests,
+ * immediate-constant multiplies, and static-table reads (D-node
+ * repeated use) characteristic of image codecs.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kBlocks = 650;
+
+constexpr std::string_view kSource = R"(
+# --- 132.ijpeg analog -----------------------------------------------
+        .data
+block:  .space 64             # the 8x8 working block
+coefs:  .space 64             # zigzagged quantized output
+qtab:   .word 16, 11, 10, 16, 24, 40, 51, 61
+        .word 12, 12, 14, 19, 26, 58, 60, 55
+        .word 14, 13, 16, 24, 40, 57, 69, 56
+        .word 14, 17, 22, 29, 51, 87, 80, 62
+        .word 18, 22, 37, 56, 68, 109, 103, 77
+        .word 24, 35, 55, 64, 81, 104, 113, 92
+        .word 49, 64, 78, 87, 103, 121, 120, 101
+        .word 72, 92, 95, 98, 112, 100, 103, 99
+zigzag: .word 0, 1, 8, 16, 9, 2, 3, 10
+        .word 17, 24, 32, 25, 18, 11, 4, 5
+        .word 12, 19, 26, 33, 40, 48, 41, 34
+        .word 27, 20, 13, 6, 7, 14, 21, 28
+        .word 35, 42, 49, 56, 57, 50, 43, 36
+        .word 29, 22, 15, 23, 30, 37, 44, 51
+        .word 58, 59, 52, 45, 38, 31, 39, 46
+        .word 53, 60, 61, 54, 47, 55, 62, 63
+qwork:  .space 64             # quality-scaled quantizer copy
+zwork:  .space 64             # working zigzag copy
+nzcount: .space 1
+qbias:  .space 1              # rounding bias global, set at startup
+
+        .text
+main:
+        li   $16, 650         # blocks to compress
+        la   $23, __input     # packed sample cursor (8 bytes/word)
+        li   $24, 0           # nonzero coefficient count
+
+        # scale the static quantization table by the quality factor
+        # into a working copy, as libjpeg's quality setup does (the
+        # static tables are read once here, not per coefficient)
+        la   $21, qtab
+        la   $22, zigzag
+        la   $2, qwork
+        la   $3, zwork
+        li   $19, 0
+qinit:
+        sll  $4, $19, 3
+        addu $5, $21, $4
+        ld   $6, 0($5)
+        sll  $6, $6, 1        # quality scale: x2
+        srl  $6, $6, 1        # ... and back (quality 50)
+        addu $5, $2, $4
+        st   $6, 0($5)
+        addu $5, $22, $4
+        ld   $6, 0($5)
+        addu $5, $3, $4
+        st   $6, 0($5)
+        addiu $19, $19, 1
+        slti $4, $19, 64
+        bnez $4, qinit
+        la   $21, qwork       # hot loops use the working copies
+        la   $22, zwork
+        li   $4, 1
+        la   $5, qbias
+        st   $4, 0($5)        # rounding bias consulted per coefficient
+blkloop:
+        beqz $16, fin
+
+        # --- unpack 64 byte samples (8 packed words) into the block
+        la   $6, block
+        li   $19, 8
+rd:
+        ld   $4, 0($23)
+        addi $23, $23, 8
+        li   $20, 8
+rd_byte:
+        andi $2, $4, 255
+        st   $2, 0($6)
+        srl  $4, $4, 8
+        addi $6, $6, 8
+        addi $20, $20, -1
+        bnez $20, rd_byte
+        addi $19, $19, -1
+        bnez $19, rd
+
+        # --- 8 row transforms (stride 8 bytes)
+        la   $20, block
+        li   $19, 8
+rowp:
+        mov  $4, $20
+        li   $5, 8
+        jal  dct8
+        addi $20, $20, 64     # next row
+        addi $19, $19, -1
+        bnez $19, rowp
+
+        # --- 8 column transforms (stride 64 bytes)
+        la   $20, block
+        li   $19, 8
+colp:
+        mov  $4, $20
+        li   $5, 64
+        jal  dct8
+        addi $20, $20, 8      # next column
+        addi $19, $19, -1
+        bnez $19, colp
+
+        # --- quantize + zigzag scatter
+        la   $5, coefs
+        li   $19, 0
+qz:
+        sll  $2, $19, 3
+        la   $3, block
+        addu $3, $3, $2
+        ld   $6, 0($3)        # coefficient
+        addu $3, $21, $2
+        ld   $7, 0($3)        # quantizer (from the working copy)
+        la   $3, qbias
+        ld   $3, 0($3)        # rounding bias (constant global)
+        addu $6, $6, $3
+        div  $6, $6, $7
+        addu $3, $22, $2
+        ld   $8, 0($3)        # zigzag position (static table)
+        sll  $8, $8, 3
+        addu $8, $8, $5
+        st   $6, 0($8)
+        beqz $6, qz_next
+        addiu $24, $24, 1
+qz_next:
+        addiu $19, $19, 1
+        slti $2, $19, 64
+        bnez $2, qz
+
+        addi $16, $16, -1
+        j    blkloop
+fin:
+        la   $2, nzcount
+        st   $24, 0($2)
+        halt
+
+# --- 8-point integer DCT on samples at $4 with stride $5 bytes ------
+# Loeffler-flavoured butterfly network with 10-bit fixed-point
+# constants; clobbers $2,$3,$6-$15,$17,$18,$25-$28,$30.
+dct8:
+        addi $29, $29, -16
+        st   $21, 0($29)
+        st   $22, 8($29)
+        mov  $6, $4
+        ld   $8, 0($6)
+        addu $6, $6, $5
+        ld   $9, 0($6)
+        addu $6, $6, $5
+        ld   $10, 0($6)
+        addu $6, $6, $5
+        ld   $11, 0($6)
+        addu $6, $6, $5
+        ld   $12, 0($6)
+        addu $6, $6, $5
+        ld   $13, 0($6)
+        addu $6, $6, $5
+        ld   $14, 0($6)
+        addu $6, $6, $5
+        ld   $15, 0($6)
+
+        # even/odd butterflies
+        addu $17, $8, $15     # t0 = s0+s7
+        sub  $26, $8, $15     # t7 = s0-s7
+        addu $18, $9, $14     # t1 = s1+s6
+        sub  $27, $9, $14     # t6 = s1-s6
+        addu $25, $10, $13    # t2 = s2+s5
+        sub  $28, $10, $13    # t5 = s2-s5
+        addu $7, $11, $12     # t3 = s3+s4
+        sub  $30, $11, $12    # t4 = s3-s4
+
+        addu $8, $17, $7      # u0 = t0+t3
+        sub  $9, $17, $7      # u3 = t0-t3
+        addu $10, $18, $25    # u1 = t1+t2
+        sub  $11, $18, $25    # u2 = t1-t2
+
+        addu $12, $8, $10     # o0
+        sub  $17, $8, $10     # o4
+        # o2 = (u3*1338 + u2*554) >> 10
+        li   $2, 1338
+        mul  $14, $9, $2
+        li   $2, 554
+        mul  $3, $11, $2
+        addu $14, $14, $3
+        sra  $14, $14, 10
+        # o6 = (u3*554 - u2*1338) >> 10
+        li   $2, 554
+        mul  $25, $9, $2
+        li   $2, 1338
+        mul  $3, $11, $2
+        sub  $25, $25, $3
+        sra  $25, $25, 10
+        # o1 = (t7*1004 + t6*851 + t5*569 + t4*196) >> 10
+        li   $2, 1004
+        mul  $13, $26, $2
+        li   $2, 851
+        mul  $3, $27, $2
+        addu $13, $13, $3
+        li   $2, 569
+        mul  $3, $28, $2
+        addu $13, $13, $3
+        li   $2, 196
+        mul  $3, $30, $2
+        addu $13, $13, $3
+        sra  $13, $13, 10
+        # o3 = (t7*851 - t6*196 - t5*1004 - t4*569) >> 10
+        li   $2, 851
+        mul  $15, $26, $2
+        li   $2, 196
+        mul  $3, $27, $2
+        sub  $15, $15, $3
+        li   $2, 1004
+        mul  $3, $28, $2
+        sub  $15, $15, $3
+        li   $2, 569
+        mul  $3, $30, $2
+        sub  $15, $15, $3
+        sra  $15, $15, 10
+        # o5 = (t7*569 - t6*1004 + t5*196 + t4*851) >> 10
+        li   $2, 569
+        mul  $18, $26, $2
+        li   $2, 1004
+        mul  $3, $27, $2
+        sub  $18, $18, $3
+        li   $2, 196
+        mul  $3, $28, $2
+        addu $18, $18, $3
+        li   $2, 851
+        mul  $3, $30, $2
+        addu $18, $18, $3
+        sra  $18, $18, 10
+        # o7 = (t7*196 - t6*569 + t5*851 - t4*1004) >> 10
+        li   $2, 196
+        mul  $26, $26, $2
+        li   $2, 569
+        mul  $3, $27, $2
+        sub  $26, $26, $3
+        li   $2, 851
+        mul  $3, $28, $2
+        addu $26, $26, $3
+        li   $2, 1004
+        mul  $3, $30, $2
+        sub  $26, $26, $3
+        sra  $26, $26, 10
+
+        # store o0,o1,o2,o3,o4,o5,o6,o7 back through the same stride
+        mov  $6, $4
+        st   $12, 0($6)
+        addu $6, $6, $5
+        st   $13, 0($6)
+        addu $6, $6, $5
+        st   $14, 0($6)
+        addu $6, $6, $5
+        st   $15, 0($6)
+        addu $6, $6, $5
+        st   $17, 0($6)
+        addu $6, $6, $5
+        st   $18, 0($6)
+        addu $6, $6, $5
+        st   $25, 0($6)
+        addu $6, $6, $5
+        st   $26, 0($6)
+        ld   $21, 0($29)
+        ld   $22, 8($29)
+        addi $29, $29, 16
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kBlocks * 8);
+    for (std::uint64_t b = 0; b < kBlocks; ++b) {
+        // Smooth image-like blocks: a per-block base level plus a
+        // gentle gradient and small noise, so the DCT concentrates
+        // energy in low frequencies like real photos do. Samples are
+        // bytes packed eight per word, row by row.
+        const std::int64_t base = 60 + rng.nextRange(0, 120);
+        const std::int64_t gx = rng.nextRange(-3, 3);
+        const std::int64_t gy = rng.nextRange(-3, 3);
+        for (int y = 0; y < 8; ++y) {
+            Value word = 0;
+            for (int x = 0; x < 8; ++x) {
+                const std::int64_t noise = rng.nextRange(-2, 2);
+                std::int64_t v = base + gx * x + gy * y + noise;
+                if (v < 0)
+                    v = 0;
+                if (v > 255)
+                    v = 255;
+                word |= static_cast<Value>(v) << (8 * x);
+            }
+            input.push_back(word);
+        }
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlIjpeg()
+{
+    Workload w;
+    w.name = "ijpeg";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kBlocks * 2000;
+    return w;
+}
+
+} // namespace ppm

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * 130.li (xlisp) analog: cons-cell list manipulation.
+ *
+ * A free-list allocator hands out two-word cons cells; a stream of
+ * interpreter "ops" conses tagged values onto a list, folds over it
+ * with tag-test branches, reverses it in place, and returns cells to
+ * the free list. The cdr chains scramble through the heap as the run
+ * progresses, giving the pointer-chasing loads and type-dispatch
+ * branches characteristic of Lisp runtimes.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kOps = 22'000;
+
+constexpr std::string_view kSource = R"(
+# --- 130.li analog ---------------------------------------------------
+        .data
+heap:   .space 8192           # 4096 cons cells (car, cdr)
+result: .space 2
+maxlen: .space 1              # list capacity global, set at startup
+trflag: .space 1              # *tracenable* flag, set at startup
+
+        .text
+main:
+        la   $20, heap
+        jal  init_freelist    # freelist head -> $21
+        li   $22, 0           # list head (nil = 0)
+        li   $23, 0           # list length
+        li   $24, 0           # fold accumulator
+        la   $26, __input     # packed op stream (4 ops per word)
+        li   $27, 0           # ops left in the unpack register
+        # interpreter globals, written once, reloaded per op (xlisp
+        # consults *tracenable*/limits through globals constantly)
+        li   $2, 64
+        la   $3, maxlen
+        st   $2, 0($3)
+        la   $3, trflag
+        st   $0, 0($3)
+        li   $16, 22000       # interpreter ops
+oploop:
+        beqz $16, fin
+        bnez $27, op_unpack
+        ld   $28, 0($26)
+        addi $26, $26, 8
+        li   $27, 4
+op_unpack:
+        andi $4, $28, 65535   # one packed op: sel<<12 | value
+        srl  $28, $28, 16
+        addi $27, $27, -1
+        andi $5, $4, 4095     # operand value
+        srl  $4, $4, 12
+        andi $4, $4, 7        # op selector
+        # trace hook: the flag is always clear, as it usually is
+        la   $2, trflag
+        ld   $2, 0($2)
+        bnez $2, op_trace
+        # ops: 0..3 = cons, 4..5 = pop, 6 = fold, 7 = reverse;
+        # but force a pop when the list is at capacity.
+        la   $2, maxlen
+        ld   $2, 0($2)
+        blt  $23, $2, op_pick
+        li   $4, 4            # at capacity: pop
+op_pick:
+        slti $2, $4, 4
+        bnez $2, op_cons
+        slti $2, $4, 6
+        bnez $2, op_pop
+        li   $2, 6
+        beq  $4, $2, op_fold
+        j    op_rev
+
+op_cons:
+        beqz $21, op_next     # out of cells (cannot happen: capped)
+        mov  $6, $21          # allocate
+        ld   $21, 8($6)       # freelist = cdr(cell)
+        # tag the value: odd tag = int, even tag = symbol-ish
+        sll  $5, $5, 2
+        andi $2, $16, 1
+        or   $5, $5, $2
+        st   $5, 0($6)        # car = tagged value
+        st   $22, 8($6)       # cdr = old head
+        mov  $22, $6
+        addiu $23, $23, 1
+        j    op_next
+
+op_pop:
+        beqz $22, op_next     # empty list
+        mov  $6, $22
+        ld   $22, 8($6)       # head = cdr
+        st   $21, 8($6)       # cell -> freelist
+        mov  $21, $6
+        addi $23, $23, -1
+        j    op_next
+
+op_fold:
+        mov  $6, $22
+fold_walk:
+        beqz $6, op_next
+        ld   $7, 0($6)        # car (tagged)
+        andi $2, $7, 1
+        srl  $7, $7, 2
+        beqz $2, fold_sym
+        addu $24, $24, $7     # int: add
+        j    fold_step
+fold_sym:
+        xor  $24, $24, $7     # symbol: mix
+fold_step:
+        ld   $6, 8($6)        # cdr
+        j    fold_walk
+
+op_rev:
+        li   $6, 0            # prev
+        mov  $7, $22          # cur
+rev_walk:
+        beqz $7, rev_done
+        ld   $8, 8($7)        # next = cdr(cur)
+        st   $6, 8($7)        # cdr(cur) = prev
+        mov  $6, $7
+        mov  $7, $8
+        j    rev_walk
+rev_done:
+        mov  $22, $6
+        j    op_next
+
+op_trace:
+        # tracing path (never taken with the default flag)
+        addu $24, $24, $4
+op_next:
+        addi $16, $16, -1
+        j    oploop
+fin:
+        la   $2, result
+        st   $24, 0($2)
+        st   $23, 8($2)
+        halt
+
+# --- thread all 4096 cells into the free list ------------------------
+init_freelist:
+        mov  $21, $20         # head = first cell
+        li   $6, 0
+ifl_loop:
+        sll  $2, $6, 4        # cell i at heap + 16*i
+        addu $2, $2, $20
+        addi $3, $2, 16       # next cell address
+        li   $7, 4095
+        blt  $6, $7, ifl_link
+        li   $3, 0            # last cell: nil
+ifl_link:
+        st   $3, 8($2)
+        st   $0, 0($2)
+        addiu $6, $6, 1
+        slti $2, $6, 4096
+        bnez $2, ifl_loop
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kOps / 4 + 1);
+    Value word = 0;
+    unsigned packed = 0;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        const Value sel = rng.nextBelow(8);
+        const Value val = rng.nextSkewed(10) & 0xfff;
+        word |= ((sel << 12) | val) << (16 * packed);
+        if (++packed == 4) {
+            input.push_back(word);
+            word = 0;
+            packed = 0;
+        }
+    }
+    if (packed != 0)
+        input.push_back(word);
+    return input;
+}
+
+} // namespace
+
+Workload
+wlLi()
+{
+    Workload w;
+    w.name = "li";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kOps * 55;
+    return w;
+}
+
+} // namespace ppm

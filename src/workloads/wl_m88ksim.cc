@@ -1,0 +1,200 @@
+/**
+ * @file
+ * 124.m88ksim analog: an instruction-set simulator simulated.
+ *
+ * The workload is itself a little fetch-decode-dispatch-execute
+ * interpreter: a guest program lives in static data (so every fetch is
+ * a repeated read of a D node — m88ksim has the paper's largest D-arc
+ * fraction), fields are extracted with shifts and masks, and execution
+ * dispatches through a jump table of register-indirect jumps. The
+ * guest program is a small counted loop with loads, stores, and a
+ * backward branch.
+ */
+
+#include "workloads/workload.hh"
+
+#include <string>
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kRuns = 450;
+
+/** Guest opcodes (field layout: op<<24 | rd<<16 | rs<<8 | imm8). */
+enum GuestOp : std::uint64_t
+{
+    kGEnd = 0,  ///< end of guest run
+    kGLi = 1,   ///< regs[rd] = imm
+    kGAdd = 2,  ///< regs[rd] += regs[rs]
+    kGAddi = 3, ///< regs[rd] += signext8(imm)
+    kGLd = 4,   ///< regs[rd] = gmem[imm]
+    kGSt = 5,   ///< gmem[imm] = regs[rs]
+    kGBnez = 6, ///< if (regs[rs] != 0) gpc = imm
+    kGXor = 7,  ///< regs[rd] ^= regs[rs]
+};
+
+constexpr std::uint64_t
+genc(std::uint64_t op, std::uint64_t rd, std::uint64_t rs,
+     std::uint64_t imm)
+{
+    return (op << 24) | (rd << 16) | (rs << 8) | imm;
+}
+
+/** The guest program: acc/spill/reload loop, 50 iterations per run. */
+constexpr std::uint64_t kGuestProgram[] = {
+    genc(kGLi, 1, 0, 0),    //  0: li   r1, 0      (acc)
+    genc(kGLi, 2, 0, 50),   //  1: li   r2, 50     (counter)
+    genc(kGLi, 3, 0, 1),    //  2: li   r3, 1
+    genc(kGAdd, 1, 2, 0),   //  3: add  r1, r2     <- loop head
+    genc(kGSt, 0, 1, 10),   //  4: st   r1 -> gmem[10]
+    genc(kGLd, 4, 0, 10),   //  5: ld   r4 <- gmem[10]
+    genc(kGXor, 5, 4, 0),   //  6: xor  r5, r4
+    genc(kGAddi, 2, 0, 255),//  7: addi r2, -1
+    genc(kGBnez, 0, 2, 3),  //  8: bnez r2, 3
+    genc(kGEnd, 0, 0, 0),   //  9: end of run
+};
+
+const std::string &
+buildSource()
+{
+    static const std::string source = [] {
+        std::string gwords;
+        for (std::uint64_t w : kGuestProgram)
+            gwords += "        .word " + std::to_string(w) + "\n";
+
+        return std::string(R"(
+# --- 124.m88ksim analog (guest-ISA interpreter) ---------------------
+        .data
+gprog:
+)") + gwords +
+               std::string(R"(
+gregs:  .space 32             # guest register file
+gmem:   .space 256            # guest memory
+gtab:   .word op_end, op_li, op_add, op_addi
+        .word op_ld, op_st, op_bnez, op_xor
+smode:  .space 1              # simulator trace-mode word
+
+        .text
+main:
+        li   $16, 450         # guest runs to simulate
+        la   $19, gprog
+        la   $20, gregs
+        la   $21, gmem
+        la   $22, gtab
+        la   $2, smode
+        st   $0, 0($2)        # tracing off, as usual
+        li   $17, 0           # guest pc
+floop:
+        # consult the trace-mode word every cycle, like m88ksim does
+        la   $2, smode
+        ld   $2, 0($2)
+        bnez $2, trace_stub
+        # fetch (repeated read of static data)
+        sll  $2, $17, 3
+        addu $2, $2, $19
+        ld   $4, 0($2)
+        addi $17, $17, 1
+        # decode: op | rd | rs | imm8
+        srl  $5, $4, 24
+        andi $5, $5, 255
+        srl  $6, $4, 16
+        andi $6, $6, 255
+        srl  $7, $4, 8
+        andi $7, $7, 255
+        andi $8, $4, 255
+        # dispatch
+        sll  $2, $5, 3
+        addu $2, $2, $22
+        ld   $3, 0($2)
+        jr   $3
+
+op_li:
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        st   $8, 0($2)
+        j    floop
+op_add:
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        ld   $9, 0($2)
+        sll  $3, $7, 3
+        addu $3, $3, $20
+        ld   $10, 0($3)
+        addu $9, $9, $10
+        st   $9, 0($2)
+        j    floop
+op_addi:
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        ld   $9, 0($2)
+        # sign-extend imm8
+        xori $10, $8, 128
+        addi $10, $10, -128
+        addu $9, $9, $10
+        st   $9, 0($2)
+        j    floop
+op_ld:
+        sll  $2, $8, 3
+        addu $2, $2, $21
+        ld   $9, 0($2)
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        st   $9, 0($2)
+        j    floop
+op_st:
+        sll  $2, $7, 3
+        addu $2, $2, $20
+        ld   $9, 0($2)
+        sll  $2, $8, 3
+        addu $2, $2, $21
+        st   $9, 0($2)
+        j    floop
+op_bnez:
+        sll  $2, $7, 3
+        addu $2, $2, $20
+        ld   $9, 0($2)
+        beqz $9, floop
+        mov  $17, $8          # taken: guest pc = imm
+        j    floop
+op_xor:
+        sll  $2, $6, 3
+        addu $2, $2, $20
+        ld   $9, 0($2)
+        sll  $3, $7, 3
+        addu $3, $3, $20
+        ld   $10, 0($3)
+        xor  $9, $9, $10
+        st   $9, 0($2)
+        j    floop
+op_end:
+        li   $17, 0           # restart the guest program
+        addi $16, $16, -1
+        bnez $16, floop
+        halt
+trace_stub:
+        # tracing path: never reached with tracing off
+        addi $17, $17, 0
+        j    floop
+)");
+    }();
+    return source;
+}
+
+} // namespace
+
+Workload
+wlM88ksim()
+{
+    Workload w;
+    w.name = "m88ksim";
+    w.isFloat = false;
+    w.source = buildSource();
+    w.makeInput = [](std::uint64_t) { return std::vector<Value>{}; };
+    w.approxInstrs = kRuns * 4800;
+    return w;
+}
+
+} // namespace ppm

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * 107.mgrid analog: multigrid V-cycle relaxation.
+ *
+ * Two grid levels (16^3 fine, 8^3 coarse) are relaxed with a 7-point
+ * stencil, restricted, and prolonged. Faithful to the paper's
+ * observation that mgrid has almost no node generation because few
+ * instructions carry immediates: the inner loops use register-held
+ * strides, pointer walking, and register-to-register compares
+ * exclusively — no immediate operands inside the hot loops.
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr unsigned kNf = 16;
+constexpr unsigned kNc = 8;
+constexpr std::uint64_t kFineCells = kNf * kNf * kNf;
+constexpr std::uint64_t kCycles = 11;
+
+constexpr std::string_view kSource = R"(
+# --- 107.mgrid analog -------------------------------------------------
+        .data
+fine:   .space 4096           # 16^3
+coarse: .space 512            # 8^3
+coefs:  .double 0.56, 0.07
+resid:  .space 1
+
+        .text
+main:
+        la   $20, fine
+        la   $21, coarse
+        la   $2, coefs
+        ld   $f0, 0($2)       # centre coefficient
+        ld   $f1, 8($2)       # neighbour coefficient
+        jal  init_fine
+        li   $16, 11          # V-cycles
+cycle:
+        beqz $16, fin
+        # relax fine, restrict, relax coarse, prolong
+        mov  $4, $20
+        li   $5, 16
+        jal  relax
+        jal  restrict
+        mov  $4, $21
+        li   $5, 8
+        jal  relax
+        jal  prolong
+        addi $16, $16, -1
+        j    cycle
+fin:
+        halt
+
+# --- fill the fine grid from the input segment ------------------------
+init_fine:
+        la   $3, __input
+        mov  $6, $20
+        li   $7, 4096
+if_loop:
+        ld   $4, 0($3)
+        st   $4, 0($6)
+        addi $3, $3, 8
+        addi $6, $6, 8
+        addi $7, $7, -1
+        bnez $7, if_loop
+        ret
+
+# --- 7-point relaxation over grid $4 of size $5 ------------------------
+# All inner-loop arithmetic is register-register: strides, bounds and
+# increments live in registers set up here, outside the loops.
+relax:
+        li   $6, 8            # sk: k stride (bytes)
+        mul  $7, $6, $5       # sj: j stride
+        mul  $8, $7, $5       # si: i stride
+        li   $9, 1            # +1 increment register
+        addi $10, $5, -1      # loop bound (n-1)
+        li   $11, 1           # i
+rx_i:
+        li   $12, 1           # j
+rx_j:
+        # p = base + i*si + j*sj + 1*sk
+        mul  $13, $11, $8
+        addu $13, $13, $4
+        mul  $14, $12, $7
+        addu $13, $13, $14
+        addu $13, $13, $6
+        li   $15, 1           # k
+rx_k:
+        ld   $f4, 0($13)      # centre
+        sub  $17, $13, $6
+        ld   $f5, 0($17)      # k-1
+        addu $17, $13, $6
+        ld   $f6, 0($17)      # k+1
+        fadd.d $f5, $f5, $f6
+        sub  $17, $13, $7
+        ld   $f6, 0($17)      # j-1
+        fadd.d $f5, $f5, $f6
+        addu $17, $13, $7
+        ld   $f6, 0($17)      # j+1
+        fadd.d $f5, $f5, $f6
+        sub  $17, $13, $8
+        ld   $f6, 0($17)      # i-1
+        fadd.d $f5, $f5, $f6
+        addu $17, $13, $8
+        ld   $f6, 0($17)      # i+1
+        fadd.d $f5, $f5, $f6
+        fmul.d $f4, $f4, $f0
+        fmul.d $f5, $f5, $f1
+        fadd.d $f4, $f4, $f5
+        st   $f4, 0($13)
+        addu $13, $13, $6
+        addu $15, $15, $9
+        bne  $15, $10, rx_k
+        addu $12, $12, $9
+        bne  $12, $10, rx_j
+        addu $11, $11, $9
+        bne  $11, $10, rx_i
+        ret
+
+# --- restriction: coarse[i,j,k] = fine[2i,2j,2k] -----------------------
+restrict:
+        li   $6, 0            # linear coarse index
+        li   $7, 512
+rs_loop:
+        # decompose i,j,k (coarse n = 8)
+        li   $2, 8
+        div  $9, $6, $2       # i*8 + j
+        rem  $10, $6, $2      # k
+        div  $11, $9, $2      # i
+        rem  $12, $9, $2      # j
+        # fine linear index = ((2i)*16 + 2j)*16 + 2k
+        sll  $11, $11, 1
+        sll  $12, $12, 1
+        sll  $10, $10, 1
+        sll  $13, $11, 4
+        addu $13, $13, $12
+        sll  $13, $13, 4
+        addu $13, $13, $10
+        sll  $13, $13, 3
+        addu $13, $13, $20
+        ld   $f4, 0($13)
+        sll  $14, $6, 3
+        addu $14, $14, $21
+        st   $f4, 0($14)
+        addi $6, $6, 1
+        bne  $6, $7, rs_loop
+        ret
+
+# --- prolongation: fine[2i,2j,2k] += 0.5 * coarse[i,j,k] ---------------
+prolong:
+        la   $2, coefs
+        ld   $f2, 8($2)       # reuse the neighbour coefficient
+        li   $6, 0
+        li   $7, 512
+pl_loop:
+        li   $2, 8
+        div  $9, $6, $2
+        rem  $10, $6, $2
+        div  $11, $9, $2
+        rem  $12, $9, $2
+        sll  $11, $11, 1
+        sll  $12, $12, 1
+        sll  $10, $10, 1
+        sll  $13, $11, 4
+        addu $13, $13, $12
+        sll  $13, $13, 4
+        addu $13, $13, $10
+        sll  $13, $13, 3
+        addu $13, $13, $20
+        sll  $14, $6, 3
+        addu $14, $14, $21
+        ld   $f4, 0($14)      # coarse value
+        fmul.d $f4, $f4, $f2
+        ld   $f5, 0($13)
+        fadd.d $f5, $f5, $f4
+        st   $f5, 0($13)
+        addi $6, $6, 1
+        bne  $6, $7, pl_loop
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kFineCells);
+    for (std::uint64_t i = 0; i < kFineCells; ++i) {
+        const double v =
+            0.2 + static_cast<double>(rng.nextBelow(6000)) / 10000.0;
+        input.push_back(std::bit_cast<Value>(v));
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlMgrid()
+{
+    Workload w;
+    w.name = "mgrid";
+    w.isFloat = true;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kCycles * 95'000;
+    return w;
+}
+
+} // namespace ppm

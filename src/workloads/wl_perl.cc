@@ -1,0 +1,280 @@
+/**
+ * @file
+ * 134.perl analog: string hashing, an associative array, and a
+ * bytecode-interpreter loop.
+ *
+ * Reads whitespace-separated "words" from input, computes a rolling
+ * hash (the inner character loop), updates a chained hash table, and
+ * then runs a small static stack-machine program through an indirect
+ * dispatch loop — perl's hash-heavy string processing plus its runops
+ * interpreter, in miniature.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kWords = 9'000;
+
+constexpr std::string_view kSource = R"(
+# --- 134.perl analog -------------------------------------------------
+        .data
+htab:   .space 64             # chain heads (node addresses)
+npool:  .space 4096           # node pool: key,val,next,pad per node
+sstack: .space 64             # interpreter operand stack
+globals: .space 8
+bcode:  .word 1, 17           # push 17
+        .word 2, 0            # push seed
+        .word 3, 0            # add
+        .word 1, 3            # push 3
+        .word 4, 0            # mul
+        .word 5, 0            # dup
+        .word 3, 0            # add
+        .word 7, 0            # store global[0]
+        .word 0, 0            # end
+btab:   .word bc_end, bc_pushi, bc_pushs, bc_add
+        .word bc_mul, bc_dup, bc_nop, bc_store
+optree: .space 18             # "compiled" bytecode working copy
+hseed:  .space 1              # hash multiplier global (PERL_HASH)
+
+        .text
+main:
+        li   $16, 9000        # words to process
+        la   $20, htab
+        la   $21, npool
+        li   $23, 0           # node pool bump cursor
+        la   $24, bcode
+        la   $25, btab
+        la   $26, sstack
+        la   $19, __input     # packed character stream
+        li   $27, 0           # characters left in unpack register
+        li   $2, 31
+        la   $3, hseed
+        st   $2, 0($3)        # the PERL_HASH multiplier global
+
+        # "compile" the script: copy the static bytecode into the
+        # optree working copy (perl builds its optree at startup, so
+        # the hot runops loop reads program-written memory)
+        la   $24, bcode
+        la   $25, optree
+        li   $17, 0
+comp:
+        sll  $2, $17, 3
+        addu $3, $2, $24
+        ld   $4, 0($3)
+        addu $3, $2, $25
+        st   $4, 0($3)
+        addiu $17, $17, 1
+        slti $2, $17, 18
+        bnez $2, comp
+        la   $24, optree      # the interpreter walks the optree
+        la   $25, btab
+wloop:
+        beqz $16, fin
+        # --- read one word, rolling-hash its characters
+        li   $4, 0            # hash
+        li   $5, 0            # length
+chloop:
+        bnez $27, ch_unpack
+        ld   $28, 0($19)
+        addi $19, $19, 8
+        li   $27, 8
+ch_unpack:
+        andi $6, $28, 255
+        srl  $28, $28, 8
+        addi $27, $27, -1
+        li   $2, 32
+        beq  $6, $2, word_done
+        la   $2, hseed
+        ld   $2, 0($2)        # hash multiplier reloaded per character
+        mul  $4, $4, $2
+        addu $4, $4, $6
+        addi $5, $5, 1
+        j    chloop
+word_done:
+        beqz $5, wnext
+        jal  assoc_update
+        # the interpreter runs for every fourth word (a "statement")
+        andi $2, $16, 3
+        bnez $2, wnext
+        jal  run_bytecode
+wnext:
+        addi $16, $16, -1
+        j    wloop
+fin:
+        halt
+
+# --- chained hash-table update; $4 = key ----------------------------
+assoc_update:
+        addi $29, $29, -16
+        st   $20, 0($29)
+        st   $21, 8($29)
+        andi $7, $4, 63       # bucket
+        sll  $7, $7, 3
+        addu $7, $7, $20
+        ld   $8, 0($7)        # chain head
+chain:
+        beqz $8, au_insert
+        ld   $9, 0($8)        # node key
+        beq  $9, $4, au_hit
+        ld   $8, 16($8)       # next
+        j    chain
+au_hit:
+        ld   $9, 8($8)        # value++
+        addiu $9, $9, 1
+        st   $9, 8($8)
+        ld   $20, 0($29)
+        ld   $21, 8($29)
+        addi $29, $29, 16
+        ret
+au_insert:
+        li   $2, 128
+        bge  $23, $2, au_full # pool exhausted: drop the insert
+        sll  $9, $23, 5       # node at npool + 32*cursor
+        addu $9, $9, $21
+        addiu $23, $23, 1
+        st   $4, 0($9)        # key
+        li   $2, 1
+        st   $2, 8($9)        # value = 1
+        ld   $2, 0($7)
+        st   $2, 16($9)       # next = old head
+        st   $9, 0($7)        # head = node
+au_full:
+        ld   $20, 0($29)
+        ld   $21, 8($29)
+        addi $29, $29, 16
+        ret
+
+# --- stack-machine interpreter; $4 = seed value ----------------------
+run_bytecode:
+        li   $17, 0           # bytecode pc
+        li   $18, 0           # stack depth
+bloop:
+        sll  $2, $17, 4       # two words per bytecode op
+        addu $2, $2, $24
+        ld   $9, 0($2)        # opcode (static data)
+        ld   $10, 8($2)       # operand (static data)
+        addi $17, $17, 1
+        sll  $2, $9, 3
+        addu $2, $2, $25
+        ld   $3, 0($2)
+        jr   $3
+bc_pushi:
+        sll  $2, $18, 3
+        addu $2, $2, $26
+        st   $10, 0($2)
+        addi $18, $18, 1
+        j    bloop
+bc_pushs:
+        sll  $2, $18, 3
+        addu $2, $2, $26
+        st   $4, 0($2)
+        addi $18, $18, 1
+        j    bloop
+bc_add:
+        addi $18, $18, -1
+        sll  $2, $18, 3
+        addu $2, $2, $26
+        ld   $9, 0($2)
+        addi $2, $2, -8
+        ld   $10, 0($2)
+        addu $10, $10, $9
+        st   $10, 0($2)
+        j    bloop
+bc_mul:
+        addi $18, $18, -1
+        sll  $2, $18, 3
+        addu $2, $2, $26
+        ld   $9, 0($2)
+        addi $2, $2, -8
+        ld   $10, 0($2)
+        mul  $10, $10, $9
+        st   $10, 0($2)
+        j    bloop
+bc_dup:
+        sll  $2, $18, 3
+        addu $2, $2, $26
+        ld   $9, -8($2)
+        st   $9, 0($2)
+        addi $18, $18, 1
+        j    bloop
+bc_nop:
+        j    bloop
+bc_store:
+        addi $18, $18, -1
+        sll  $2, $18, 3
+        addu $2, $2, $26
+        ld   $9, 0($2)
+        la   $2, globals
+        st   $9, 0($2)
+        j    bloop
+bc_end:
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+
+    // A small vocabulary with Zipf-ish reuse: common words repeat a
+    // lot (hash-table hits), rare ones keep inserting.
+    std::vector<std::vector<Value>> vocab;
+    for (int i = 0; i < 48; ++i) {
+        std::vector<Value> word;
+        const unsigned len = 2 + rng.nextBelow(6);
+        for (unsigned c = 0; c < len; ++c)
+            word.push_back('a' + rng.nextBelow(26));
+        vocab.push_back(std::move(word));
+    }
+
+    // Emit the text as bytes packed eight per word (a file buffer).
+    std::vector<Value> bytes;
+    bytes.reserve(kWords * 7);
+    for (std::uint64_t i = 0; i < kWords; ++i) {
+        // Zipf-ish pick: skew toward low vocabulary indexes.
+        const std::uint64_t idx = rng.nextSkewed(6) % vocab.size();
+        for (Value c : vocab[idx])
+            bytes.push_back(c);
+        bytes.push_back(' ');
+    }
+    std::vector<Value> input;
+    input.reserve(bytes.size() / 8 + 1);
+    Value word = 0;
+    unsigned packed = 0;
+    for (Value b : bytes) {
+        word |= b << (8 * packed);
+        if (++packed == 8) {
+            input.push_back(word);
+            word = 0;
+            packed = 0;
+        }
+    }
+    // Pad the tail with spaces so the final program word terminates.
+    if (packed != 0) {
+        for (; packed < 8; ++packed)
+            word |= Value(' ') << (8 * packed);
+        input.push_back(word);
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlPerl()
+{
+    Workload w;
+    w.name = "perl";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kWords * 120;
+    return w;
+}
+
+} // namespace ppm

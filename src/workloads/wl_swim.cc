@@ -1,0 +1,247 @@
+/**
+ * @file
+ * 102.swim analog: shallow-water 2D finite-difference timestepping.
+ *
+ * Three 34x34 fields (u, v, p) advance through coupled neighbour
+ * stencils in three separate loop nests per timestep, followed by a
+ * boundary-wrap copy phase — swim's structure of several distinct
+ * sweeps over the same arrays, giving the FP set's characteristic
+ * repeated-use propagation of loop-invariant values.
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr unsigned kN = 34; // includes a 1-cell border
+constexpr std::uint64_t kCellsPerField = kN * kN;
+constexpr std::uint64_t kSteps = 16;
+
+constexpr std::string_view kSource = R"(
+# --- 102.swim analog ---------------------------------------------------
+        .data
+uf:     .space 1156           # 34x34 u field
+vf:     .space 1156           # v field
+pf:     .space 1156           # p field
+un:     .space 1156           # new u
+vn:     .space 1156           # new v
+pn:     .space 1156           # new p
+coefs:  .double 0.985, 0.004, 0.003
+check:  .space 1
+
+        .text
+main:
+        la   $20, uf
+        la   $21, vf
+        la   $22, pf
+        la   $23, un
+        la   $24, vn
+        la   $25, pn
+        la   $2, coefs
+        ld   $f0, 0($2)       # damping
+        ld   $f1, 8($2)       # gradient coefficient
+        ld   $f2, 16($2)      # coupling coefficient
+        jal  init_fields
+        li   $16, 16          # timesteps
+step:
+        beqz $16, fin
+        jal  sweep_u
+        jal  sweep_v
+        jal  sweep_p
+        jal  copy_back
+        addi $16, $16, -1
+        j    step
+fin:
+        halt
+
+# --- initialize all three fields from the input segment ----------------
+init_fields:
+        la   $3, __input
+        mov  $6, $20
+        li   $7, 3468         # 3 * 1156 words, contiguous layout
+if_loop:
+        ld   $4, 0($3)
+        st   $4, 0($6)
+        addi $3, $3, 8
+        addi $6, $6, 8
+        addi $7, $7, -1
+        bnez $7, if_loop
+        ret
+
+# --- un = damping*u + c1*(p[i,j+1]-p[i,j]) + c2*(v[i+1,j]-v[i-1,j]) ----
+# row stride 272 bytes, col stride 8.
+sweep_u:
+        li   $8, 1            # i
+su_i:
+        # row pointers
+        li   $2, 272
+        mul  $9, $8, $2
+        addu $10, $9, $20     # &u[i,0]
+        addu $11, $9, $22     # &p[i,0]
+        addu $12, $9, $21     # &v[i,0]
+        addu $13, $9, $23     # &un[i,0]
+        addi $10, $10, 8
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $13, $13, 8
+        li   $9, 1            # j
+su_j:
+        ld   $f4, 0($10)      # u
+        ld   $f5, 8($11)      # p[i,j+1]
+        ld   $f6, 0($11)      # p[i,j]
+        fsub.d $f5, $f5, $f6
+        ld   $f6, 272($12)    # v[i+1,j]
+        ld   $f7, -272($12)   # v[i-1,j]
+        fsub.d $f6, $f6, $f7
+        fmul.d $f4, $f4, $f0
+        fmul.d $f5, $f5, $f1
+        fmul.d $f6, $f6, $f2
+        fadd.d $f4, $f4, $f5
+        fadd.d $f4, $f4, $f6
+        st   $f4, 0($13)
+        addi $10, $10, 8
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $13, $13, 8
+        addi $9, $9, 1
+        slti $2, $9, 33
+        bnez $2, su_j
+        addi $8, $8, 1
+        slti $2, $8, 33
+        bnez $2, su_i
+        ret
+
+# --- vn = damping*v + c1*(p[i+1,j]-p[i,j]) + c2*(u[i,j+1]-u[i,j-1]) ----
+sweep_v:
+        li   $8, 1
+sv_i:
+        li   $2, 272
+        mul  $9, $8, $2
+        addu $10, $9, $21     # &v[i,0]
+        addu $11, $9, $22     # &p[i,0]
+        addu $12, $9, $20     # &u[i,0]
+        addu $13, $9, $24     # &vn[i,0]
+        addi $10, $10, 8
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $13, $13, 8
+        li   $9, 1
+sv_j:
+        ld   $f4, 0($10)
+        ld   $f5, 272($11)    # p[i+1,j]
+        ld   $f6, 0($11)
+        fsub.d $f5, $f5, $f6
+        ld   $f6, 8($12)      # u[i,j+1]
+        ld   $f7, -8($12)     # u[i,j-1]
+        fsub.d $f6, $f6, $f7
+        fmul.d $f4, $f4, $f0
+        fmul.d $f5, $f5, $f1
+        fmul.d $f6, $f6, $f2
+        fadd.d $f4, $f4, $f5
+        fadd.d $f4, $f4, $f6
+        st   $f4, 0($13)
+        addi $10, $10, 8
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $13, $13, 8
+        addi $9, $9, 1
+        slti $2, $9, 33
+        bnez $2, sv_j
+        addi $8, $8, 1
+        slti $2, $8, 33
+        bnez $2, sv_i
+        ret
+
+# --- pn = damping*p - c1*(u[i,j+1]-u[i,j-1] + v[i+1,j]-v[i-1,j]) -------
+sweep_p:
+        li   $8, 1
+sp_i:
+        li   $2, 272
+        mul  $9, $8, $2
+        addu $10, $9, $22     # &p[i,0]
+        addu $11, $9, $20     # &u[i,0]
+        addu $12, $9, $21     # &v[i,0]
+        addu $13, $9, $25     # &pn[i,0]
+        addi $10, $10, 8
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $13, $13, 8
+        li   $9, 1
+sp_j:
+        ld   $f4, 0($10)
+        ld   $f5, 8($11)
+        ld   $f6, -8($11)
+        fsub.d $f5, $f5, $f6
+        ld   $f6, 272($12)
+        ld   $f7, -272($12)
+        fsub.d $f6, $f6, $f7
+        fadd.d $f5, $f5, $f6
+        fmul.d $f4, $f4, $f0
+        fmul.d $f5, $f5, $f1
+        fsub.d $f4, $f4, $f5
+        st   $f4, 0($13)
+        addi $10, $10, 8
+        addi $11, $11, 8
+        addi $12, $12, 8
+        addi $13, $13, 8
+        addi $9, $9, 1
+        slti $2, $9, 33
+        bnez $2, sp_j
+        addi $8, $8, 1
+        slti $2, $8, 33
+        bnez $2, sp_i
+        ret
+
+# --- copy the new fields back over the old (interior only) ------------
+copy_back:
+        li   $8, 0            # linear word index over 3 fields
+        li   $9, 3468
+cb_loop:
+        sll  $2, $8, 3
+        addu $3, $2, $23      # new side (un is first of 3 new fields)
+        ld   $f4, 0($3)
+        addu $3, $2, $20      # old side (uf is first of 3 old fields)
+        st   $f4, 0($3)
+        addi $8, $8, 1
+        bne  $8, $9, cb_loop
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kCellsPerField * 3);
+    for (std::uint64_t f = 0; f < 3; ++f) {
+        for (std::uint64_t i = 0; i < kCellsPerField; ++i) {
+            const double v =
+                0.1 +
+                static_cast<double>(rng.nextBelow(8000)) / 10000.0;
+            input.push_back(std::bit_cast<Value>(v));
+        }
+    }
+    return input;
+}
+
+} // namespace
+
+Workload
+wlSwim()
+{
+    Workload w;
+    w.name = "swim";
+    w.isFloat = true;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kSteps * 75'000;
+    return w;
+}
+
+} // namespace ppm

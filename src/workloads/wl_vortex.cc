@@ -1,0 +1,267 @@
+/**
+ * @file
+ * 147.vortex analog: an object store with a sorted index.
+ *
+ * Fixed-size four-word records live in an arena; a sorted key index
+ * supports binary-search lookups (hard-to-predict comparison
+ * branches), ordered inserts (shift loops — strided stores), and
+ * deletes. The transaction mix is lookup-heavy like vortex's OO7-style
+ * database traffic.
+ */
+
+#include "workloads/workload.hh"
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+constexpr std::uint64_t kTxns = 8'500;
+
+constexpr std::string_view kSource = R"(
+# --- 147.vortex analog -----------------------------------------------
+        .data
+arena:  .space 1024           # 256 records x 4 words
+ikeys:  .space 256            # sorted keys
+irecs:  .space 256            # record ids, parallel to ikeys
+stats:  .space 4              # found / missed / inserted / deleted
+dbcap:  .space 1              # index capacity global, set at startup
+dbmode: .space 1              # database mode word, set at startup
+
+        .text
+main:
+        li   $16, 8500        # transactions
+        la   $20, arena
+        la   $21, ikeys
+        la   $22, irecs
+        la   $23, stats
+        li   $24, 0           # live index entries
+        li   $25, 0           # next record slot (bump)
+        la   $26, __input     # packed transaction stream (4 per word)
+        li   $27, 0           # transactions left in unpack register
+        # schema globals, written once, consulted per transaction
+        li   $2, 256
+        la   $3, dbcap
+        st   $2, 0($3)
+        li   $2, 3
+        la   $3, dbmode
+        st   $2, 0($3)
+txloop:
+        beqz $16, fin
+        bnez $27, tx_unpack
+        ld   $28, 0($26)
+        addi $26, $26, 8
+        li   $27, 4
+tx_unpack:
+        andi $4, $28, 65535   # one packed txn: type<<10 | key
+        srl  $28, $28, 16
+        addi $27, $27, -1
+        srl  $5, $4, 10
+        andi $5, $5, 15       # txn type selector 0..9
+        andi $4, $4, 1023     # key
+        # consult the database mode word: abort if the db is closed
+        # (it never is, so this filtering branch is highly predictable)
+        la   $2, dbmode
+        ld   $2, 0($2)
+        beqz $2, fin
+        slti $2, $5, 7
+        bnez $2, tx_lookup
+        slti $2, $5, 9
+        bnez $2, tx_insert
+        j    tx_delete
+
+# --- binary search for $4 in ikeys[0..$24); hit -> $9 = position ----
+# returns with $8 = 1 on hit (position $9), else $8 = 0 ($9 = insert
+# position). Classic unpredictable-comparison loop.
+tx_lookup:
+        jal  bsearch
+        beqz $8, lk_miss
+        # touch the record: load all four words and checksum them
+        sll  $2, $9, 3
+        addu $2, $2, $22
+        ld   $10, 0($2)       # record id
+        sll  $10, $10, 5      # record at arena + 32*id
+        addu $10, $10, $20
+        ld   $11, 0($10)
+        ld   $12, 8($10)
+        ld   $13, 16($10)
+        ld   $14, 24($10)
+        addu $11, $11, $12
+        addu $13, $13, $14
+        xor  $11, $11, $13
+        st   $11, 24($10)     # update the record's checksum word
+        ld   $2, 0($23)
+        addiu $2, $2, 1
+        st   $2, 0($23)       # stats.found++
+        j    tx_next
+lk_miss:
+        ld   $2, 8($23)
+        addiu $2, $2, 1
+        st   $2, 8($23)       # stats.missed++
+        j    tx_next
+
+# --- ordered insert of key $4 ----------------------------------------
+tx_insert:
+        la   $2, dbcap
+        ld   $2, 0($2)
+        bge  $24, $2, tx_next # index full: drop
+        jal  bsearch
+        bnez $8, tx_next      # duplicate key: drop
+        # shift ikeys/irecs up from the tail down to position $9
+        mov  $6, $24          # i = count
+ins_shift:
+        ble  $6, $9, ins_place
+        addi $7, $6, -1
+        sll  $2, $7, 3
+        addu $3, $2, $21
+        ld   $10, 0($3)       # ikeys[i-1]
+        sll  $2, $6, 3
+        addu $2, $2, $21
+        st   $10, 0($2)       # ikeys[i] = ikeys[i-1]
+        sll  $2, $7, 3
+        addu $3, $2, $22
+        ld   $10, 0($3)
+        sll  $2, $6, 3
+        addu $2, $2, $22
+        st   $10, 0($2)
+        addi $6, $6, -1
+        j    ins_shift
+ins_place:
+        sll  $2, $9, 3
+        addu $3, $2, $21
+        st   $4, 0($3)        # ikeys[pos] = key
+        andi $7, $25, 255     # wrap the record arena
+        sll  $2, $9, 3
+        addu $3, $2, $22
+        st   $7, 0($3)        # irecs[pos] = record id
+        addiu $25, $25, 1
+        addiu $24, $24, 1
+        # initialize the record's four fields
+        sll  $10, $7, 5
+        addu $10, $10, $20
+        st   $4, 0($10)
+        sll  $2, $4, 1
+        st   $2, 8($10)
+        xori $2, $4, 85
+        st   $2, 16($10)
+        st   $0, 24($10)
+        ld   $2, 16($23)
+        addiu $2, $2, 1
+        st   $2, 16($23)      # stats.inserted++
+        j    tx_next
+
+# --- delete key $4 if present -----------------------------------------
+tx_delete:
+        jal  bsearch
+        beqz $8, tx_next      # not found
+        # shift ikeys/irecs down over position $9
+        mov  $6, $9
+del_shift:
+        addi $7, $24, -1
+        bge  $6, $7, del_done
+        addi $7, $6, 1
+        sll  $2, $7, 3
+        addu $3, $2, $21
+        ld   $10, 0($3)
+        sll  $2, $6, 3
+        addu $2, $2, $21
+        st   $10, 0($2)
+        sll  $2, $7, 3
+        addu $3, $2, $22
+        ld   $10, 0($3)
+        sll  $2, $6, 3
+        addu $2, $2, $22
+        st   $10, 0($2)
+        addi $6, $6, 1
+        j    del_shift
+del_done:
+        addi $24, $24, -1
+        ld   $2, 24($23)
+        addiu $2, $2, 1
+        st   $2, 24($23)      # stats.deleted++
+        j    tx_next
+
+tx_next:
+        addi $16, $16, -1
+        j    txloop
+fin:
+        halt
+
+# --- binary search: key $4 in ikeys[0..$24) ---------------------------
+# out: $8 = hit flag, $9 = position (hit) or insertion point (miss).
+bsearch:
+        addi $29, $29, -16
+        st   $21, 0($29)
+        st   $22, 8($29)
+        li   $6, 0            # lo
+        mov  $7, $24          # hi
+bs_loop:
+        bge  $6, $7, bs_miss
+        addu $9, $6, $7
+        srl  $9, $9, 1        # mid
+        sll  $2, $9, 3
+        addu $2, $2, $21
+        ld   $10, 0($2)       # ikeys[mid]
+        beq  $10, $4, bs_hit
+        blt  $10, $4, bs_right
+        mov  $7, $9           # hi = mid
+        j    bs_loop
+bs_right:
+        addi $6, $9, 1        # lo = mid+1
+        j    bs_loop
+bs_hit:
+        li   $8, 1
+        ld   $21, 0($29)
+        ld   $22, 8($29)
+        addi $29, $29, 16
+        ret
+bs_miss:
+        li   $8, 0
+        mov  $9, $6
+        ld   $21, 0($29)
+        ld   $22, 8($29)
+        addi $29, $29, 16
+        ret
+)";
+
+std::vector<Value>
+makeInput(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> input;
+    input.reserve(kTxns / 4 + 1);
+    Value word = 0;
+    unsigned packed = 0;
+    for (std::uint64_t i = 0; i < kTxns; ++i) {
+        // Keys from a moderate space so lookups hit often once the
+        // index warms up; type 0-6 lookup, 7-8 insert, 9 delete.
+        const Value key = 1 + (rng.nextSkewed(10) % 700);
+        const Value type = rng.nextBelow(10);
+        word |= ((type << 10) | key) << (16 * packed);
+        if (++packed == 4) {
+            input.push_back(word);
+            word = 0;
+            packed = 0;
+        }
+    }
+    if (packed != 0)
+        input.push_back(word);
+    return input;
+}
+
+} // namespace
+
+Workload
+wlVortex()
+{
+    Workload w;
+    w.name = "vortex";
+    w.isFloat = false;
+    w.source = kSource;
+    w.makeInput = makeInput;
+    w.approxInstrs = kTxns * 160;
+    return w;
+}
+
+} // namespace ppm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The workload abstraction: a named YISA program plus its input
+ * generator. Twelve workloads stand in for the paper's SPEC95 set —
+ * each imitates the dominant kernels and control structure of its
+ * namesake (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef PPM_WORKLOADS_WORKLOAD_HH
+#define PPM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace ppm {
+
+/** One benchmark program. */
+struct Workload
+{
+    /** Short name matching the SPEC95 benchmark it imitates. */
+    std::string name;
+
+    /** True for the floating-point set (applu/fpppp/mgrid/swim). */
+    bool isFloat = false;
+
+    /** YISA assembly source. */
+    std::string_view source;
+
+    /**
+     * Build the deterministic input stream for `in` instructions.
+     * The same seed must always yield the same stream.
+     */
+    std::function<std::vector<Value>(std::uint64_t seed)> makeInput;
+
+    /** Dynamic instructions the program executes before halting. */
+    std::uint64_t approxInstrs = 0;
+};
+
+/** Default seed used by the experiment drivers. */
+constexpr std::uint64_t kDefaultWorkloadSeed = 0x5eed5eed;
+
+/** All twelve workloads: integer first (paper order), then FP. */
+const std::vector<Workload> &allWorkloads();
+
+/** Only the integer (or only the FP) workloads. */
+std::vector<Workload> integerWorkloads();
+std::vector<Workload> floatWorkloads();
+
+/** Look up a workload by name; throws std::out_of_range if missing. */
+const Workload &findWorkload(std::string_view name);
+
+// Factories (one per translation unit in src/workloads/).
+Workload wlCompress();
+Workload wlGcc();
+Workload wlGo();
+Workload wlIjpeg();
+Workload wlLi();
+Workload wlM88ksim();
+Workload wlPerl();
+Workload wlVortex();
+Workload wlApplu();
+Workload wlFpppp();
+Workload wlMgrid();
+Workload wlSwim();
+
+} // namespace ppm
+
+#endif // PPM_WORKLOADS_WORKLOAD_HH

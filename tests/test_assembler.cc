@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the lexer and two-pass assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "asmr/assembler.hh"
+#include "asmr/lexer.hh"
+
+namespace ppm {
+namespace {
+
+// --- lexer -----------------------------------------------------------
+
+TEST(Lexer, BasicTokens)
+{
+    const auto toks = tokenizeLine("add $1, $2, $3 # cmt", 1);
+    ASSERT_EQ(toks.size(), 7u);
+    EXPECT_EQ(toks[0].kind, TokKind::Ident);
+    EXPECT_EQ(toks[0].text, "add");
+    EXPECT_EQ(toks[1].kind, TokKind::Reg);
+    EXPECT_EQ(toks[2].kind, TokKind::Comma);
+    EXPECT_EQ(toks.back().kind, TokKind::EndOfLine);
+}
+
+TEST(Lexer, IntLiterals)
+{
+    const auto toks = tokenizeLine("li $1, -42", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Int);
+    EXPECT_EQ(toks[3].value, -42);
+
+    const auto hex = tokenizeLine(".word 0x8000bfff", 1);
+    EXPECT_EQ(hex[1].kind, TokKind::Int);
+    EXPECT_EQ(hex[1].value, 0x8000bfff);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    const auto toks = tokenizeLine(".double 1.5, -0.25, 2e3", 1);
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[1].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[1].fvalue, 1.5);
+    EXPECT_EQ(toks[3].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[3].fvalue, -0.25);
+    EXPECT_EQ(toks[5].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[5].fvalue, 2000.0);
+}
+
+TEST(Lexer, CharLiteral)
+{
+    const auto toks = tokenizeLine("li $1, 'a'", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Int);
+    EXPECT_EQ(toks[3].value, 'a');
+}
+
+TEST(Lexer, MemOperandTokens)
+{
+    const auto toks = tokenizeLine("ld $1, -8($2)", 1);
+    // ld, $1, ',', -8, '(', $2, ')', EOL
+    ASSERT_EQ(toks.size(), 8u);
+    EXPECT_EQ(toks[3].value, -8);
+    EXPECT_EQ(toks[4].kind, TokKind::LParen);
+    EXPECT_EQ(toks[6].kind, TokKind::RParen);
+}
+
+TEST(Lexer, SemicolonComment)
+{
+    const auto toks = tokenizeLine("nop ; trailing", 1);
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].text, "nop");
+}
+
+TEST(Lexer, RejectsGarbage)
+{
+    EXPECT_THROW(tokenizeLine("add $1, @3", 7), AsmError);
+}
+
+// --- assembler: happy paths -------------------------------------------
+
+TEST(Assembler, LabelsResolveForwardAndBack)
+{
+    const Program p = assemble(R"(
+start:  j    end
+mid:    nop
+end:    beq  $0, $0, mid
+        halt
+)");
+    EXPECT_EQ(p.textSize(), 4u);
+    EXPECT_EQ(p.labelIndex("start"), 0u);
+    EXPECT_EQ(p.labelIndex("mid"), 1u);
+    EXPECT_EQ(p.labelIndex("end"), 2u);
+    EXPECT_EQ(p.text[0].target, 2u);
+    EXPECT_EQ(p.text[2].target, 1u);
+}
+
+TEST(Assembler, DataLayoutSequential)
+{
+    const Program p = assemble(R"(
+        .data
+a:      .word 1, 2, 3
+b:      .space 2
+c:      .word 9
+        .text
+        halt
+)");
+    EXPECT_EQ(p.symbol("a"), kDataBase);
+    EXPECT_EQ(p.symbol("b"), kDataBase + 24);
+    EXPECT_EQ(p.symbol("c"), kDataBase + 40);
+    ASSERT_EQ(p.dataImage.size(), 4u);
+    EXPECT_EQ(p.dataImage[0], (std::pair<Addr, Value>{kDataBase, 1}));
+    EXPECT_EQ(p.dataImage[3],
+              (std::pair<Addr, Value>{kDataBase + 40, 9}));
+}
+
+TEST(Assembler, DoubleDirective)
+{
+    const Program p = assemble(R"(
+        .data
+d:      .double 1.5, -2.0
+        .text
+        halt
+)");
+    ASSERT_EQ(p.dataImage.size(), 2u);
+    EXPECT_EQ(p.dataImage[0].second, std::bit_cast<Value>(1.5));
+    EXPECT_EQ(p.dataImage[1].second, std::bit_cast<Value>(-2.0));
+}
+
+TEST(Assembler, SymbolExpressionsInOperands)
+{
+    const Program p = assemble(R"(
+        .data
+arr:    .space 4
+        .text
+        la  $1, arr+16
+        ld  $2, arr+8($3)
+        halt
+)");
+    EXPECT_EQ(static_cast<Value>(p.text[0].imm), kDataBase + 16);
+    EXPECT_EQ(static_cast<Value>(p.text[1].imm), kDataBase + 8);
+}
+
+TEST(Assembler, PseudoExpansions)
+{
+    const Program p = assemble(R"(
+        mov  $1, $2
+        not  $3, $4
+        neg  $5, $6
+        beqz $1, next
+        blez $2, next
+        bgtz $3, next
+        subi $4, $5, 3
+next:   ret
+        halt
+)");
+    EXPECT_EQ(p.text[0].op, Opcode::Add);
+    EXPECT_EQ(p.text[0].rs2, kZeroReg);
+    EXPECT_EQ(p.text[1].op, Opcode::Nor);
+    EXPECT_EQ(p.text[2].op, Opcode::Sub);
+    EXPECT_EQ(p.text[2].rs1, kZeroReg);
+    EXPECT_EQ(p.text[3].op, Opcode::Beq);
+    // blez r -> bge $0, r
+    EXPECT_EQ(p.text[4].op, Opcode::Bge);
+    EXPECT_EQ(p.text[4].rs1, kZeroReg);
+    // bgtz r -> blt $0, r
+    EXPECT_EQ(p.text[5].op, Opcode::Blt);
+    EXPECT_EQ(p.text[5].rs1, kZeroReg);
+    EXPECT_EQ(p.text[6].op, Opcode::Addi);
+    EXPECT_EQ(p.text[6].imm, -3);
+    EXPECT_EQ(p.text[7].op, Opcode::Jr);
+    EXPECT_EQ(p.text[7].rs1, kRaReg);
+}
+
+TEST(Assembler, ShiftMnemonicsPickFormByOperand)
+{
+    const Program p = assemble(R"(
+        sll $1, $2, 5
+        sll $1, $2, $3
+        sra $1, $2, 63
+        halt
+)");
+    EXPECT_EQ(p.text[0].op, Opcode::Slli);
+    EXPECT_EQ(p.text[1].op, Opcode::Sllv);
+    EXPECT_EQ(p.text[2].op, Opcode::Srai);
+}
+
+TEST(Assembler, LiDouble)
+{
+    const Program p = assemble(R"(
+        li.d $f0, 2.5
+        halt
+)");
+    EXPECT_EQ(p.text[0].op, Opcode::Li);
+    EXPECT_EQ(static_cast<Value>(p.text[0].imm),
+              std::bit_cast<Value>(2.5));
+}
+
+TEST(Assembler, InputSymbolPredefined)
+{
+    const Program p = assemble(R"(
+        la $1, __input
+        halt
+)");
+    EXPECT_EQ(static_cast<Value>(p.text[0].imm), kInputBase);
+}
+
+TEST(Assembler, JumpTableWordsOfLabels)
+{
+    const Program p = assemble(R"(
+        .data
+tab:    .word t0, t1
+        .text
+t0:     nop
+t1:     halt
+)");
+    ASSERT_EQ(p.dataImage.size(), 2u);
+    EXPECT_EQ(p.dataImage[0].second, textAddr(0));
+    EXPECT_EQ(p.dataImage[1].second, textAddr(1));
+}
+
+// --- assembler: error paths -------------------------------------------
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("a: nop\na: halt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(assemble("j nowhere\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate $1, $2\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("add $1, $2, $99\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, WordOutsideData)
+{
+    EXPECT_THROW(assemble(".word 5\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, InstructionInsideData)
+{
+    EXPECT_THROW(assemble(".data\nadd $1, $2, $3\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ShiftAmountRange)
+{
+    EXPECT_THROW(assemble("sll $1, $2, 64\nhalt\n"), AsmError);
+    EXPECT_THROW(assemble("sll $1, $2, -1\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, TrailingOperands)
+{
+    EXPECT_THROW(assemble("nop $1\nhalt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, EmptyProgram)
+{
+    EXPECT_THROW(assemble("# just a comment\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ErrorCarriesLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbogus $1\nhalt\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.lineNo(), 3u);
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(AssemblerErrors, DataLabelAsBranchTarget)
+{
+    EXPECT_THROW(assemble(R"(
+        .data
+d:      .word 1
+        .text
+        j d
+        halt
+)"),
+                 AsmError);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Figure/series extraction and report-layer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/figures.hh"
+#include "report/csv_emitter.hh"
+#include "report/figure_report.hh"
+
+namespace ppm {
+namespace {
+
+/** Build a small synthetic DpgStats with known counts. */
+DpgStats
+syntheticStats()
+{
+    DpgStats s;
+    s.workload = "synth";
+    s.kind = PredictorKind::Stride2Delta;
+    s.dynInstrs = 100;
+    s.lazyDataNodes = 10;
+    s.inputDataNodes = 5;
+
+    // 40 propagating, 10 generating, 5 terminating nodes.
+    for (int i = 0; i < 40; ++i)
+        s.nodes.record(NodeClass::PropPredImm, Opcode::Addi);
+    for (int i = 0; i < 10; ++i)
+        s.nodes.record(NodeClass::GenImmImm, Opcode::Li);
+    for (int i = 0; i < 5; ++i)
+        s.nodes.record(NodeClass::TermPredUnp, Opcode::Ld);
+    for (int i = 0; i < 45; ++i)
+        s.nodes.record(NodeClass::UnpredFlow, Opcode::Add);
+
+    // 90 arcs: 50 propagating single-use, 20 generating repeated,
+    // 10 terminating single, 10 dead.
+    s.arcs.record(ArcUse::Single, ArcLabel::PP, 50);
+    s.arcs.record(ArcUse::Repeated, ArcLabel::NP, 20);
+    s.arcs.record(ArcUse::Single, ArcLabel::PN, 10);
+    s.arcs.record(ArcUse::Single, ArcLabel::NN, 10);
+    s.arcs.recordDataArc(9);
+
+    s.branches.record(BranchSig::PI, true);
+    s.branches.record(BranchSig::PP, false);
+    s.branches.record(BranchSig::NN, false);
+    s.gshareAccuracy = 0.93;
+
+    s.sequences.step(true);
+    s.sequences.step(true);
+    s.sequences.step(false);
+    s.sequences.finish();
+    return s;
+}
+
+TEST(Figures, Denominator)
+{
+    const DpgStats s = syntheticStats();
+    EXPECT_EQ(s.totalNodes(), 110u);
+    EXPECT_EQ(s.dataNodes(), 15u);
+    EXPECT_EQ(s.totalElements(), 200u);
+    EXPECT_DOUBLE_EQ(pctOfElements(s, 50), 25.0);
+}
+
+TEST(Figures, Table1Row)
+{
+    const Table1Row r = table1Row(syntheticStats());
+    EXPECT_EQ(r.nodes, 110u);
+    EXPECT_EQ(r.arcs, 90u);
+    EXPECT_NEAR(r.arcsPerNode, 90.0 / 110.0, 1e-12);
+    EXPECT_NEAR(r.dataNodePct, 100.0 * 15 / 110, 1e-9);
+    EXPECT_NEAR(r.dataArcPct, 10.0, 1e-9);
+}
+
+TEST(Figures, Fig5RowPercentages)
+{
+    const Fig5Row r = fig5Row(syntheticStats());
+    EXPECT_DOUBLE_EQ(r.nodeGen, 5.0);   // 10/200
+    EXPECT_DOUBLE_EQ(r.nodeProp, 20.0); // 40/200
+    EXPECT_DOUBLE_EQ(r.nodeTerm, 2.5);  // 5/200
+    EXPECT_DOUBLE_EQ(r.arcGen, 10.0);   // 20/200
+    EXPECT_DOUBLE_EQ(r.arcProp, 25.0);  // 50/200
+    EXPECT_DOUBLE_EQ(r.arcTerm, 5.0);   // 10/200
+}
+
+TEST(Figures, Fig6Through8Breakdowns)
+{
+    const DpgStats s = syntheticStats();
+    const Fig6Row g = fig6Row(s);
+    EXPECT_DOUBLE_EQ(g.nodeImmImm, 5.0);
+    EXPECT_DOUBLE_EQ(g.arcRepeated, 10.0);
+    EXPECT_DOUBLE_EQ(g.arcSingle, 0.0);
+
+    const Fig7Row p = fig7Row(s);
+    EXPECT_DOUBLE_EQ(p.nodePredImm, 20.0);
+    EXPECT_DOUBLE_EQ(p.arcSingle, 25.0);
+
+    const Fig8Row t = fig8Row(s);
+    EXPECT_DOUBLE_EQ(t.nodePredUnp, 2.5);
+    EXPECT_DOUBLE_EQ(t.arcSingle, 5.0);
+}
+
+TEST(Figures, Fig13RowMath)
+{
+    const Fig13Row r = fig13Row(syntheticStats());
+    const unsigned pi = static_cast<unsigned>(BranchSig::PI);
+    const unsigned pp = static_cast<unsigned>(BranchSig::PP);
+    EXPECT_NEAR(r.pct[pi][1], 100.0 / 3, 1e-9);
+    EXPECT_NEAR(r.pct[pp][0], 100.0 / 3, 1e-9);
+    // One of the two mispredictions has fully predictable inputs.
+    EXPECT_NEAR(r.mispredictedWithPredictableInputsPct, 50.0, 1e-9);
+}
+
+TEST(Figures, Fig12Buckets)
+{
+    const auto buckets = fig12Buckets(syntheticStats());
+    ASSERT_FALSE(buckets.empty());
+    // The run of 2 instructions lands in bucket "2" = 2 % of 100.
+    EXPECT_EQ(buckets[1].bucket, "2");
+    EXPECT_DOUBLE_EQ(buckets[1].pctOfInstrs, 2.0);
+}
+
+TEST(Figures, Fig9CombosSortedAndNamed)
+{
+    DpgStats s = syntheticStats();
+    s.paths.perCombo[generatorClassBit(GeneratorClass::C)] = 30;
+    s.paths.perCombo[generatorClassBit(GeneratorClass::C) |
+                     generatorClassBit(GeneratorClass::I)] = 50;
+    const auto combos = fig9Combos(s, 24);
+    ASSERT_EQ(combos.size(), 2u);
+    EXPECT_EQ(combos[0].name, "CI");
+    EXPECT_GT(combos[0].pct, combos[1].pct);
+}
+
+TEST(Figures, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0}), 3.0);
+}
+
+// --- report printers -------------------------------------------------------
+
+TEST(Report, PerRunTableIncludesAverages)
+{
+    std::vector<RunResult> runs;
+    RunResult a;
+    a.stats = syntheticStats();
+    a.isFloat = false;
+    runs.push_back(std::move(a));
+    RunResult b;
+    b.stats = syntheticStats();
+    b.stats.workload = "fsynth";
+    b.isFloat = true;
+    runs.push_back(std::move(b));
+
+    std::ostringstream os;
+    printFig5(os, runs);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("synth (S)"), std::string::npos);
+    EXPECT_NE(out.find("INT avg (S)"), std::string::npos);
+    EXPECT_NE(out.find("FLOAT avg (S)"), std::string::npos);
+}
+
+TEST(Report, Table1Printer)
+{
+    std::vector<RunResult> runs;
+    RunResult a;
+    a.stats = syntheticStats();
+    runs.push_back(std::move(a));
+    std::ostringstream os;
+    printTable1(os, runs);
+    EXPECT_NE(os.str().find("edges/node"), std::string::npos);
+    EXPECT_NE(os.str().find("synth"), std::string::npos);
+}
+
+// --- CSV -----------------------------------------------------------------
+
+TEST(Csv, EscapesFields)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EmptyDirSkips)
+{
+    CsvTable t;
+    t.header = {"a"};
+    EXPECT_FALSE(writeCsv("", "name", t));
+}
+
+TEST(Csv, WritesFile)
+{
+    CsvTable t;
+    t.header = {"x", "y"};
+    t.rows.push_back({"1", "two,三"});
+    ASSERT_TRUE(writeCsv("/tmp", "ppm_csv_test", t));
+    std::ifstream in("/tmp/ppm_csv_test.csv");
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,\"two,三\"");
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Headline-shape regression tests: the paper's qualitative
+ * conclusions, asserted on shortened workload runs so that future
+ * changes to workloads, predictors, or the model cannot silently
+ * break the reproduction. Each test names the paper claim it guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace ppm {
+namespace {
+
+constexpr std::uint64_t kBudget = 400'000;
+
+/** Cache model runs across tests (12 workloads x 3 predictors). */
+const DpgStats &
+run(const std::string &name, PredictorKind kind)
+{
+    static std::map<std::pair<std::string, int>, DpgStats> cache;
+    const auto key = std::make_pair(name, static_cast<int>(kind));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const Workload &w = findWorkload(name);
+        const Program prog = assemble(std::string(w.source), w.name);
+        ExperimentConfig config;
+        config.maxInstrs = kBudget;
+        config.dpg.kind = kind;
+        it = cache.emplace(key,
+                           runModel(prog,
+                                    w.makeInput(kDefaultWorkloadSeed),
+                                    config))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+propPct(const DpgStats &s)
+{
+    return 100.0 *
+           double(s.nodes.propagates() + s.arcs.propagates()) /
+           double(s.totalElements());
+}
+
+// "Context-based prediction works better, as expected" (Sec. 4.1),
+// and stride subsumes last-value.
+TEST(Headline, PredictorOrderingHoldsPerBenchmark)
+{
+    for (const char *name : {"compress", "gcc", "go", "vortex",
+                             "mgrid", "swim"}) {
+        const double l = propPct(run(name, PredictorKind::LastValue));
+        const double s =
+            propPct(run(name, PredictorKind::Stride2Delta));
+        const double c = propPct(run(name, PredictorKind::Context));
+        EXPECT_GT(s + 1.0, l) << name; // stride >= last (1 pt slack)
+        EXPECT_GT(c + 3.0, s) << name; // context ~>= stride
+        EXPECT_GT(c, l) << name;
+    }
+}
+
+// "Overall, propagation is the dominant predictability behavior"
+// (Sec. 4.1) for stride and context.
+TEST(Headline, PropagationDominates)
+{
+    for (const char *name : {"compress", "gcc", "li", "mgrid"}) {
+        const DpgStats &s = run(name, PredictorKind::Context);
+        EXPECT_GT(s.nodes.propagates() + s.arcs.propagates(),
+                  s.nodes.generates() + s.arcs.generates())
+            << name;
+        EXPECT_GT(s.nodes.propagates() + s.arcs.propagates(),
+                  s.nodes.terminates() + s.arcs.terminates())
+            << name;
+    }
+}
+
+// "Significantly more predictability is terminated at nodes than on
+// arcs" (Sec. 4.1).
+TEST(Headline, TerminationConcentratesAtNodes)
+{
+    for (const char *name : {"compress", "gcc", "go", "swim"}) {
+        const DpgStats &s = run(name, PredictorKind::Context);
+        EXPECT_GT(s.nodes.terminates(), s.arcs.terminates()) << name;
+    }
+}
+
+// "mgrid ... has almost no generation at nodes because very few
+// instructions in this benchmark have immediate inputs" (Sec. 4.2).
+TEST(Headline, MgridNodeGenerationNearZero)
+{
+    const DpgStats &s = run("mgrid", PredictorKind::Context);
+    EXPECT_LT(100.0 * double(s.nodes.generates()) /
+                  double(s.totalElements()),
+              1.0);
+}
+
+// Repeated-use arcs dominate arc generation for last-value and
+// stride (Sec. 4.2, first conclusion).
+TEST(Headline, RepeatedUseDominatesArcGenerationForLastValue)
+{
+    for (const char *name : {"compress", "gcc", "m88ksim"}) {
+        const DpgStats &s = run(name, PredictorKind::LastValue);
+        const std::uint64_t repeated =
+            s.arcs.count(ArcUse::Repeated, ArcLabel::NP) +
+            s.arcs.count(ArcUse::WriteOnce, ArcLabel::NP) +
+            s.arcs.count(ArcUse::DataRead, ArcLabel::NP);
+        EXPECT_GT(repeated,
+                  s.arcs.count(ArcUse::Single, ArcLabel::NP))
+            << name;
+    }
+}
+
+// Single-use arcs dominate arc propagation (Sec. 4.3).
+TEST(Headline, SingleUseDominatesArcPropagation)
+{
+    for (const char *name : {"compress", "gcc", "li", "vortex"}) {
+        const DpgStats &s = run(name, PredictorKind::Context);
+        EXPECT_GT(s.arcs.count(ArcUse::Single, ArcLabel::PP),
+                  s.arcs.count(ArcUse::Repeated, ArcLabel::PP))
+            << name;
+    }
+}
+
+// p,p->n and p,i->n are "much less rare" under context than under
+// last-value or stride (Sec. 4.4's finite-context-length effect).
+TEST(Headline, ContextTerminationWithPredictableInputs)
+{
+    std::uint64_t ctx = 0;
+    std::uint64_t stride = 0;
+    for (const char *name : {"compress", "gcc", "go", "li"}) {
+        const DpgStats &c = run(name, PredictorKind::Context);
+        const DpgStats &s = run(name, PredictorKind::Stride2Delta);
+        ctx += c.nodes.count(NodeClass::TermPredPred) +
+               c.nodes.count(NodeClass::TermPredImm);
+        stride += s.nodes.count(NodeClass::TermPredPred) +
+                  s.nodes.count(NodeClass::TermPredImm);
+    }
+    EXPECT_GT(ctx, 2 * stride);
+}
+
+// "The dominant mechanism influencing predictability is control
+// flow" and "input data is relatively unimportant" (Secs. 4.5, 6).
+TEST(Headline, ControlFlowDominatesPathSources)
+{
+    std::uint64_t c_total = 0;
+    std::uint64_t d_total = 0;
+    for (const char *name : {"compress", "gcc", "go", "vortex"}) {
+        const DpgStats &s = run(name, PredictorKind::Context);
+        c_total += s.paths.perClass[static_cast<unsigned>(
+            GeneratorClass::C)];
+        d_total += s.paths.perClass[static_cast<unsigned>(
+            GeneratorClass::D)];
+    }
+    EXPECT_GT(c_total, 3 * d_total);
+}
+
+// "Relatively few generates influence a large proportion of the
+// predictability" (Sec. 4.5 / Fig. 10).
+TEST(Headline, FewGeneratesCarryMostPropagation)
+{
+    const DpgStats &s = run("gcc", PredictorKind::Context);
+    const Log2Histogram trees = s.trees.longestPathHistogram();
+    const Log2Histogram agg = s.trees.aggregatePropagationHistogram();
+    // Most generates are shallow (longest path <= 8 = bucket 3)...
+    EXPECT_GT(trees.cumulativeFraction(3), 0.8);
+    // ...but most aggregate propagation is in deep trees (>= 65).
+    EXPECT_GT(agg.tailFraction(7), 0.5);
+}
+
+// "Slightly over half of the branch mispredictions occur when all
+// input values are predictable" (Sec. 5) — we require a large share.
+TEST(Headline, MispredictionsWithPredictableInputs)
+{
+    std::uint64_t mis = 0;
+    std::uint64_t mis_pred_inputs = 0;
+    for (const char *name : {"compress", "gcc", "go", "li",
+                             "vortex"}) {
+        const DpgStats &s = run(name, PredictorKind::Context);
+        mis += s.branches.mispredicted();
+        mis_pred_inputs +=
+            s.branches.mispredictedWithPredictableInputs();
+    }
+    ASSERT_GT(mis, 0u);
+    EXPECT_GT(double(mis_pred_inputs) / double(mis), 0.25);
+}
+
+// gshare lands near the paper's 93 % on the integer set.
+TEST(Headline, GshareAccuracyNearPaper)
+{
+    double acc_sum = 0.0;
+    int n = 0;
+    for (const Workload &w : integerWorkloads()) {
+        acc_sum += run(w.name, PredictorKind::Context).gshareAccuracy;
+        ++n;
+    }
+    const double avg = acc_sum / n;
+    EXPECT_GT(avg, 0.85);
+    EXPECT_LT(avg, 0.99);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Path-analysis machinery tests: InfluenceSet algebra, TreeStats,
+ * and end-to-end tree/distance properties on hand-built programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "dpg/influence.hh"
+#include "dpg/tree_stats.hh"
+
+namespace ppm {
+namespace {
+
+// --- InfluenceSet -----------------------------------------------------
+
+TEST(Influence, GenerateIsSingletonAtDepthZero)
+{
+    InfluenceSet s;
+    s.setGenerate(42, GeneratorClass::I);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.refs()[0].gen, 42u);
+    EXPECT_EQ(s.refs()[0].depth, 0u);
+    EXPECT_EQ(s.classMask(), generatorClassBit(GeneratorClass::I));
+    EXPECT_EQ(s.maxDepth(), 0u);
+    EXPECT_FALSE(s.saturated());
+}
+
+TEST(Influence, UnionAdvancesDepths)
+{
+    InfluenceSet a;
+    a.setGenerate(1, GeneratorClass::C);
+
+    InputInfluence inputs[2];
+    inputs[0].set = &a; // via a propagating arc: +2 (arc + node)
+    inputs[1].hasFresh = true; // generated on the arc: +1 (node only)
+    inputs[1].freshGen = 2;
+    inputs[1].freshClass = GeneratorClass::D;
+
+    InfluenceSet out;
+    out.buildFromInputs(inputs, 2, 16);
+    ASSERT_EQ(out.size(), 2u);
+    std::uint32_t depth1 = 0;
+    std::uint32_t depth2 = 0;
+    for (const auto &r : out.refs()) {
+        if (r.gen == 1)
+            depth1 = r.depth;
+        if (r.gen == 2)
+            depth2 = r.depth;
+    }
+    EXPECT_EQ(depth1, 2u);
+    EXPECT_EQ(depth2, 1u);
+    EXPECT_EQ(out.classMask(),
+              generatorClassBit(GeneratorClass::C) |
+                  generatorClassBit(GeneratorClass::D));
+}
+
+TEST(Influence, DuplicateGenKeepsLongestDistance)
+{
+    InfluenceSet shallow;
+    shallow.setGenerate(9, GeneratorClass::N);
+    InfluenceSet deep;
+    {
+        // Give gen 9 depth 6 inside "deep" by unioning through three
+        // propagation steps.
+        InfluenceSet cur = shallow;
+        for (int i = 0; i < 3; ++i) {
+            InputInfluence in[1];
+            in[0].set = &cur;
+            InfluenceSet next;
+            next.buildFromInputs(in, 1, 16);
+            cur = next;
+        }
+        deep = cur;
+    }
+    EXPECT_EQ(deep.maxDepth(), 6u);
+
+    InputInfluence both[2];
+    both[0].set = &shallow;
+    both[1].set = &deep;
+    InfluenceSet out;
+    out.buildFromInputs(both, 2, 16);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.refs()[0].depth, 8u); // deep (6) + 2
+}
+
+TEST(Influence, CapSaturatesKeepingDeepest)
+{
+    // Build 8 distinct generate singletons at distinct depths.
+    std::vector<InfluenceSet> gens(8);
+    std::vector<InfluenceSet> advanced(8);
+    for (unsigned i = 0; i < 8; ++i) {
+        gens[i].setGenerate(i, GeneratorClass::C);
+        // Advance generator i by i propagation steps.
+        InfluenceSet cur = gens[i];
+        for (unsigned k = 0; k < i; ++k) {
+            InputInfluence in[1];
+            in[0].set = &cur;
+            InfluenceSet next;
+            next.buildFromInputs(in, 1, 16);
+            cur = next;
+        }
+        advanced[i] = cur;
+    }
+    InputInfluence in[8];
+    for (unsigned i = 0; i < 8; ++i)
+        in[i].set = &advanced[i];
+    InfluenceSet out;
+    out.buildFromInputs(in, 8, /*cap=*/4);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_TRUE(out.saturated());
+    // The deepest refs (gens 7, 6, 5, 4) must be the survivors.
+    for (const auto &r : out.refs())
+        EXPECT_GE(r.gen, 4u);
+    // Class mask stays exact even when saturated.
+    EXPECT_EQ(out.classMask(), generatorClassBit(GeneratorClass::C));
+}
+
+TEST(Influence, ClearEmpties)
+{
+    InfluenceSet s;
+    s.setGenerate(1, GeneratorClass::W);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.classMask(), 0);
+    EXPECT_EQ(s.maxDepth(), 0u);
+}
+
+// --- TreeStats -----------------------------------------------------------
+
+TEST(Trees, SizeAndLongestTracked)
+{
+    TreeStats t;
+    const auto g0 = t.newGenerate(GeneratorClass::C);
+    const auto g1 = t.newGenerate(GeneratorClass::I);
+    t.touch(g0, 1);
+    t.touch(g0, 2);
+    t.touch(g0, 2);
+    t.touch(g1, 5);
+    EXPECT_EQ(t.generateCount(), 2u);
+    EXPECT_EQ(t.generateCount(GeneratorClass::C), 1u);
+    EXPECT_EQ(t.treeSize(g0), 3u);
+    EXPECT_EQ(t.longestPath(g0), 2u);
+    EXPECT_EQ(t.treeSize(g1), 1u);
+    EXPECT_EQ(t.longestPath(g1), 5u);
+}
+
+TEST(Trees, Histograms)
+{
+    TreeStats t;
+    const auto g0 = t.newGenerate(GeneratorClass::C); // barren tree
+    const auto g1 = t.newGenerate(GeneratorClass::C);
+    (void)g0;
+    for (std::uint32_t d = 1; d <= 300; ++d)
+        t.touch(g1, d);
+
+    const Log2Histogram longest = t.longestPathHistogram();
+    EXPECT_EQ(longest.samples(), 2u); // one entry per tree
+    const Log2Histogram agg = t.aggregatePropagationHistogram();
+    // Barren trees contribute nothing to aggregate propagation.
+    EXPECT_EQ(agg.totalWeight(), 300u);
+    // All of it in the bucket of longest path 300 (257-512).
+    EXPECT_DOUBLE_EQ(agg.tailFraction(9), 1.0);
+}
+
+// --- end-to-end path analysis on a hand-built chain ------------------------
+
+TEST(Paths, ChainTreesHaveExpectedShape)
+{
+    // li (generate) -> addi -> addi: per iteration the generate roots
+    // a tree of 4 propagating elements (2 arcs + 2 nodes), longest
+    // path 4.
+    ExperimentConfig config;
+    config.dpg.kind = PredictorKind::LastValue;
+    const DpgStats stats = runModelOnSource(R"(
+        li $8, 100
+l:      li $4, 7
+        addi $5, $4, 1
+        addi $6, $5, 1
+        addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                                            "chain", {}, config);
+
+    // Most generates (the per-iteration li) root depth-4 trees: the
+    // longest-path histogram mass must sit in the 3-4 bucket.
+    const Log2Histogram h = stats.trees.longestPathHistogram();
+    EXPECT_GT(h.bucketWeight(2), h.totalWeight() / 2);
+
+    // Each propagate along the chain is influenced by exactly one
+    // generate.
+    EXPECT_DOUBLE_EQ(stats.paths.influenceCount.cumulativeFraction(1),
+                     1.0);
+    EXPECT_EQ(stats.paths.saturationEvents, 0u);
+
+    // All influence is class I (all-immediate li generates).
+    EXPECT_GT(
+        stats.paths.perClass[static_cast<unsigned>(GeneratorClass::I)],
+        0u);
+    EXPECT_EQ(
+        stats.paths.perClass[static_cast<unsigned>(GeneratorClass::D)],
+        0u);
+}
+
+TEST(Paths, LoopCarriedChainGrowsDistance)
+{
+    // A loop-carried stride chain under stride prediction: the
+    // accumulator's predictability traces all the way back to the
+    // initial generate, so influence distances keep growing.
+    ExperimentConfig config;
+    config.dpg.kind = PredictorKind::Stride2Delta;
+    const DpgStats stats = runModelOnSource(R"(
+        li $4, 0
+        li $8, 2000
+l:      addi $4, $4, 3
+        addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                                            "carried", {}, config);
+
+    // Distances beyond 1024 must exist (the chain is ~2000 long).
+    const Log2Histogram &d = stats.paths.influenceDistance;
+    EXPECT_GT(d.bucketCount(), 10u);
+    EXPECT_LT(d.cumulativeFraction(8), 1.0); // some beyond 256
+}
+
+TEST(Paths, InfluenceTrackingCanBeDisabled)
+{
+    ExperimentConfig config;
+    config.dpg.kind = PredictorKind::Stride2Delta;
+    config.dpg.trackInfluence = false;
+    const DpgStats stats = runModelOnSource(R"(
+        li $8, 100
+l:      addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                                            "off", {}, config);
+    EXPECT_EQ(stats.paths.propagateElements, 0u);
+    EXPECT_EQ(stats.trees.generateCount(), 0u);
+    // Label statistics are unaffected by the switch.
+    EXPECT_GT(stats.nodes.propagates() + stats.arcs.propagates(), 0u);
+}
+
+TEST(Paths, InfluenceCapIsConfigurable)
+{
+    ExperimentConfig config;
+    config.dpg.kind = PredictorKind::Context;
+    config.dpg.influenceCap = 2;
+    const Program prog = assemble(R"(
+        li $8, 200
+l:      li $4, 1
+        li $5, 2
+        li $6, 3
+        add $7, $4, $5
+        add $7, $7, $6
+        add $9, $7, $4
+        addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                                  "many-gens");
+    const DpgStats stats = runModel(prog, {}, config);
+    // Three generates merge into single values; with cap 2 the
+    // influence sets must saturate.
+    EXPECT_GT(stats.paths.saturationEvents, 0u);
+}
+
+} // namespace
+} // namespace ppm

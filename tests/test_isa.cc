@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: traits, registers, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/disasm.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/registers.hh"
+
+namespace ppm {
+namespace {
+
+TEST(OpTraits, MnemonicsUniqueAndNonEmpty)
+{
+    std::set<std::string_view> seen;
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const std::string_view m = opMnemonic(op);
+        EXPECT_FALSE(m.empty());
+        EXPECT_TRUE(seen.insert(m).second)
+            << "duplicate mnemonic " << m;
+    }
+}
+
+TEST(OpTraits, FlagsCoherent)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpTraits &t = opTraits(op);
+        // Branches and jumps are mutually exclusive.
+        EXPECT_FALSE(t.isBranch && t.isJump);
+        // Loads and stores are mutually exclusive and pass-through.
+        EXPECT_FALSE(t.isLoad && t.isStore);
+        if (t.isLoad || t.isStore) {
+            EXPECT_TRUE(t.passThrough);
+        }
+        // Branches have no destination register.
+        if (t.isBranch) {
+            EXPECT_FALSE(t.hasDest);
+        }
+        // Stores have no destination register.
+        if (t.isStore) {
+            EXPECT_FALSE(t.hasDest);
+        }
+    }
+}
+
+TEST(OpTraits, PassThroughSet)
+{
+    EXPECT_TRUE(opTraits(Opcode::Ld).passThrough);
+    EXPECT_TRUE(opTraits(Opcode::St).passThrough);
+    EXPECT_TRUE(opTraits(Opcode::Jr).passThrough);
+    // jalr links into rd: its register output is predicted normally.
+    EXPECT_FALSE(opTraits(Opcode::Jalr).passThrough);
+    EXPECT_FALSE(opTraits(Opcode::Add).passThrough);
+}
+
+TEST(OpTraits, FormatOperandCounts)
+{
+    EXPECT_EQ(regSourceCount(OpFormat::R3), 2u);
+    EXPECT_EQ(regSourceCount(OpFormat::R2), 1u);
+    EXPECT_EQ(regSourceCount(OpFormat::I2), 1u);
+    EXPECT_EQ(regSourceCount(OpFormat::LiF), 0u);
+    EXPECT_EQ(regSourceCount(OpFormat::LoadF), 1u);
+    EXPECT_EQ(regSourceCount(OpFormat::StoreF), 2u);
+    EXPECT_EQ(regSourceCount(OpFormat::Br2F), 2u);
+    EXPECT_TRUE(formatHasImmediate(OpFormat::I2));
+    EXPECT_TRUE(formatHasImmediate(OpFormat::LoadF));
+    EXPECT_FALSE(formatHasImmediate(OpFormat::R3));
+    EXPECT_TRUE(formatHasTarget(OpFormat::Br2F));
+    EXPECT_TRUE(formatHasTarget(OpFormat::JalF));
+    EXPECT_FALSE(formatHasTarget(OpFormat::JrF));
+}
+
+TEST(Registers, ParseCanonicalForms)
+{
+    EXPECT_EQ(parseRegister("$0"), RegIndex(0));
+    EXPECT_EQ(parseRegister("$31"), RegIndex(31));
+    EXPECT_EQ(parseRegister("$f0"), RegIndex(32));
+    EXPECT_EQ(parseRegister("$f31"), RegIndex(63));
+    EXPECT_EQ(parseRegister("r0"), RegIndex(0));
+    EXPECT_EQ(parseRegister("r63"), RegIndex(63));
+    EXPECT_EQ(parseRegister("$zero"), RegIndex(0));
+    EXPECT_EQ(parseRegister("$sp"), kSpReg);
+    EXPECT_EQ(parseRegister("$ra"), kRaReg);
+}
+
+TEST(Registers, RejectInvalid)
+{
+    EXPECT_FALSE(parseRegister("$32").has_value());
+    EXPECT_FALSE(parseRegister("$f32").has_value());
+    EXPECT_FALSE(parseRegister("r64").has_value());
+    EXPECT_FALSE(parseRegister("x5").has_value());
+    EXPECT_FALSE(parseRegister("$").has_value());
+    EXPECT_FALSE(parseRegister("").has_value());
+}
+
+TEST(Registers, NamesRoundTrip)
+{
+    for (unsigned r = 0; r < kNumRegs; ++r) {
+        const std::string name =
+            registerName(static_cast<RegIndex>(r));
+        const auto parsed = parseRegister(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, r);
+    }
+}
+
+TEST(Disasm, RendersEachFormat)
+{
+    EXPECT_EQ(disassemble(Instruction::r3(Opcode::Add, 1, 2, 3)),
+              "add $1, $2, $3");
+    EXPECT_EQ(disassemble(Instruction::i2(Opcode::Addi, 4, 5, -7)),
+              "addi $4, $5, -7");
+    EXPECT_EQ(disassemble(Instruction::li(6, 100)), "li $6, 100");
+    EXPECT_EQ(disassemble(Instruction::load(7, 16, 8)),
+              "ld $7, 16($8)");
+    EXPECT_EQ(disassemble(Instruction::store(9, 0, 10)),
+              "st $9, 0($10)");
+    EXPECT_EQ(
+        disassemble(Instruction::branch(Opcode::Bne, 1, 0, 12)),
+        "bne $1, $0, @12");
+    EXPECT_EQ(disassemble(Instruction::jump(3)), "j @3");
+    EXPECT_EQ(disassemble(Instruction::jr(31)), "jr $31");
+    EXPECT_EQ(disassemble(Instruction::halt()), "halt");
+    EXPECT_EQ(disassemble(Instruction::r3(Opcode::FaddD, 33, 34, 35)),
+              "fadd.d $f1, $f2, $f3");
+}
+
+} // namespace
+} // namespace ppm

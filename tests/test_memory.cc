@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sparse paged memory unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+
+namespace ppm {
+namespace {
+
+TEST(Memory, UnbackedReadsZeroWithoutAllocating)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read(0x1000), 0u);
+    EXPECT_EQ(mem.read(0xdeadbee8), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    Memory mem;
+    mem.write(0x2000, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(0x2000), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.pageCount(), 1u);
+    // Neighbouring word untouched.
+    EXPECT_EQ(mem.read(0x2008), 0u);
+}
+
+TEST(Memory, PageGranularity)
+{
+    Memory mem;
+    // Same 4 KiB page: one allocation.
+    mem.write(0x3000, 1);
+    mem.write(0x3ff8, 2);
+    EXPECT_EQ(mem.pageCount(), 1u);
+    // Next page: second allocation.
+    mem.write(0x4000, 3);
+    EXPECT_EQ(mem.pageCount(), 2u);
+    EXPECT_EQ(mem.read(0x3ff8), 2u);
+    EXPECT_EQ(mem.read(0x4000), 3u);
+}
+
+TEST(Memory, DistantAddressesIndependent)
+{
+    Memory mem;
+    mem.write(0x0, 10);
+    mem.write(0x7ffffff8, 20);
+    mem.write(0x20000000, 30);
+    EXPECT_EQ(mem.read(0x0), 10u);
+    EXPECT_EQ(mem.read(0x7ffffff8), 20u);
+    EXPECT_EQ(mem.read(0x20000000), 30u);
+    EXPECT_EQ(mem.pageCount(), 3u);
+}
+
+TEST(Memory, OverwriteReplaces)
+{
+    Memory mem;
+    mem.write(0x1000, 1);
+    mem.write(0x1000, 2);
+    EXPECT_EQ(mem.read(0x1000), 2u);
+    EXPECT_EQ(mem.pageCount(), 1u);
+}
+
+TEST(Memory, LoadImage)
+{
+    Memory mem;
+    mem.loadImage({{0x100, 7}, {0x108, 8}});
+    EXPECT_EQ(mem.read(0x100), 7u);
+    EXPECT_EQ(mem.read(0x108), 8u);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Paper-fidelity tests: the specific worked examples the paper uses
+ * to define the model must reproduce on this implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "pred/predictor_bank.hh"
+#include "sim/machine.hh"
+
+namespace ppm {
+namespace {
+
+/**
+ * The Fig. 1 loop from gcc's invalidate_for_call, transcribed with
+ * the paper's exact mask value 0x8000bfff. Labels follow the paper's
+ * instruction numbering (0-11) after the two setup instructions.
+ */
+constexpr const char *kFig1Source = R"(
+        .data
+mask:   .word 0x8000bfff, 0xffffffff
+        .text
+main:   la   $19, mask
+        add  $6, $0, $0       # paper instr 0
+LL1:    srl  $2, $6, 5        # paper instr 1
+        sll  $2, $2, 3        # paper instr 2
+        addu $2, $2, $19      # paper instr 3
+        ld   $2, 0($2)        # paper instr 4
+        andi $3, $6, 31       # paper instr 5
+        srlv $2, $2, $3       # paper instr 6
+        andi $2, $2, 1        # paper instr 7
+        beq  $2, $0, LL2      # paper instr 8
+        nop
+LL2:    addiu $6, $6, 1       # paper instr 9
+        slti $2, $6, 64       # paper instr 10
+        bne  $2, $0, LL1      # paper instr 11
+        halt
+)";
+
+// Static indexes in our transcription.
+constexpr StaticId kInstr1 = 2;   // srl
+constexpr StaticId kInstr4 = 5;   // ld
+constexpr StaticId kInstr6 = 7;   // srlv
+constexpr StaticId kInstr7 = 8;   // andi ...,1
+constexpr StaticId kInstr9 = 11;  // addiu counter
+
+/** Collects per-pc output prediction outcomes under stride, exactly
+ *  the way the paper's Fig. 3 walk-through labels the arcs. */
+class OutcomeRecorder : public TraceSink
+{
+  public:
+    OutcomeRecorder()
+        : bank_(PredictorKind::Stride2Delta)
+    {
+    }
+
+    void
+    onInstr(const DynInstr &di) override
+    {
+        if (di.isBranch) {
+            outcomes_[di.pc].push_back(
+                bank_.predictBranch(di.pc, di.taken));
+            return;
+        }
+        if (!di.hasValueOutput())
+            return;
+        bool predicted;
+        if (di.isPassThrough) {
+            predicted = bank_.predictInput(
+                di.pc, di.passSlot, di.inputs[di.passSlot].value);
+        } else {
+            predicted = bank_.predictOutput(di.pc, di.outValue);
+        }
+        outcomes_[di.pc].push_back(predicted);
+    }
+
+    /** Correct predictions for pc among executions [from, to). */
+    unsigned
+    hits(StaticId pc, unsigned from, unsigned to) const
+    {
+        const auto it = outcomes_.find(pc);
+        if (it == outcomes_.end())
+            return 0;
+        unsigned n = 0;
+        for (unsigned i = from; i < to && i < it->second.size(); ++i)
+            n += it->second[i] ? 1 : 0;
+        return n;
+    }
+
+    unsigned
+    executions(StaticId pc) const
+    {
+        const auto it = outcomes_.find(pc);
+        return it == outcomes_.end()
+                   ? 0
+                   : static_cast<unsigned>(it->second.size());
+    }
+
+  private:
+    PredictorBank bank_;
+    std::map<StaticId, std::vector<bool>> outcomes_;
+};
+
+TEST(PaperFig1, LoopExecutes64Iterations)
+{
+    const Program prog = assemble(kFig1Source, "fig1");
+    Machine m(prog);
+    ASSERT_EQ(m.run(nullptr, 10'000), StopReason::Halted);
+    EXPECT_EQ(m.reg(6), 64u);
+}
+
+TEST(PaperFig1, StrideOutcomesMatchFig3Story)
+{
+    const Program prog = assemble(kFig1Source, "fig1");
+    OutcomeRecorder rec;
+    Machine m(prog);
+    m.run(&rec, 10'000);
+    ASSERT_EQ(rec.executions(kInstr9), 64u);
+
+    // "Predictability has been generated at that point" — the
+    // counter becomes stride-predictable after the warmup instances
+    // and stays predicted.
+    EXPECT_GE(rec.hits(kInstr9, 3, 64), 59u);
+
+    // The predictability "propagates still further" through the
+    // shift chain: instr 1 (srl, (0)^32 (1)^32) is predictable except
+    // at the 0->1 transition.
+    EXPECT_GE(rec.hits(kInstr1, 3, 64), 55u);
+
+    // Instr 4 (the mask load) repeats one value for 32 iterations,
+    // switches once: almost fully predictable.
+    EXPECT_GE(rec.hits(kInstr4, 3, 64), 55u);
+
+    // Instr 6 (srlv) produces the shifted-mask sequence v0,v1,... the
+    // paper leaves unnamed: successive values differ irregularly so
+    // a stride predictor gets almost none of them.
+    EXPECT_LE(rec.hits(kInstr6, 0, 64), 12u);
+
+    // Instr 7 re-generates predictability in the constant runs of the
+    // mask bits ((1)^14 (0)^1 ...): many hits despite instr 6 being
+    // unpredictable — generation by "filtering" to few values.
+    EXPECT_GE(rec.hits(kInstr7, 0, 64), 40u);
+}
+
+TEST(PaperFig1, ModelClassifiesTheLoop)
+{
+    // Through the real analyzer: the loop must show generation,
+    // propagation, and termination all present (the paper uses it to
+    // introduce all three), with propagation dominant under stride.
+    ExperimentConfig config;
+    config.dpg.kind = PredictorKind::Stride2Delta;
+    const DpgStats stats =
+        runModelOnSource(kFig1Source, "fig1", {}, config);
+    EXPECT_GT(stats.nodes.generates(), 0u);
+    EXPECT_GT(stats.nodes.terminates(), 0u);
+    EXPECT_GT(stats.arcs.generates(), 0u);
+    EXPECT_GT(stats.nodes.propagates() + stats.arcs.propagates(),
+              stats.nodes.terminates() + stats.arcs.terminates());
+
+    // The mask words are statically allocated: their reads are D arcs.
+    EXPECT_GT(stats.arcs.dataArcs(), 0u);
+}
+
+TEST(PaperSec1, ProducerConsumerSeparationByControlFlow)
+{
+    // Sec. 1.1: "if a value is produced outside a loop and consumed
+    // repeatedly inside the loop ... the predictability
+    // characteristics of the value sequences may differ." The
+    // producer executes once (output unpredicted); the consumer sees
+    // a constant (input predicted): a write-once generate arc.
+    ExperimentConfig config;
+    config.dpg.kind = PredictorKind::LastValue;
+    const DpgStats stats = runModelOnSource(R"(
+        li   $20, 12345       # produced outside the loop, once
+        li   $8, 100
+l:      xor  $5, $20, $8      # consumed repeatedly inside
+        addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                                            "sep", {}, config);
+    EXPECT_GE(stats.arcs.count(ArcUse::WriteOnce, ArcLabel::NP),
+              90u);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * End-to-end algorithm tests: real programs whose results are checked
+ * against host-computed ground truth. These validate the whole
+ * substrate stack (assembler + simulator semantics) the way a user
+ * program would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "asmr/assembler.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+
+namespace ppm {
+namespace {
+
+TEST(Programs, Fibonacci)
+{
+    const Program prog = assemble(R"(
+        li   $4, 0            # fib(0)
+        li   $5, 1            # fib(1)
+        li   $8, 30           # iterations
+loop:   addu $6, $4, $5
+        mov  $4, $5
+        mov  $5, $6
+        addi $8, $8, -1
+        bnez $8, loop
+        halt
+)");
+    Machine m(prog);
+    ASSERT_EQ(m.run(nullptr, 10'000), StopReason::Halted);
+    // fib(31) = 1346269
+    EXPECT_EQ(m.reg(5), 1346269u);
+}
+
+TEST(Programs, GcdLoop)
+{
+    const Program prog = assemble(R"(
+        la   $9, __input
+        ld   $4, 0($9)
+        ld   $5, 8($9)
+gcd:    beqz $5, done
+        rem  $6, $4, $5
+        mov  $4, $5
+        mov  $5, $6
+        j    gcd
+done:   halt
+)");
+    Machine m(prog, {252, 105});
+    ASSERT_EQ(m.run(nullptr, 10'000), StopReason::Halted);
+    EXPECT_EQ(m.reg(4), 21u); // gcd(252, 105)
+}
+
+TEST(Programs, BubbleSortMemory)
+{
+    const Program prog = assemble(R"(
+        .data
+arr:    .space 32             # 32 values, copied from input
+        .text
+        # copy input into arr
+        la   $9, __input
+        la   $10, arr
+        li   $8, 32
+cp:     ld   $4, 0($9)
+        st   $4, 0($10)
+        addi $9, $9, 8
+        addi $10, $10, 8
+        addi $8, $8, -1
+        bnez $8, cp
+        # bubble sort
+        li   $16, 31          # passes
+outer:  beqz $16, done
+        la   $10, arr
+        li   $8, 31
+inner:  ld   $4, 0($10)
+        ld   $5, 8($10)
+        ble  $4, $5, noswap
+        st   $5, 0($10)
+        st   $4, 8($10)
+noswap: addi $10, $10, 8
+        addi $8, $8, -1
+        bnez $8, inner
+        addi $16, $16, -1
+        j    outer
+done:   halt
+)");
+
+    Rng rng(11);
+    std::vector<Value> input;
+    for (int i = 0; i < 32; ++i)
+        input.push_back(rng.nextBelow(1'000'000));
+
+    Machine m(prog, input);
+    ASSERT_EQ(m.run(nullptr, 200'000), StopReason::Halted);
+
+    std::vector<Value> expected = input;
+    std::sort(expected.begin(), expected.end());
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(m.memory().read(kDataBase + Addr(i) * 8),
+                  expected[static_cast<std::size_t>(i)])
+            << "index " << i;
+    }
+}
+
+TEST(Programs, RecursiveFactorialWithStack)
+{
+    // Real call/return recursion through the stack: validates jal/jr,
+    // $sp handling and stack memory together.
+    const Program prog = assemble(R"(
+        li   $4, 10
+        jal  fact
+        halt
+
+fact:   li   $2, 2
+        blt  $4, $2, base
+        addi $29, $29, -16
+        st   $31, 0($29)
+        st   $4, 8($29)
+        addi $4, $4, -1
+        jal  fact
+        ld   $4, 8($29)
+        ld   $31, 0($29)
+        addi $29, $29, 16
+        mul  $3, $3, $4
+        ret
+base:   li   $3, 1
+        ret
+)");
+    Machine m(prog);
+    ASSERT_EQ(m.run(nullptr, 10'000), StopReason::Halted);
+    EXPECT_EQ(m.reg(3), 3628800u); // 10!
+}
+
+TEST(Programs, NewtonSqrtDouble)
+{
+    // Floating point end-to-end: Newton iteration for sqrt(2).
+    const Program prog = assemble(R"(
+        li.d $f1, 2.0         # x
+        li.d $f2, 1.0         # guess
+        li.d $f3, 0.5
+        li   $8, 20
+it:     fdiv.d $f4, $f1, $f2
+        fadd.d $f4, $f4, $f2
+        fmul.d $f2, $f4, $f3
+        addi $8, $8, -1
+        bnez $8, it
+        halt
+)");
+    Machine m(prog);
+    ASSERT_EQ(m.run(nullptr, 1'000), StopReason::Halted);
+    const double result = std::bit_cast<double>(m.reg(34));
+    EXPECT_NEAR(result, 1.4142135623730951, 1e-12);
+}
+
+TEST(Programs, StringHashMatchesHost)
+{
+    // The perl-style rolling hash computed in YISA must match the
+    // host computation exactly (64-bit wraparound included).
+    const std::string word = "predictability";
+    std::vector<Value> input;
+    for (char c : word)
+        input.push_back(static_cast<Value>(c));
+    input.push_back(0);
+
+    const Program prog = assemble(R"(
+        la   $9, __input
+        li   $4, 0
+h:      ld   $5, 0($9)
+        beqz $5, done
+        li   $2, 31
+        mul  $4, $4, $2
+        addu $4, $4, $5
+        addi $9, $9, 8
+        j    h
+done:   halt
+)");
+    Machine m(prog, input);
+    ASSERT_EQ(m.run(nullptr, 10'000), StopReason::Halted);
+
+    Value expected = 0;
+    for (char c : word)
+        expected = expected * 31 + static_cast<Value>(c);
+    EXPECT_EQ(m.reg(4), expected);
+}
+
+} // namespace
+} // namespace ppm

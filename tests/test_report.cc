@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Report-layer tests: JSON emission and cross-seed robustness of the
+ * headline results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "report/figure_report.hh"
+#include "report/json_emitter.hh"
+#include "workloads/workload.hh"
+
+namespace ppm {
+namespace {
+
+DpgStats
+smallRun(PredictorKind kind = PredictorKind::Stride2Delta)
+{
+    ExperimentConfig config;
+    config.dpg.kind = kind;
+    return runModelOnSource(R"(
+        li $8, 200
+l:      li $4, 7
+        addi $5, $4, 1
+        slti $6, $8, 100
+        beqz $6, skip
+        xor  $7, $5, $8
+skip:   addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                            "jsonix", {}, config);
+}
+
+TEST(Json, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("x\ny"), "x\\ny");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, DocumentIsBalancedAndComplete)
+{
+    const std::string doc = toJson(smallRun());
+
+    // Structural balance (no strings in our output contain braces).
+    long depth = 0;
+    for (char c : doc) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // The required sections all appear.
+    for (const char *key :
+         {"\"workload\"", "\"predictor\"", "\"node_classes\"",
+          "\"arc_cells\"", "\"overall_pct\"", "\"paths\"",
+          "\"branches\"", "\"unpredictability\"",
+          "\"tree_longest_cumulative\""}) {
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(doc.find("\"workload\":\"jsonix\""),
+              std::string::npos);
+}
+
+TEST(Json, NumbersRoundTrip)
+{
+    const DpgStats stats = smallRun();
+    const std::string doc = toJson(stats);
+    EXPECT_NE(doc.find("\"dyn_instrs\":" +
+                       std::to_string(stats.dynInstrs)),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"arcs\":" +
+                       std::to_string(stats.arcs.total())),
+              std::string::npos);
+}
+
+TEST(Printers, EveryFigurePrinterProducesItsTable)
+{
+    const DpgStats base = smallRun();
+    std::vector<RunResult> runs;
+    RunResult r;
+    r.stats = base;
+    runs.push_back(std::move(r));
+
+    struct Case
+    {
+        const char *needle;
+        std::function<void(std::ostream &)> print;
+    };
+    const std::vector<Case> cases = {
+        {"Table 1",
+         [&](std::ostream &os) { printTable1(os, runs); }},
+        {"Fig. 5", [&](std::ostream &os) { printFig5(os, runs); }},
+        {"Fig. 6", [&](std::ostream &os) { printFig6(os, runs); }},
+        {"Fig. 7", [&](std::ostream &os) { printFig7(os, runs); }},
+        {"Fig. 8", [&](std::ostream &os) { printFig8(os, runs); }},
+        {"Fig. 9", [&](std::ostream &os) { printFig9(os, runs); }},
+        {"Fig. 10",
+         [&](std::ostream &os) { printFig10(os, base); }},
+        {"Fig. 11",
+         [&](std::ostream &os) { printFig11(os, base); }},
+        {"Fig. 12",
+         [&](std::ostream &os) { printFig12(os, runs); }},
+        {"Fig. 13",
+         [&](std::ostream &os) { printFig13(os, runs); }},
+    };
+    for (const auto &c : cases) {
+        std::ostringstream os;
+        c.print(os);
+        EXPECT_NE(os.str().find(c.needle), std::string::npos)
+            << c.needle;
+        EXPECT_GT(os.str().size(), 40u) << c.needle;
+    }
+}
+
+TEST(SeedRobustness, HeadlinePercentagesStableAcrossSeeds)
+{
+    // The figure results must be properties of the workload's
+    // *structure*, not of one particular random input. Run compress
+    // with three different seeds and require the propagation share
+    // to stay within a few points.
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+
+    std::vector<double> props;
+    for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+        ExperimentConfig config;
+        config.maxInstrs = 400'000;
+        config.dpg.kind = PredictorKind::Context;
+        config.dpg.trackInfluence = false;
+        const DpgStats stats =
+            runModel(prog, w.makeInput(seed), config);
+        const double denom =
+            static_cast<double>(stats.totalElements());
+        props.push_back(100.0 *
+                        double(stats.nodes.propagates() +
+                               stats.arcs.propagates()) /
+                        denom);
+    }
+    const double spread =
+        *std::max_element(props.begin(), props.end()) -
+        *std::min_element(props.begin(), props.end());
+    EXPECT_LT(spread, 6.0) << props[0] << " " << props[1] << " "
+                           << props[2];
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Trace serialization tests: live analysis and replayed analysis must
+ * be statistically identical, and malformed traces must be rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/trace_file.hh"
+#include "workloads/workload.hh"
+
+namespace ppm {
+namespace {
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        std::remove(path());
+    }
+
+    static const char *
+    path()
+    {
+        return "/tmp/ppm_trace_test.bin";
+    }
+};
+
+TEST_F(TraceFileTest, ReplayedAnalysisMatchesLive)
+{
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+    const auto input = w.makeInput(kDefaultWorkloadSeed);
+    constexpr std::uint64_t kBudget = 150'000;
+
+    // Capture the trace.
+    {
+        TraceWriter writer(path(), prog);
+        Machine m(prog, input);
+        m.run(&writer, kBudget);
+        EXPECT_EQ(writer.count(), kBudget);
+    }
+
+    // Live model.
+    ExecProfile live_profile(prog.textSize());
+    {
+        Machine m(prog, input);
+        m.run(&live_profile, kBudget);
+    }
+    DpgAnalyzer live(prog, live_profile, DpgConfig{});
+    {
+        Machine m(prog, input);
+        m.run(&live, kBudget);
+    }
+    const DpgStats a = live.takeStats();
+
+    // Replayed model: both passes straight from the file.
+    ExecProfile replay_profile(prog.textSize());
+    EXPECT_EQ(replayTrace(path(), prog, replay_profile), kBudget);
+    DpgAnalyzer replayed(prog, replay_profile, DpgConfig{});
+    EXPECT_EQ(replayTrace(path(), prog, replayed), kBudget);
+    const DpgStats b = replayed.takeStats();
+
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.arcs.total(), b.arcs.total());
+    EXPECT_EQ(a.nodes.propagates(), b.nodes.propagates());
+    EXPECT_EQ(a.nodes.generates(), b.nodes.generates());
+    EXPECT_EQ(a.nodes.terminates(), b.nodes.terminates());
+    EXPECT_EQ(a.arcs.propagates(), b.arcs.propagates());
+    EXPECT_EQ(a.branches.total(), b.branches.total());
+    EXPECT_EQ(a.branches.mispredicted(), b.branches.mispredicted());
+    EXPECT_EQ(a.trees.generateCount(), b.trees.generateCount());
+    EXPECT_EQ(a.paths.propagateElements, b.paths.propagateElements);
+    EXPECT_EQ(a.sequences.instructionsInSequences(),
+              b.sequences.instructionsInSequences());
+    EXPECT_EQ(a.unpred.total(), b.unpred.total());
+    EXPECT_DOUBLE_EQ(a.gshareAccuracy, b.gshareAccuracy);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFile)
+{
+    {
+        std::ofstream out(path(), std::ios::binary);
+        out << "this is not a trace";
+    }
+    const Program prog = assemble("halt\n");
+    ExecProfile sink(prog.textSize());
+    EXPECT_THROW(replayTrace(path(), prog, sink),
+                 std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsWrongProgram)
+{
+    const Program prog = assemble("nop\nhalt\n");
+    {
+        TraceWriter writer(path(), prog);
+        Machine m(prog);
+        m.run(&writer, 100);
+    }
+    const Program other = assemble("nop\nnop\nhalt\n");
+    ExecProfile sink(other.textSize());
+    EXPECT_THROW(replayTrace(path(), other, sink),
+                 std::runtime_error);
+}
+
+TEST_F(TraceFileTest, MissingFileThrows)
+{
+    const Program prog = assemble("halt\n");
+    ExecProfile sink(prog.textSize());
+    EXPECT_THROW(
+        replayTrace("/tmp/definitely_missing_ppm.bin", prog, sink),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Workload validation: every benchmark assembles, runs to a clean
+ * halt within budget, consumes its input exactly, and has the control
+ * and data profile its SPEC95 namesake motivates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+namespace ppm {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadTest, AssemblesAndHalts)
+{
+    const Workload &w = findWorkload(GetParam());
+    const Program prog = assemble(std::string(w.source), w.name);
+    const std::vector<Value> input = w.makeInput(kDefaultWorkloadSeed);
+
+    Machine m(prog, input);
+    const StopReason r = m.run(nullptr, 30'000'000);
+    EXPECT_EQ(r, StopReason::Halted) << w.name << " did not halt";
+    EXPECT_GT(m.instrCount(), 200'000u)
+        << w.name << " is too short to be statistically meaningful";
+    EXPECT_LT(m.instrCount(), 10'000'000u)
+        << w.name << " overshoots its dynamic budget";
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossRuns)
+{
+    const Workload &w = findWorkload(GetParam());
+    const Program prog = assemble(std::string(w.source), w.name);
+    const std::vector<Value> input = w.makeInput(kDefaultWorkloadSeed);
+
+    Machine m1(prog, input);
+    Machine m2(prog, input);
+    m1.run(nullptr, 500'000);
+    m2.run(nullptr, 500'000);
+    EXPECT_EQ(m1.pc(), m2.pc());
+    EXPECT_EQ(m1.instrCount(), m2.instrCount());
+    for (unsigned r = 1; r < kNumRegs; ++r)
+        ASSERT_EQ(m1.reg(static_cast<RegIndex>(r)),
+                  m2.reg(static_cast<RegIndex>(r)))
+            << "register " << r << " diverged";
+}
+
+TEST_P(WorkloadTest, InstructionMixIsCompiledCodeLike)
+{
+    // SPEC95-class programs are roughly 20-40 % memory operations and
+    // 10-25 % control; a workload drifting far outside those bands is
+    // no longer a credible stand-in (guards future workload edits).
+    const Workload &w = findWorkload(GetParam());
+    const Program prog = assemble(std::string(w.source), w.name);
+
+    class MixCounter : public TraceSink
+    {
+      public:
+        void
+        onInstr(const DynInstr &di) override
+        {
+            ++total;
+            const OpTraits &t = di.instr->traits();
+            if (t.isLoad || t.isStore)
+                ++mem;
+            if (t.isBranch || t.isJump)
+                ++control;
+        }
+
+        std::uint64_t total = 0;
+        std::uint64_t mem = 0;
+        std::uint64_t control = 0;
+    } mix;
+
+    Machine m(prog, w.makeInput(kDefaultWorkloadSeed));
+    m.run(&mix, 500'000);
+
+    const double mem_pct = 100.0 * double(mix.mem) / double(mix.total);
+    const double ctl_pct =
+        100.0 * double(mix.control) / double(mix.total);
+
+    // fpppp is the deliberate outlier: its defining property is
+    // enormous straight-line register-resident FP blocks, so the
+    // compiled-code bands do not apply to it.
+    if (w.name == "fpppp") {
+        EXPECT_LT(ctl_pct, 5.0) << "fpppp must stay straight-line";
+        return;
+    }
+
+    EXPECT_GE(mem_pct, 8.0) << w.name << " too register-only";
+    EXPECT_LE(mem_pct, 50.0) << w.name << " too memory-bound";
+    // FP loop nests are naturally less branchy (applu ~4 %);
+    // interpreter dispatch is naturally jump-heavy (li ~38 %).
+    EXPECT_GE(ctl_pct, w.isFloat ? 2.5 : 5.0)
+        << w.name << " too straight-line";
+    EXPECT_LE(ctl_pct, 42.0) << w.name << " too branchy";
+}
+
+TEST_P(WorkloadTest, SizeMatchesDeclaredEstimate)
+{
+    const Workload &w = findWorkload(GetParam());
+    const Program prog = assemble(std::string(w.source), w.name);
+    const std::vector<Value> input = w.makeInput(kDefaultWorkloadSeed);
+
+    Machine m(prog, input);
+    const StopReason r = m.run(nullptr, 30'000'000);
+    ASSERT_EQ(r, StopReason::Halted);
+    // approxInstrs documents the natural run length; keep it honest
+    // to within a factor of three so experiment budgets stay sane.
+    EXPECT_GE(m.instrCount() * 3, w.approxInstrs);
+    EXPECT_LE(m.instrCount(), w.approxInstrs * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::Values("compress", "gcc", "go", "ijpeg", "li",
+                      "m88ksim", "perl", "vortex", "applu", "fpppp",
+                      "mgrid", "swim"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(WorkloadRegistry, HasTwelveWithEightInteger)
+{
+    EXPECT_EQ(allWorkloads().size(), 12u);
+    EXPECT_EQ(integerWorkloads().size(), 8u);
+    EXPECT_EQ(floatWorkloads().size(), 4u);
+}
+
+TEST(WorkloadRegistry, FindUnknownThrows)
+{
+    EXPECT_THROW(findWorkload("doom"), std::out_of_range);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * `ppm` — the command-line front end to the predictability model.
+ *
+ *     ppm asm <file.s>                     assemble + report
+ *     ppm disasm <file.s>                  assembled listing
+ *     ppm run <file.s> [opts]              execute a program
+ *     ppm analyze <file.s|workload> [opts] run the DPG model
+ *     ppm graph <file.s|workload> [opts]   emit a Fig.3-style DPG
+ *                                          window as Graphviz dot
+ *     ppm workloads                        list the SPEC95 analogs
+ *
+ * Common options:
+ *     --max N            dynamic instruction budget (default 4000000)
+ *     --predictor P      last | stride | context   (default context)
+ *     --all-predictors   (analyze) run and tabulate all three
+ *     --seed S           workload input seed
+ *     --input v,v,...    inline input stream (run/analyze on files)
+ *     --input-file F     input stream, one value per line
+ *     --trace            (run) print every executed instruction
+ *     --save-trace F     (run) capture the dynamic trace to F
+ *     --trace-file F     (analyze) replay a captured trace instead
+ *                        of simulating
+ *     --report R,...     (analyze) any of: overall, gen, prop, term,
+ *                        paths, trees, sequences, branches, unpred,
+ *                        critical, json   (default: overall)
+ */
+
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/experiment.hh"
+#include "analysis/figures.hh"
+#include "asmr/assembler.hh"
+#include "dpg/dpg_graph.hh"
+#include "isa/disasm.hh"
+#include "report/figure_report.hh"
+#include "report/json_emitter.hh"
+#include "sim/machine.hh"
+#include "sim/trace_file.hh"
+#include "support/cli_args.hh"
+#include "support/string_utils.hh"
+#include "support/table_printer.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace ppm;
+
+[[noreturn]] void
+usage(const std::string &message = "")
+{
+    if (!message.empty())
+        std::cerr << "ppm: " << message << "\n\n";
+    std::cerr <<
+        "usage:\n"
+        "  ppm asm <file.s>\n"
+        "  ppm disasm <file.s>\n"
+        "  ppm run <file.s> [--max N] [--trace]\n"
+        "          [--input v,v,...] [--input-file F]\n"
+        "  ppm analyze <file.s | workload-name>\n"
+        "          [--predictor last|stride|context] [--max N]\n"
+        "          [--seed S] [--report overall,paths,...]\n"
+        "  ppm workloads\n";
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        usage("cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+PredictorKind
+parsePredictor(const std::string &name)
+{
+    if (name == "last" || name == "last-value")
+        return PredictorKind::LastValue;
+    if (name == "stride")
+        return PredictorKind::Stride2Delta;
+    if (name == "context")
+        return PredictorKind::Context;
+    usage("unknown predictor '" + name + "'");
+}
+
+std::vector<Value>
+parseInputList(const std::string &list)
+{
+    std::vector<Value> out;
+    for (const auto piece : splitAndTrim(list, ',')) {
+        if (piece.empty())
+            continue;
+        out.push_back(static_cast<Value>(
+            std::stoll(std::string(piece), nullptr, 0)));
+    }
+    return out;
+}
+
+std::vector<Value>
+parseInputFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        usage("cannot read " + path);
+    std::vector<Value> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        out.push_back(static_cast<Value>(
+            std::stoll(std::string(t), nullptr, 0)));
+    }
+    return out;
+}
+
+/** Resolve `analyze` target: workload name or assembly file. */
+struct Target
+{
+    Program program;
+    std::vector<Value> input;
+    bool isFloat = false;
+};
+
+Target
+resolveTarget(const std::string &name, const CliArgs &args)
+{
+    Target t;
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        args.intOption("seed").value_or(
+            static_cast<std::int64_t>(kDefaultWorkloadSeed)));
+
+    // Workload names win; anything else is a file path.
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name) {
+            t.program = assemble(std::string(w.source), w.name);
+            t.input = w.makeInput(seed);
+            t.isFloat = w.isFloat;
+            return t;
+        }
+    }
+
+    t.program = assemble(readFile(name), name);
+    if (const auto list = args.option("input"))
+        t.input = parseInputList(*list);
+    else if (const auto file = args.option("input-file"))
+        t.input = parseInputFile(*file);
+    return t;
+}
+
+int
+cmdAsm(const CliArgs &args)
+{
+    if (args.positionals().size() != 2)
+        usage("asm needs a file");
+    const Program prog =
+        assemble(readFile(args.positionals()[1]),
+                 args.positionals()[1]);
+    std::cout << prog.name << ": " << prog.textSize()
+              << " instructions, " << prog.dataImage.size()
+              << " initialized data words, " << prog.symbols.size()
+              << " symbols\n";
+    return 0;
+}
+
+int
+cmdDisasm(const CliArgs &args)
+{
+    if (args.positionals().size() != 2)
+        usage("disasm needs a file");
+    const Program prog =
+        assemble(readFile(args.positionals()[1]),
+                 args.positionals()[1]);
+
+    // Invert the symbol table for labels.
+    for (StaticId i = 0; i < prog.textSize(); ++i) {
+        for (const auto &[sym, value] : prog.symbols) {
+            if (value == textAddr(i))
+                std::cout << sym << ":\n";
+        }
+        std::cout << "  " << i << ":\t"
+                  << disassemble(prog.text[i]) << "\n";
+    }
+    return 0;
+}
+
+/** Trace printer for `run --trace`. */
+class TracePrinter : public TraceSink
+{
+  public:
+    void
+    onInstr(const DynInstr &di) override
+    {
+        std::cout << di.seq << "\t" << di.pc << "\t"
+                  << disassemble(*di.instr);
+        if (di.hasValueOutput())
+            std::cout << "\t-> 0x" << std::hex << di.outValue
+                      << std::dec;
+        if (di.isBranch)
+            std::cout << "\t" << (di.taken ? "taken" : "not-taken");
+        std::cout << "\n";
+    }
+};
+
+int
+cmdRun(const CliArgs &args)
+{
+    if (args.positionals().size() != 2)
+        usage("run needs a file");
+    Target t = resolveTarget(args.positionals()[1], args);
+    const std::uint64_t max_instrs = static_cast<std::uint64_t>(
+        args.intOption("max").value_or(4'000'000));
+
+    TracePrinter printer;
+    std::unique_ptr<TraceWriter> writer;
+    if (const auto trace_path = args.option("save-trace"))
+        writer = std::make_unique<TraceWriter>(*trace_path, t.program);
+
+    Machine m(t.program, std::move(t.input));
+    TraceSink *sink = nullptr;
+    if (writer)
+        sink = writer.get();
+    else if (args.flag("trace"))
+        sink = &printer;
+    const StopReason reason = m.run(sink, max_instrs);
+    if (writer) {
+        std::cout << "trace: " << formatCount(writer->count())
+                  << " records saved\n";
+    }
+
+    std::cout << (reason == StopReason::Halted
+                      ? "halted"
+                      : "instruction budget reached")
+              << " after " << formatCount(m.instrCount())
+              << " instructions\n";
+    return 0;
+}
+
+int
+cmdAnalyze(const CliArgs &args)
+{
+    if (args.positionals().size() != 2)
+        usage("analyze needs a file or workload name");
+    Target t = resolveTarget(args.positionals()[1], args);
+
+    ExperimentConfig config;
+    config.maxInstrs = static_cast<std::uint64_t>(
+        args.intOption("max").value_or(4'000'000));
+
+    std::vector<PredictorKind> kinds;
+    if (args.flag("all-predictors")) {
+        kinds.assign(std::begin(kAllPredictorKinds),
+                     std::end(kAllPredictorKinds));
+    } else {
+        kinds.push_back(parsePredictor(
+            args.option("predictor").value_or("context")));
+    }
+
+    std::vector<RunResult> runs;
+    for (PredictorKind kind : kinds) {
+        config.dpg.kind = kind;
+        DpgStats stats;
+        if (const auto trace_path = args.option("trace-file")) {
+            // Trace-driven: both passes replay the captured stream.
+            ExecProfile profile(t.program.textSize());
+            replayTrace(*trace_path, t.program, profile);
+            DpgAnalyzer analyzer(t.program, profile, config.dpg);
+            replayTrace(*trace_path, t.program, analyzer);
+            stats = analyzer.takeStats();
+        } else {
+            stats = runModel(t.program, t.input, config);
+        }
+        RunResult run;
+        run.isFloat = t.isFloat;
+        run.stats = std::move(stats);
+        runs.push_back(std::move(run));
+    }
+    const DpgStats &s = runs.front().stats;
+
+    const std::string reports =
+        args.option("report").value_or("overall");
+    for (const auto piece : splitAndTrim(reports, ',')) {
+        const std::string r(piece);
+        if (r == "overall") {
+            printTable1(std::cout, runs);
+            printFig5(std::cout, runs);
+        } else if (r == "gen") {
+            printFig6(std::cout, runs);
+        } else if (r == "prop") {
+            printFig7(std::cout, runs);
+        } else if (r == "term") {
+            printFig8(std::cout, runs);
+        } else if (r == "paths") {
+            printFig9(std::cout, runs);
+        } else if (r == "trees") {
+            printFig10(std::cout, s);
+            printFig11(std::cout, s);
+        } else if (r == "sequences") {
+            printFig12(std::cout, runs);
+        } else if (r == "branches") {
+            printFig13(std::cout, runs);
+        } else if (r == "unpred") {
+            TablePrinter table(
+                "Unpredicted outputs by origin (D=data, "
+                "T=terminated, F=fresh)");
+            table.addRow({"origin set", "count", "%"});
+            for (unsigned mask = 1; mask < 8; ++mask) {
+                if (s.unpred.count(mask) == 0)
+                    continue;
+                table.addRow(
+                    {unpredMaskName(static_cast<std::uint8_t>(mask)),
+                     formatCount(s.unpred.count(mask)),
+                     formatDouble(100.0 *
+                                      double(s.unpred.count(mask)) /
+                                      double(s.unpred.total()),
+                                  1)});
+            }
+            table.print(std::cout);
+            std::cout << "\n";
+        } else if (r == "json") {
+            writeJson(std::cout, s);
+        } else if (r == "critical") {
+            TablePrinter table("Critical generate sites");
+            table.addRow({"pc", "instruction", "class", "generates",
+                          "influenced", "longest"});
+            for (const CriticalSite &site :
+                 s.trees.criticalSites(10)) {
+                table.addRow(
+                    {std::to_string(site.pc),
+                     disassemble(t.program.text[site.pc]),
+                     std::string(generatorClassName(site.cls)),
+                     formatCount(site.generates),
+                     formatCount(site.influenced),
+                     formatCount(site.longest)});
+            }
+            table.print(std::cout);
+            std::cout << "\n";
+        } else {
+            usage("unknown report '" + r + "'");
+        }
+    }
+    return 0;
+}
+
+int
+cmdGraph(const CliArgs &args)
+{
+    if (args.positionals().size() != 2)
+        usage("graph needs a file or workload name");
+    Target t = resolveTarget(args.positionals()[1], args);
+    const std::size_t window = static_cast<std::size_t>(
+        args.intOption("window").value_or(64));
+
+    DpgGraphBuilder builder(
+        t.program,
+        parsePredictor(args.option("predictor").value_or("stride")),
+        window);
+    Machine m(t.program, std::move(t.input));
+    m.run(&builder, window);
+    builder.writeDot(std::cout);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    TablePrinter table("Built-in SPEC95-analog workloads");
+    table.addRow({"name", "set", "approx dyn instrs", "input words"});
+    for (const Workload &w : allWorkloads()) {
+        table.addRow({w.name, w.isFloat ? "FP" : "INT",
+                      formatCount(w.approxInstrs),
+                      formatCount(w.makeInput(kDefaultWorkloadSeed)
+                                      .size())});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv,
+                       {"max", "predictor", "seed", "input",
+                        "input-file", "report", "window",
+                        "save-trace", "trace-file"});
+    if (args.positionals().empty())
+        usage();
+
+    try {
+        const std::string &cmd = args.positionals()[0];
+        if (cmd == "asm")
+            return cmdAsm(args);
+        if (cmd == "disasm")
+            return cmdDisasm(args);
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
+        if (cmd == "graph")
+            return cmdGraph(args);
+        if (cmd == "workloads")
+            return cmdWorkloads();
+        usage("unknown command '" + cmd + "'");
+    } catch (const AsmError &e) {
+        std::cerr << "assembly error: " << e.what() << "\n";
+        return 1;
+    } catch (const SimError &e) {
+        std::cerr << "simulation trap: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
