@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delayed_update.dir/ablation_delayed_update.cc.o"
+  "CMakeFiles/ablation_delayed_update.dir/ablation_delayed_update.cc.o.d"
+  "ablation_delayed_update"
+  "ablation_delayed_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delayed_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

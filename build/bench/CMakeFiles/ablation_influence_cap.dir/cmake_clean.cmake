@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_influence_cap.dir/ablation_influence_cap.cc.o"
+  "CMakeFiles/ablation_influence_cap.dir/ablation_influence_cap.cc.o.d"
+  "ablation_influence_cap"
+  "ablation_influence_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_influence_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_address_prediction.dir/ext_address_prediction.cc.o"
+  "CMakeFiles/ext_address_prediction.dir/ext_address_prediction.cc.o.d"
+  "ext_address_prediction"
+  "ext_address_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_address_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_critical_points.dir/ext_critical_points.cc.o"
+  "CMakeFiles/ext_critical_points.dir/ext_critical_points.cc.o.d"
+  "ext_critical_points"
+  "ext_critical_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_critical_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

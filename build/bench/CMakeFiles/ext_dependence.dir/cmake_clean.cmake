@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dependence.dir/ext_dependence.cc.o"
+  "CMakeFiles/ext_dependence.dir/ext_dependence.cc.o.d"
+  "ext_dependence"
+  "ext_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reuse_memoization.dir/ext_reuse_memoization.cc.o"
+  "CMakeFiles/ext_reuse_memoization.dir/ext_reuse_memoization.cc.o.d"
+  "ext_reuse_memoization"
+  "ext_reuse_memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reuse_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_reuse_memoization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_unpredictability.dir/ext_unpredictability.cc.o"
+  "CMakeFiles/ext_unpredictability.dir/ext_unpredictability.cc.o.d"
+  "ext_unpredictability"
+  "ext_unpredictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_unpredictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

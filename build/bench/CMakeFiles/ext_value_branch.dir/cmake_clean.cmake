@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_value_branch.dir/ext_value_branch.cc.o"
+  "CMakeFiles/ext_value_branch.dir/ext_value_branch.cc.o.d"
+  "ext_value_branch"
+  "ext_value_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_value_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

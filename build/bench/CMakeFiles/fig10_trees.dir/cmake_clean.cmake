@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_trees.dir/fig10_trees.cc.o"
+  "CMakeFiles/fig10_trees.dir/fig10_trees.cc.o.d"
+  "fig10_trees"
+  "fig10_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_influence.dir/fig11_influence.cc.o"
+  "CMakeFiles/fig11_influence.dir/fig11_influence.cc.o.d"
+  "fig11_influence"
+  "fig11_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sequences.dir/fig12_sequences.cc.o"
+  "CMakeFiles/fig12_sequences.dir/fig12_sequences.cc.o.d"
+  "fig12_sequences"
+  "fig12_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

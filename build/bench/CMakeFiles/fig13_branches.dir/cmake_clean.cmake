@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_branches.dir/fig13_branches.cc.o"
+  "CMakeFiles/fig13_branches.dir/fig13_branches.cc.o.d"
+  "fig13_branches"
+  "fig13_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_generation.dir/fig6_generation.cc.o"
+  "CMakeFiles/fig6_generation.dir/fig6_generation.cc.o.d"
+  "fig6_generation"
+  "fig6_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

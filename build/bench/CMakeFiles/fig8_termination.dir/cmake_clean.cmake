@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_termination.dir/fig8_termination.cc.o"
+  "CMakeFiles/fig8_termination.dir/fig8_termination.cc.o.d"
+  "fig8_termination"
+  "fig8_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

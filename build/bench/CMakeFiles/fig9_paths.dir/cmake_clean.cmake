@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_paths.dir/fig9_paths.cc.o"
+  "CMakeFiles/fig9_paths.dir/fig9_paths.cc.o.d"
+  "fig9_paths"
+  "fig9_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

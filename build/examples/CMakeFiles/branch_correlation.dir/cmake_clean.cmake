@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_correlation.dir/branch_correlation.cpp.o"
+  "CMakeFiles/branch_correlation.dir/branch_correlation.cpp.o.d"
+  "branch_correlation"
+  "branch_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

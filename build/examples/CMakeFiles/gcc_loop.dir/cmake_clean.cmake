@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcc_loop.dir/gcc_loop.cpp.o"
+  "CMakeFiles/gcc_loop.dir/gcc_loop.cpp.o.d"
+  "gcc_loop"
+  "gcc_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcc_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

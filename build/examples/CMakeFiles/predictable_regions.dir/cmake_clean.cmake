@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictable_regions.dir/predictable_regions.cpp.o"
+  "CMakeFiles/predictable_regions.dir/predictable_regions.cpp.o.d"
+  "predictable_regions"
+  "predictable_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictable_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cc" "src/CMakeFiles/ppm.dir/analysis/experiment.cc.o" "gcc" "src/CMakeFiles/ppm.dir/analysis/experiment.cc.o.d"
+  "/root/repo/src/analysis/figures.cc" "src/CMakeFiles/ppm.dir/analysis/figures.cc.o" "gcc" "src/CMakeFiles/ppm.dir/analysis/figures.cc.o.d"
+  "/root/repo/src/analysis/study_sinks.cc" "src/CMakeFiles/ppm.dir/analysis/study_sinks.cc.o" "gcc" "src/CMakeFiles/ppm.dir/analysis/study_sinks.cc.o.d"
+  "/root/repo/src/asmr/assembler.cc" "src/CMakeFiles/ppm.dir/asmr/assembler.cc.o" "gcc" "src/CMakeFiles/ppm.dir/asmr/assembler.cc.o.d"
+  "/root/repo/src/asmr/lexer.cc" "src/CMakeFiles/ppm.dir/asmr/lexer.cc.o" "gcc" "src/CMakeFiles/ppm.dir/asmr/lexer.cc.o.d"
+  "/root/repo/src/asmr/program.cc" "src/CMakeFiles/ppm.dir/asmr/program.cc.o" "gcc" "src/CMakeFiles/ppm.dir/asmr/program.cc.o.d"
+  "/root/repo/src/dpg/arc_stats.cc" "src/CMakeFiles/ppm.dir/dpg/arc_stats.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/arc_stats.cc.o.d"
+  "/root/repo/src/dpg/branch_stats.cc" "src/CMakeFiles/ppm.dir/dpg/branch_stats.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/branch_stats.cc.o.d"
+  "/root/repo/src/dpg/classes.cc" "src/CMakeFiles/ppm.dir/dpg/classes.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/classes.cc.o.d"
+  "/root/repo/src/dpg/dpg_analyzer.cc" "src/CMakeFiles/ppm.dir/dpg/dpg_analyzer.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/dpg_analyzer.cc.o.d"
+  "/root/repo/src/dpg/dpg_graph.cc" "src/CMakeFiles/ppm.dir/dpg/dpg_graph.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/dpg_graph.cc.o.d"
+  "/root/repo/src/dpg/influence.cc" "src/CMakeFiles/ppm.dir/dpg/influence.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/influence.cc.o.d"
+  "/root/repo/src/dpg/node_stats.cc" "src/CMakeFiles/ppm.dir/dpg/node_stats.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/node_stats.cc.o.d"
+  "/root/repo/src/dpg/sequence_stats.cc" "src/CMakeFiles/ppm.dir/dpg/sequence_stats.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/sequence_stats.cc.o.d"
+  "/root/repo/src/dpg/tree_stats.cc" "src/CMakeFiles/ppm.dir/dpg/tree_stats.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/tree_stats.cc.o.d"
+  "/root/repo/src/dpg/unpred_stats.cc" "src/CMakeFiles/ppm.dir/dpg/unpred_stats.cc.o" "gcc" "src/CMakeFiles/ppm.dir/dpg/unpred_stats.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/ppm.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/ppm.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/ppm.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/ppm.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/ppm.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/ppm.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/CMakeFiles/ppm.dir/isa/registers.cc.o" "gcc" "src/CMakeFiles/ppm.dir/isa/registers.cc.o.d"
+  "/root/repo/src/pred/confidence.cc" "src/CMakeFiles/ppm.dir/pred/confidence.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/confidence.cc.o.d"
+  "/root/repo/src/pred/context_predictor.cc" "src/CMakeFiles/ppm.dir/pred/context_predictor.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/context_predictor.cc.o.d"
+  "/root/repo/src/pred/delayed_update.cc" "src/CMakeFiles/ppm.dir/pred/delayed_update.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/delayed_update.cc.o.d"
+  "/root/repo/src/pred/gshare.cc" "src/CMakeFiles/ppm.dir/pred/gshare.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/gshare.cc.o.d"
+  "/root/repo/src/pred/last_value_predictor.cc" "src/CMakeFiles/ppm.dir/pred/last_value_predictor.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/last_value_predictor.cc.o.d"
+  "/root/repo/src/pred/predictor_bank.cc" "src/CMakeFiles/ppm.dir/pred/predictor_bank.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/predictor_bank.cc.o.d"
+  "/root/repo/src/pred/reuse_buffer.cc" "src/CMakeFiles/ppm.dir/pred/reuse_buffer.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/reuse_buffer.cc.o.d"
+  "/root/repo/src/pred/stride_predictor.cc" "src/CMakeFiles/ppm.dir/pred/stride_predictor.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/stride_predictor.cc.o.d"
+  "/root/repo/src/pred/value_branch_predictor.cc" "src/CMakeFiles/ppm.dir/pred/value_branch_predictor.cc.o" "gcc" "src/CMakeFiles/ppm.dir/pred/value_branch_predictor.cc.o.d"
+  "/root/repo/src/report/csv_emitter.cc" "src/CMakeFiles/ppm.dir/report/csv_emitter.cc.o" "gcc" "src/CMakeFiles/ppm.dir/report/csv_emitter.cc.o.d"
+  "/root/repo/src/report/figure_report.cc" "src/CMakeFiles/ppm.dir/report/figure_report.cc.o" "gcc" "src/CMakeFiles/ppm.dir/report/figure_report.cc.o.d"
+  "/root/repo/src/report/json_emitter.cc" "src/CMakeFiles/ppm.dir/report/json_emitter.cc.o" "gcc" "src/CMakeFiles/ppm.dir/report/json_emitter.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/ppm.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/ppm.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/ppm.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/ppm.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/CMakeFiles/ppm.dir/sim/profiler.cc.o" "gcc" "src/CMakeFiles/ppm.dir/sim/profiler.cc.o.d"
+  "/root/repo/src/sim/trace_file.cc" "src/CMakeFiles/ppm.dir/sim/trace_file.cc.o" "gcc" "src/CMakeFiles/ppm.dir/sim/trace_file.cc.o.d"
+  "/root/repo/src/support/bit_ops.cc" "src/CMakeFiles/ppm.dir/support/bit_ops.cc.o" "gcc" "src/CMakeFiles/ppm.dir/support/bit_ops.cc.o.d"
+  "/root/repo/src/support/cli_args.cc" "src/CMakeFiles/ppm.dir/support/cli_args.cc.o" "gcc" "src/CMakeFiles/ppm.dir/support/cli_args.cc.o.d"
+  "/root/repo/src/support/histogram.cc" "src/CMakeFiles/ppm.dir/support/histogram.cc.o" "gcc" "src/CMakeFiles/ppm.dir/support/histogram.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/ppm.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/ppm.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/string_utils.cc" "src/CMakeFiles/ppm.dir/support/string_utils.cc.o" "gcc" "src/CMakeFiles/ppm.dir/support/string_utils.cc.o.d"
+  "/root/repo/src/support/table_printer.cc" "src/CMakeFiles/ppm.dir/support/table_printer.cc.o" "gcc" "src/CMakeFiles/ppm.dir/support/table_printer.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/ppm.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_applu.cc" "src/CMakeFiles/ppm.dir/workloads/wl_applu.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_applu.cc.o.d"
+  "/root/repo/src/workloads/wl_compress.cc" "src/CMakeFiles/ppm.dir/workloads/wl_compress.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_compress.cc.o.d"
+  "/root/repo/src/workloads/wl_fpppp.cc" "src/CMakeFiles/ppm.dir/workloads/wl_fpppp.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_fpppp.cc.o.d"
+  "/root/repo/src/workloads/wl_gcc.cc" "src/CMakeFiles/ppm.dir/workloads/wl_gcc.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_gcc.cc.o.d"
+  "/root/repo/src/workloads/wl_go.cc" "src/CMakeFiles/ppm.dir/workloads/wl_go.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_go.cc.o.d"
+  "/root/repo/src/workloads/wl_ijpeg.cc" "src/CMakeFiles/ppm.dir/workloads/wl_ijpeg.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/wl_li.cc" "src/CMakeFiles/ppm.dir/workloads/wl_li.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_li.cc.o.d"
+  "/root/repo/src/workloads/wl_m88ksim.cc" "src/CMakeFiles/ppm.dir/workloads/wl_m88ksim.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/wl_mgrid.cc" "src/CMakeFiles/ppm.dir/workloads/wl_mgrid.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_mgrid.cc.o.d"
+  "/root/repo/src/workloads/wl_perl.cc" "src/CMakeFiles/ppm.dir/workloads/wl_perl.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_perl.cc.o.d"
+  "/root/repo/src/workloads/wl_swim.cc" "src/CMakeFiles/ppm.dir/workloads/wl_swim.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_swim.cc.o.d"
+  "/root/repo/src/workloads/wl_vortex.cc" "src/CMakeFiles/ppm.dir/workloads/wl_vortex.cc.o" "gcc" "src/CMakeFiles/ppm.dir/workloads/wl_vortex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

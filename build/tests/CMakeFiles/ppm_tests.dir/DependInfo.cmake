@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/ppm_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_cli_args.cc" "tests/CMakeFiles/ppm_tests.dir/test_cli_args.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_cli_args.cc.o.d"
+  "/root/repo/tests/test_dpg.cc" "tests/CMakeFiles/ppm_tests.dir/test_dpg.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_dpg.cc.o.d"
+  "/root/repo/tests/test_dpg_graph.cc" "tests/CMakeFiles/ppm_tests.dir/test_dpg_graph.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_dpg_graph.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/ppm_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_figures.cc" "tests/CMakeFiles/ppm_tests.dir/test_figures.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_figures.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/ppm_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_headline_shapes.cc" "tests/CMakeFiles/ppm_tests.dir/test_headline_shapes.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_headline_shapes.cc.o.d"
+  "/root/repo/tests/test_influence.cc" "tests/CMakeFiles/ppm_tests.dir/test_influence.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_influence.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/ppm_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_isa_properties.cc" "tests/CMakeFiles/ppm_tests.dir/test_isa_properties.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_isa_properties.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/ppm_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/ppm_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_memory_studies.cc" "tests/CMakeFiles/ppm_tests.dir/test_memory_studies.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_memory_studies.cc.o.d"
+  "/root/repo/tests/test_paper_fidelity.cc" "tests/CMakeFiles/ppm_tests.dir/test_paper_fidelity.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_paper_fidelity.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/ppm_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_programs.cc" "tests/CMakeFiles/ppm_tests.dir/test_programs.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_programs.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/ppm_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/ppm_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/ppm_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/ppm_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ppm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ppm_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

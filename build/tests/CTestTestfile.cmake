@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ppm_tests[1]_include.cmake")
+add_test(cli_workloads "/root/repo/build/tools/ppm" "workloads")
+set_tests_properties(cli_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_analyze_quick "/root/repo/build/tools/ppm" "analyze" "compress" "--max" "50000" "--predictor" "stride" "--report" "overall")
+set_tests_properties(cli_analyze_quick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_graph "/root/repo/build/tools/ppm" "graph" "compress" "--window" "32")
+set_tests_properties(cli_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_json "/root/repo/build/tools/ppm" "analyze" "gcc" "--max" "50000" "--report" "json")
+set_tests_properties(cli_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/ppm" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;42;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_all_predictors "/root/repo/build/tools/ppm" "analyze" "compress" "--max" "50000" "--all-predictors" "--report" "overall")
+set_tests_properties(cli_all_predictors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")

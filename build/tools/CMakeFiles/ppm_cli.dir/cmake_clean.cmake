@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_cli.dir/ppm_main.cc.o"
+  "CMakeFiles/ppm_cli.dir/ppm_main.cc.o.d"
+  "ppm"
+  "ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
