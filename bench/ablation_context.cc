@@ -26,34 +26,47 @@ main()
     table.addRow({"workload", "history", "L2", "prop %",
                   "ctx-term %"});
 
+    // All 12 sweep cells share one capture per workload; the engine
+    // simulates gcc and compress once each and replays 6 configs.
+    struct Cell
+    {
+        const char *name;
+        unsigned hist;
+        bool shared;
+    };
+    std::vector<Cell> cells;
+    std::vector<ExperimentJob> jobs;
     for (const char *name : {"gcc", "compress"}) {
-        const Workload &w = findWorkload(name);
-        const Program prog = assemble(std::string(w.source), w.name);
-        const auto input = w.makeInput(kDefaultWorkloadSeed);
         for (unsigned hist : {1u, 2u, 4u}) {
             for (bool shared : {true, false}) {
-                ExperimentConfig config;
-                config.maxInstrs = instrBudget();
-                config.dpg.kind = PredictorKind::Context;
+                ExperimentConfig config =
+                    benchConfig(PredictorKind::Context);
                 config.dpg.predictor.historyLen = hist;
                 config.dpg.predictor.sharedL2 = shared;
                 config.dpg.trackInfluence = false;
-                const DpgStats stats =
-                    runModel(prog, input, config);
-                const double prop = pctOfElements(
-                    stats, stats.nodes.propagates() +
-                               stats.arcs.propagates());
-                const double ctx_term = pctOfElements(
-                    stats,
-                    stats.nodes.count(NodeClass::TermPredPred) +
-                        stats.nodes.count(NodeClass::TermPredImm));
-                table.addRow({name, std::to_string(hist),
-                              shared ? "shared" : "private",
-                              formatDouble(prop, 2),
-                              formatDouble(ctx_term, 2)});
+                cells.push_back({name, hist, shared});
+                jobs.push_back(engine().makeJob(findWorkload(name),
+                                                config));
             }
         }
     }
+
+    const std::vector<ExperimentOutcome> outcomes =
+        engine().run(jobs);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const DpgStats &stats = outcomes[i].stats;
+        const double prop = pctOfElements(
+            stats,
+            stats.nodes.propagates() + stats.arcs.propagates());
+        const double ctx_term = pctOfElements(
+            stats, stats.nodes.count(NodeClass::TermPredPred) +
+                       stats.nodes.count(NodeClass::TermPredImm));
+        table.addRow({cells[i].name, std::to_string(cells[i].hist),
+                      cells[i].shared ? "shared" : "private",
+                      formatDouble(prop, 2),
+                      formatDouble(ctx_term, 2)});
+    }
+    printStageSummary(std::cerr, engine());
     table.print(std::cout);
     std::cout <<
         "\nExpected shape: longer history raises propagation and\n"

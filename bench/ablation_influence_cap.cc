@@ -22,19 +22,26 @@ main()
     using namespace ppm::bench;
 
     const Workload &w = findWorkload("go");
-    const Program prog = assemble(std::string(w.source), w.name);
-    const auto input = w.makeInput(kDefaultWorkloadSeed);
 
     TablePrinter table("Influence-cap sensitivity (go, context)");
     table.addRow({"cap", "saturated %", "<4 generates %",
                   "C-class %", "median distance bucket"});
 
-    for (unsigned cap : {4u, 8u, 16u, 48u, 96u}) {
-        ExperimentConfig config;
-        config.maxInstrs = instrBudget();
-        config.dpg.kind = PredictorKind::Context;
+    // Five cap settings over one capture of the go analog.
+    const std::vector<unsigned> caps = {4u, 8u, 16u, 48u, 96u};
+    std::vector<ExperimentJob> jobs;
+    for (unsigned cap : caps) {
+        ExperimentConfig config =
+            benchConfig(PredictorKind::Context);
         config.dpg.influenceCap = cap;
-        const DpgStats stats = runModel(prog, input, config);
+        jobs.push_back(engine().makeJob(w, config));
+    }
+    const std::vector<ExperimentOutcome> outcomes =
+        engine().run(jobs);
+
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+        const unsigned cap = caps[i];
+        const DpgStats &stats = outcomes[i].stats;
 
         const double sat =
             stats.paths.propagateElements == 0
@@ -60,5 +67,6 @@ main()
                       median});
     }
     table.print(std::cout);
+    printStageSummary(std::cerr, engine());
     return 0;
 }

@@ -21,23 +21,32 @@ main()
     using namespace ppm::bench;
 
     const Workload &w = findWorkload("gcc");
-    const Program prog = assemble(std::string(w.source), w.name);
-    const auto input = w.makeInput(kDefaultWorkloadSeed);
 
     TablePrinter table(
         "Table-capacity ablation (gcc; node+arc propagation % of "
         "nodes+arcs)");
     table.addRow({"table bits", "last-value", "stride", "context"});
 
-    for (unsigned bits : {6u, 8u, 10u, 12u, 16u}) {
-        std::vector<std::string> row = {std::to_string(bits)};
+    // 15 sweep cells, one gcc capture: the engine replays all of them.
+    const std::vector<unsigned> bit_sweep = {6u, 8u, 10u, 12u, 16u};
+    std::vector<ExperimentJob> jobs;
+    for (unsigned bits : bit_sweep) {
         for (PredictorKind kind : kAllPredictorKinds) {
-            ExperimentConfig config;
-            config.maxInstrs = instrBudget();
-            config.dpg.kind = kind;
+            ExperimentConfig config = benchConfig(kind);
             config.dpg.predictor.tableBits = bits;
             config.dpg.trackInfluence = false;
-            const DpgStats stats = runModel(prog, input, config);
+            jobs.push_back(engine().makeJob(w, config));
+        }
+    }
+    const std::vector<ExperimentOutcome> outcomes =
+        engine().run(jobs);
+
+    std::size_t cell = 0;
+    for (unsigned bits : bit_sweep) {
+        std::vector<std::string> row = {std::to_string(bits)};
+        for (unsigned k = 0; k < std::size(kAllPredictorKinds);
+             ++k, ++cell) {
+            const DpgStats &stats = outcomes[cell].stats;
             row.push_back(formatDouble(
                 pctOfElements(stats, stats.nodes.propagates() +
                                          stats.arcs.propagates()),
@@ -46,5 +55,6 @@ main()
         table.addRow(std::move(row));
     }
     table.print(std::cout);
+    printStageSummary(std::cerr, engine());
     return 0;
 }

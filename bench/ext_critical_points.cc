@@ -22,14 +22,20 @@ main()
     using namespace ppm;
     using namespace ppm::bench;
 
-    for (const char *name : {"gcc", "compress", "m88ksim"}) {
-        const Workload &w = findWorkload(name);
-        const Program prog = assemble(std::string(w.source), w.name);
-        ExperimentConfig config;
-        config.maxInstrs = instrBudget();
-        config.dpg.kind = PredictorKind::Context;
-        const DpgStats stats =
-            runModel(prog, w.makeInput(kDefaultWorkloadSeed), config);
+    const std::vector<const char *> names = {"gcc", "compress",
+                                             "m88ksim"};
+    std::vector<ExperimentJob> jobs;
+    for (const char *name : names) {
+        jobs.push_back(engine().makeJob(
+            findWorkload(name), benchConfig(PredictorKind::Context)));
+    }
+    const std::vector<ExperimentOutcome> outcomes =
+        engine().run(jobs);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Workload &w = findWorkload(names[i]);
+        const Program &prog = *jobs[i].program;
+        const DpgStats &stats = outcomes[i].stats;
 
         const std::uint64_t total_prop =
             stats.paths.propagateElements;

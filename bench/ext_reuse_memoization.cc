@@ -36,9 +36,10 @@ main()
         Machine m(prog, w.makeInput(kDefaultWorkloadSeed));
         m.run(&study, instrBudget());
 
-        const RunResult model =
-            runOne(w, PredictorKind::Context,
-                   /*track_influence=*/false);
+        ExperimentConfig config =
+            benchConfig(PredictorKind::Context);
+        config.dpg.trackInfluence = false;
+        const RunResult model = runOne(w, config);
         const Fig5Row f5 = fig5Row(model.stats);
 
         auto rate = [&](OpCategory cat) {

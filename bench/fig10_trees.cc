@@ -20,7 +20,8 @@ main()
     using namespace ppm::bench;
 
     const RunResult run =
-        runOne(findWorkload("gcc"), PredictorKind::Context);
+        runOne(findWorkload("gcc"),
+               benchConfig(PredictorKind::Context));
 
     printFig10(std::cout, run.stats);
 

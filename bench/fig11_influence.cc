@@ -22,9 +22,18 @@ main()
     using namespace ppm;
     using namespace ppm::bench;
 
-    for (const char *name : {"compress", "go", "gcc"}) {
-        const RunResult run =
-            runOne(findWorkload(name), PredictorKind::Context);
+    // One independent cell per workload: fan them out together.
+    const std::vector<const char *> names = {"compress", "go", "gcc"};
+    std::vector<ExperimentJob> jobs;
+    for (const char *name : names) {
+        jobs.push_back(engine().makeJob(
+            findWorkload(name), benchConfig(PredictorKind::Context)));
+    }
+    std::vector<ExperimentOutcome> outcomes = engine().run(jobs);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const char *name = names[i];
+        const RunResult run = toRunResult(std::move(outcomes[i]));
         printFig11(std::cout, run.stats);
 
         const auto counts = fig11InfluenceCount(run.stats);
@@ -54,5 +63,6 @@ main()
                                  std::to_string(p.cumulative)});
         maybeWriteCsv(std::string("fig11_dist_") + name, dcsv);
     }
+    printStageSummary(std::cerr, engine());
     return 0;
 }

@@ -18,8 +18,10 @@ main()
     using namespace ppm;
     using namespace ppm::bench;
 
+    ExperimentConfig base = benchConfig();
+    base.dpg.trackInfluence = false;
     const std::vector<RunResult> runs =
-        runIntegerWorkloadsAllPredictors(/*track_influence=*/false);
+        runIntegerWorkloadsAllPredictors(base);
 
     printFig12(std::cout, runs);
 

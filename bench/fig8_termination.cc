@@ -21,8 +21,10 @@ main()
     using namespace ppm;
     using namespace ppm::bench;
 
+    ExperimentConfig base = benchConfig();
+    base.dpg.trackInfluence = false;
     const std::vector<RunResult> runs =
-        runAllWorkloadsAllPredictors(/*track_influence=*/false);
+        runAllWorkloadsAllPredictors(base);
 
     printFig8(std::cout, runs);
 

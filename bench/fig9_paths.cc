@@ -22,7 +22,7 @@ main()
 
     // Fig. 9 averages the integer benchmarks.
     const std::vector<RunResult> runs =
-        runIntegerWorkloadsAllPredictors(/*track_influence=*/true);
+        runIntegerWorkloadsAllPredictors();
 
     printFig9(std::cout, runs);
 

@@ -21,13 +21,10 @@ main()
 
     // Table 1 is predictor-independent (graph structure only), so one
     // run per workload suffices; influence tracking is off for speed.
-    std::vector<RunResult> runs;
-    for (const Workload &w : allWorkloads()) {
-        std::cerr << "  running " << w.name << " ..." << std::endl;
-        runs.push_back(
-            runOne(w, PredictorKind::LastValue,
-                   /*track_influence=*/false));
-    }
+    ExperimentConfig base = benchConfig();
+    base.dpg.trackInfluence = false;
+    const std::vector<RunResult> runs =
+        runMatrix(allWorkloads(), {PredictorKind::LastValue}, base);
 
     printTable1(std::cout, runs);
 

@@ -1,0 +1,263 @@
+#include "runner/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <unordered_map>
+
+#include "runner/stage_report.hh"
+#include "sim/machine.hh"
+
+namespace ppm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Parse a positive integer env var; @p fallback when unset/garbage. */
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || v == 0)
+        return fallback;
+    return v;
+}
+
+unsigned
+defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+bool
+envReplayEnabled()
+{
+    const char *s = std::getenv("PPM_REPLAY");
+    return !(s && *s && *s == '0');
+}
+
+constexpr std::uint64_t kDefaultTraceCapBytes =
+    256ULL * 1024 * 1024;
+
+CaptureKey
+keyOf(const ExperimentJob &job)
+{
+    return CaptureKey{job.program.get(), hashInput(*job.input),
+                      job.config.maxInstrs};
+}
+
+} // namespace
+
+ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
+{
+    threads_ = opts.threads > 0
+                   ? opts.threads
+                   : static_cast<unsigned>(
+                         envUint("PPM_THREADS", defaultThreads()));
+    traceByteCap_ =
+        opts.traceByteCap > 0
+            ? opts.traceByteCap
+            : envUint("PPM_TRACE_MEM_MB",
+                      kDefaultTraceCapBytes / (1024 * 1024)) *
+                  1024 * 1024;
+    replay_ = opts.replay.value_or(envReplayEnabled());
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    if (!reportAtExit_)
+        return;
+    const char *path = std::getenv("PPM_BENCH_JSON");
+    if (!path || !*path)
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "ppm: cannot write PPM_BENCH_JSON=" << path
+                  << "\n";
+        return;
+    }
+    writeBenchJson(out, *this);
+}
+
+ExperimentJob
+ExperimentEngine::makeJob(const Workload &w,
+                          const ExperimentConfig &config,
+                          std::uint64_t seed)
+{
+    ExperimentJob job;
+    job.program =
+        cache_.program(w.name, w.source, &job.assembleSec);
+    job.input = std::make_shared<const std::vector<Value>>(
+        w.makeInput(seed));
+    job.config = config;
+    job.isFloat = w.isFloat;
+    return job;
+}
+
+std::vector<ExperimentJob>
+ExperimentEngine::workloadMatrix(
+    const std::vector<Workload> &workloads,
+    const std::vector<PredictorKind> &kinds,
+    const ExperimentConfig &base)
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(workloads.size() * kinds.size());
+    for (const Workload &w : workloads) {
+        for (PredictorKind kind : kinds) {
+            ExperimentConfig config = base;
+            config.dpg.kind = kind;
+            jobs.push_back(makeJob(w, config));
+        }
+    }
+    return jobs;
+}
+
+ExperimentOutcome
+ExperimentEngine::runJob(const ExperimentJob &job)
+{
+    const Program &prog = *job.program;
+
+    RunCache::CaptureRef ref =
+        cache_.capture(keyOf(job), [&]() -> CaptureResult {
+            CaptureResult r;
+            const auto t0 = Clock::now();
+            r.profile =
+                std::make_unique<ExecProfile>(prog.textSize());
+            Machine m(prog, *job.input);
+            if (replay_) {
+                TraceCapture capture(prog, traceByteCap_);
+                TeeSink tee({r.profile.get(), &capture});
+                m.run(&tee, job.config.maxInstrs);
+                r.trace = capture.take();
+            } else {
+                m.run(r.profile.get(), job.config.maxInstrs);
+            }
+            r.dynInstrs = r.profile->total();
+            r.simulateSec = secondsSince(t0);
+            return r;
+        });
+
+    ExperimentOutcome out;
+    out.isFloat = job.isFloat;
+    out.timing.assembleSec = job.assembleSec;
+    out.timing.simulateSec = ref.result->simulateSec;
+    out.timing.captureShared = ref.hit;
+    out.timing.dynInstrs = ref.result->dynInstrs;
+
+    const auto t1 = Clock::now();
+    DpgAnalyzer analyzer(prog, *ref.result->profile,
+                         job.config.dpg);
+    if (ref.result->trace) {
+        ref.result->trace->replay(prog, analyzer);
+        out.timing.replayed = true;
+    } else {
+        Machine m(prog, *job.input);
+        m.run(&analyzer, job.config.maxInstrs);
+    }
+    out.stats = analyzer.takeStats();
+    out.timing.analyzeSec = secondsSince(t1);
+    return out;
+}
+
+std::vector<ExperimentOutcome>
+ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
+{
+    const auto t0 = Clock::now();
+    std::vector<ExperimentOutcome> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    // Captures are released as soon as their last cell finishes, so
+    // resident trace memory tracks the in-flight set, not the batch.
+    std::unordered_map<CaptureKey, unsigned, CaptureKeyHash>
+        remaining;
+    for (const ExperimentJob &job : jobs)
+        ++remaining[keyOf(job)];
+    std::mutex remaining_mutex;
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                break;
+            try {
+                results[i] = runJob(jobs[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            const CaptureKey key = keyOf(jobs[i]);
+            std::lock_guard<std::mutex> lock(remaining_mutex);
+            if (--remaining[key] == 0)
+                cache_.release(key);
+        }
+    };
+
+    const unsigned nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, jobs.size()));
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        // jthread joins on destruction.
+    }
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+
+    const double wall = secondsSince(t0);
+    {
+        std::lock_guard<std::mutex> lock(historyMutex_);
+        totalWallSec_ += wall;
+        for (const ExperimentOutcome &out : results) {
+            history_.push_back(TimedRun{out.stats.workload,
+                                        out.stats.kind,
+                                        out.timing});
+        }
+    }
+    return results;
+}
+
+std::vector<ExperimentEngine::TimedRun>
+ExperimentEngine::history() const
+{
+    std::lock_guard<std::mutex> lock(historyMutex_);
+    return history_;
+}
+
+double
+ExperimentEngine::totalWallSec() const
+{
+    std::lock_guard<std::mutex> lock(historyMutex_);
+    return totalWallSec_;
+}
+
+ExperimentEngine &
+ExperimentEngine::shared()
+{
+    static ExperimentEngine engine;
+    engine.reportAtExit_ = true;
+    return engine;
+}
+
+} // namespace ppm

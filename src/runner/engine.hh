@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * An experiment is a matrix of (program, input, ExperimentConfig)
+ * cells — e.g. 12 workloads × 3 predictors for a figure binary. The
+ * engine fans the cells out across a pool of worker threads and
+ * returns results in submission order, so output is deterministic
+ * regardless of scheduling. Per cell it:
+ *
+ *   1. assembles the program once per process (RunCache),
+ *   2. simulates once per (program, input, budget), capturing the
+ *      dynamic stream in memory while profiling (TraceCapture behind
+ *      a TeeSink),
+ *   3. replays the captured stream into the DpgAnalyzer — for this
+ *      cell and for every other predictor config sharing the capture
+ *      — falling back to a second simulation only when the trace
+ *      outgrew its byte cap.
+ *
+ * Each cell's analysis is bit-identical to the serial two-pass
+ * runModel() path because the simulator is deterministic and the
+ * captured stream is exact (asserted in tests/test_runner.cc).
+ *
+ * Environment knobs (resolved at engine construction):
+ *   PPM_THREADS       worker count (default: hardware concurrency)
+ *   PPM_TRACE_MEM_MB  per-capture byte cap (default 256 MiB)
+ *   PPM_REPLAY=0      disable capture/replay (always two-pass) —
+ *                     the baseline for speedup measurements
+ *   PPM_BENCH_JSON    path: the shared engine writes a stage-timing
+ *                     JSON report at process exit
+ */
+
+#ifndef PPM_RUNNER_ENGINE_HH
+#define PPM_RUNNER_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "runner/run_cache.hh"
+#include "workloads/workload.hh"
+
+namespace ppm {
+
+/** Wall-time breakdown of one experiment cell. */
+struct StageTiming
+{
+    double assembleSec = 0.0;  ///< 0 when the program came from cache.
+    double simulateSec = 0.0;  ///< Pass-1 capture (of the cell that ran it).
+    double analyzeSec = 0.0;   ///< Model pass (replay or re-simulation).
+
+    /** Pass 2 replayed the captured trace instead of re-simulating. */
+    bool replayed = false;
+
+    /** The capture was reused from the cache (another cell ran it). */
+    bool captureShared = false;
+
+    std::uint64_t dynInstrs = 0;
+};
+
+/** One experiment cell. */
+struct ExperimentJob
+{
+    std::shared_ptr<const Program> program;
+    std::shared_ptr<const std::vector<Value>> input;
+    ExperimentConfig config{};
+    bool isFloat = false;
+
+    /** Assembly cost, when the job's creator assembled the program. */
+    double assembleSec = 0.0;
+};
+
+/** One cell's result. */
+struct ExperimentOutcome
+{
+    DpgStats stats;
+    bool isFloat = false;
+    StageTiming timing;
+};
+
+/** Construction-time overrides; 0 / nullopt defer to the environment. */
+struct EngineOptions
+{
+    unsigned threads = 0;
+    std::uint64_t traceByteCap = 0;
+    std::optional<bool> replay;
+};
+
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(const EngineOptions &opts = {});
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /**
+     * Run every job, in parallel, returning outcomes in submission
+     * order. The first job exception (again in submission order) is
+     * rethrown after all workers drain.
+     */
+    std::vector<ExperimentOutcome>
+    run(const std::vector<ExperimentJob> &jobs);
+
+    /** Build a job for one (workload, config) cell. */
+    ExperimentJob
+    makeJob(const Workload &w, const ExperimentConfig &config,
+            std::uint64_t seed = kDefaultWorkloadSeed);
+
+    /**
+     * Jobs for @p workloads × @p kinds in paper presentation order
+     * (per workload: every predictor); @p base supplies every knob
+     * except dpg.kind.
+     */
+    std::vector<ExperimentJob>
+    workloadMatrix(const std::vector<Workload> &workloads,
+                   const std::vector<PredictorKind> &kinds,
+                   const ExperimentConfig &base);
+
+    RunCache &cache() { return cache_; }
+    unsigned threads() const { return threads_; }
+    bool replayEnabled() const { return replay_; }
+    std::uint64_t traceByteCap() const { return traceByteCap_; }
+
+    /** One entry per completed cell, in completion batches. */
+    struct TimedRun
+    {
+        std::string workload;
+        PredictorKind kind;
+        StageTiming timing;
+    };
+
+    /** Timing history of every run() call plus their total wall time. */
+    std::vector<TimedRun> history() const;
+    double totalWallSec() const;
+
+    /**
+     * The process-wide engine the bench drivers and CLI share. Writes
+     * the PPM_BENCH_JSON stage report at exit when that is set.
+     */
+    static ExperimentEngine &shared();
+
+  private:
+    ExperimentOutcome runJob(const ExperimentJob &job);
+
+    RunCache cache_;
+    unsigned threads_ = 1;
+    std::uint64_t traceByteCap_ = 0;
+    bool replay_ = true;
+    bool reportAtExit_ = false;
+
+    mutable std::mutex historyMutex_;
+    std::vector<TimedRun> history_;
+    double totalWallSec_ = 0.0;
+};
+
+} // namespace ppm
+
+#endif // PPM_RUNNER_ENGINE_HH

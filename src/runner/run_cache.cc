@@ -1,0 +1,139 @@
+#include "runner/run_cache.hh"
+
+#include <chrono>
+
+#include "asmr/assembler.hh"
+
+namespace ppm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+std::uint64_t
+hashInput(const std::vector<Value> &input)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(input.size());
+    for (Value v : input)
+        mix(v);
+    return h;
+}
+
+std::shared_ptr<const Program>
+RunCache::program(const std::string &name, std::string_view source,
+                  double *assemble_sec)
+{
+    if (assemble_sec)
+        *assemble_sec = 0.0;
+
+    // Key by name + source hash: two programs may share a name (CLI
+    // files), and a workload's source is stable per process.
+    const std::uint64_t src_hash =
+        std::hash<std::string_view>{}(source);
+    const std::string key =
+        name + '\0' + std::to_string(src_hash) + '\0' +
+        std::to_string(source.size());
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = programs_.find(key);
+        if (it != programs_.end()) {
+            ++counters_.programHits;
+            return it->second;
+        }
+    }
+
+    const auto t0 = Clock::now();
+    auto prog =
+        std::make_shared<const Program>(assemble(std::string(source),
+                                                 name));
+    const double elapsed = secondsSince(t0);
+    if (assemble_sec)
+        *assemble_sec = elapsed;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A racing thread may have assembled the same source; keep the
+    // first image so capture keys (program identity) stay unique.
+    auto [it, inserted] = programs_.emplace(key, std::move(prog));
+    ++(inserted ? counters_.programMisses : counters_.programHits);
+    return it->second;
+}
+
+RunCache::CaptureRef
+RunCache::capture(const CaptureKey &key,
+                  const std::function<CaptureResult()> &fn)
+{
+    std::promise<std::shared_ptr<const CaptureResult>> promise;
+    CaptureFuture future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = captures_.find(key);
+        if (it != captures_.end()) {
+            ++counters_.captureHits;
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            captures_.emplace(key, future);
+            ++counters_.captureMisses;
+            owner = true;
+        }
+    }
+    if (!owner) {
+        // get() blocks (outside the lock) until the computing thread
+        // fulfils the promise.
+        return {future.get(), true};
+    }
+
+    // Compute outside the lock so unrelated captures proceed in
+    // parallel; waiters for this key block on the shared_future.
+    try {
+        promise.set_value(
+            std::make_shared<const CaptureResult>(fn()));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        captures_.erase(key);
+        throw;
+    }
+    return {future.get(), false};
+}
+
+void
+RunCache::release(const CaptureKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    captures_.erase(key);
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    programs_.clear();
+    captures_.clear();
+}
+
+RunCache::Counters
+RunCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace ppm

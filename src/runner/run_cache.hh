@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-process caches behind the experiment engine.
+ *
+ * Two levels, both thread-safe:
+ *
+ *  - a **program cache** keyed by (name, source hash): each workload
+ *    is assembled once per process instead of once per experiment
+ *    cell;
+ *  - a **capture cache** keyed by (program identity, input hash,
+ *    instruction budget): the pass-1 run — ExecProfile plus the
+ *    in-memory CapturedTrace — is computed once and shared by every
+ *    predictor configuration analyzing the same cell, so a figure
+ *    binary sweeping three predictors simulates each workload once.
+ *
+ * A capture requested concurrently from several worker threads is
+ * computed exactly once; the other threads block on a shared_future.
+ * The engine releases a capture once the last cell needing it has
+ * finished, bounding resident trace memory to the in-flight set.
+ */
+
+#ifndef PPM_RUNNER_RUN_CACHE_HH
+#define PPM_RUNNER_RUN_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "asmr/program.hh"
+#include "runner/trace_buffer.hh"
+#include "sim/profiler.hh"
+
+namespace ppm {
+
+/** Everything one pass-1 (profile + capture) run produces. */
+struct CaptureResult
+{
+    /** Complete exec-count profile (valid even when trace is null). */
+    std::unique_ptr<ExecProfile> profile;
+
+    /** The replayable stream; null when the byte cap was exceeded. */
+    std::shared_ptr<const CapturedTrace> trace;
+
+    /** Dynamic instructions the pass executed. */
+    std::uint64_t dynInstrs = 0;
+
+    /** Wall time of the pass-1 simulation, seconds. */
+    double simulateSec = 0.0;
+};
+
+/** Identity of one (program, input, budget) experiment cell. */
+struct CaptureKey
+{
+    const Program *program = nullptr;
+    std::uint64_t inputHash = 0;
+    std::uint64_t maxInstrs = 0;
+
+    bool operator==(const CaptureKey &) const = default;
+};
+
+struct CaptureKeyHash
+{
+    std::size_t
+    operator()(const CaptureKey &k) const
+    {
+        std::size_t h = std::hash<const Program *>{}(k.program);
+        h ^= k.inputHash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h ^= k.maxInstrs + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+/** FNV-1a over an input word stream (CaptureKey::inputHash). */
+std::uint64_t hashInput(const std::vector<Value> &input);
+
+/** The two caches; one instance lives inside each engine. */
+class RunCache
+{
+  public:
+    /** Cache hit/miss counters (tests, stage reports). */
+    struct Counters
+    {
+        std::uint64_t programHits = 0;
+        std::uint64_t programMisses = 0;
+        std::uint64_t captureHits = 0;
+        std::uint64_t captureMisses = 0;
+    };
+
+    /** Outcome of a capture lookup. */
+    struct CaptureRef
+    {
+        std::shared_ptr<const CaptureResult> result;
+        bool hit = false;  ///< Reused (or joined) an existing capture.
+    };
+
+    /**
+     * Assemble @p source as @p name, or reuse the cached image when
+     * the same (name, source) was assembled before. If @p assemble_sec
+     * is non-null it receives the assembly wall time (0 on a hit).
+     */
+    std::shared_ptr<const Program>
+    program(const std::string &name, std::string_view source,
+            double *assemble_sec = nullptr);
+
+    /**
+     * The capture for @p key, computing it via @p fn exactly once
+     * process-wide; concurrent callers for the same key block until
+     * the first finishes.
+     */
+    CaptureRef capture(const CaptureKey &key,
+                       const std::function<CaptureResult()> &fn);
+
+    /** Drop the cached capture for @p key (in-flight refs stay valid). */
+    void release(const CaptureKey &key);
+
+    /** Drop everything. */
+    void clear();
+
+    Counters counters() const;
+
+  private:
+    using CaptureFuture =
+        std::shared_future<std::shared_ptr<const CaptureResult>>;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const Program>>
+        programs_;
+    std::unordered_map<CaptureKey, CaptureFuture, CaptureKeyHash>
+        captures_;
+    Counters counters_;
+};
+
+} // namespace ppm
+
+#endif // PPM_RUNNER_RUN_CACHE_HH

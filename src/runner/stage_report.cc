@@ -1,0 +1,136 @@
+#include "runner/stage_report.hh"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "analysis/figures.hh"
+#include "report/json_emitter.hh"
+#include "runner/engine.hh"
+#include "support/string_utils.hh"
+
+namespace ppm {
+
+namespace {
+
+struct Totals
+{
+    double assembleSec = 0.0;
+    double simulateSec = 0.0;
+    double analyzeSec = 0.0;
+    std::uint64_t dynInstrs = 0;
+    std::uint64_t runs = 0;
+    std::uint64_t simulations = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t captureHits = 0;
+};
+
+Totals
+accumulate(const std::vector<ExperimentEngine::TimedRun> &runs)
+{
+    Totals t;
+    for (const auto &run : runs) {
+        ++t.runs;
+        t.assembleSec += run.timing.assembleSec;
+        t.analyzeSec += run.timing.analyzeSec;
+        t.dynInstrs += run.timing.dynInstrs;
+        if (run.timing.captureShared) {
+            ++t.captureHits;
+        } else {
+            // simulateSec is copied into every sharing cell; count the
+            // wall cost once, at the cell that actually ran it.
+            ++t.simulations;
+            t.simulateSec += run.timing.simulateSec;
+        }
+        if (run.timing.replayed)
+            ++t.replays;
+    }
+    return t;
+}
+
+bool
+quickMode()
+{
+    const char *quick = std::getenv("PPM_QUICK");
+    return quick && *quick && *quick != '0';
+}
+
+const char *
+boolStr(bool b)
+{
+    return b ? "true" : "false";
+}
+
+} // namespace
+
+void
+writeBenchJson(std::ostream &os, const ExperimentEngine &engine)
+{
+    const auto runs = engine.history();
+    const Totals t = accumulate(runs);
+    const double wall = engine.totalWallSec();
+    const char *label = std::getenv("PPM_BENCH_LABEL");
+
+    os << "{";
+    os << "\"schema\":\"ppm-bench-timing-v1\"";
+    os << ",\"label\":\"" << jsonEscape(label ? label : "") << "\"";
+    os << ",\"threads\":" << engine.threads();
+    os << ",\"quick\":" << boolStr(quickMode());
+    os << ",\"replay_enabled\":" << boolStr(engine.replayEnabled());
+    os << ",\"wall_s\":" << wall;
+
+    os << ",\"runs\":[";
+    bool first = true;
+    for (const auto &run : runs) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"workload\":\"" << jsonEscape(run.workload) << "\""
+           << ",\"predictor\":\""
+           << jsonEscape(std::string(predictorName(run.kind))) << "\""
+           << ",\"assemble_s\":" << run.timing.assembleSec
+           << ",\"simulate_s\":" << run.timing.simulateSec
+           << ",\"analyze_s\":" << run.timing.analyzeSec
+           << ",\"dyn_instrs\":" << run.timing.dynInstrs
+           << ",\"replayed\":" << boolStr(run.timing.replayed)
+           << ",\"capture_shared\":"
+           << boolStr(run.timing.captureShared) << "}";
+    }
+    os << "]";
+
+    os << ",\"totals\":{"
+       << "\"runs\":" << t.runs
+       << ",\"simulations\":" << t.simulations
+       << ",\"replays\":" << t.replays
+       << ",\"capture_hits\":" << t.captureHits
+       << ",\"assemble_s\":" << t.assembleSec
+       << ",\"simulate_s\":" << t.simulateSec
+       << ",\"analyze_s\":" << t.analyzeSec
+       << ",\"dyn_instrs\":" << t.dynInstrs
+       << ",\"instrs_per_s\":"
+       << (wall > 0.0 ? double(t.dynInstrs) / wall : 0.0) << "}";
+    os << "}\n";
+}
+
+void
+printStageSummary(std::ostream &os, const ExperimentEngine &engine)
+{
+    const auto runs = engine.history();
+    if (runs.empty())
+        return;
+    const Totals t = accumulate(runs);
+    const double wall = engine.totalWallSec();
+    os << "[ppm] " << t.runs << " runs on " << engine.threads()
+       << " thread(s): " << t.simulations << " simulation(s), "
+       << t.replays << " replay(s), " << t.captureHits
+       << " capture reuse(s)\n"
+       << "[ppm] stage wall: assemble "
+       << formatDouble(t.assembleSec, 2) << "s, simulate "
+       << formatDouble(t.simulateSec, 2) << "s, analyze "
+       << formatDouble(t.analyzeSec, 2) << "s; total "
+       << formatDouble(wall, 2) << "s ("
+       << formatCount(static_cast<std::uint64_t>(
+              wall > 0.0 ? double(t.dynInstrs) / wall : 0.0))
+       << " model instrs/s)\n";
+}
+
+} // namespace ppm

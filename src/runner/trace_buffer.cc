@@ -1,0 +1,104 @@
+#include "runner/trace_buffer.hh"
+
+#include <stdexcept>
+
+namespace ppm {
+
+std::uint64_t
+CapturedTrace::memoryBytes() const
+{
+    return records_.capacity() * sizeof(Record) +
+           operands_.capacity() * sizeof(Operand);
+}
+
+std::uint64_t
+CapturedTrace::replay(const Program &prog, TraceSink &sink) const
+{
+    if (prog.textSize() != textSize_) {
+        throw std::runtime_error(
+            "captured trace replayed against a different program");
+    }
+
+    std::size_t op = 0;
+    DynInstr di;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const Record &r = records_[i];
+        di.seq = i;
+        di.pc = r.pc;
+        di.instr = &prog.text[r.pc];
+        di.numInputs = r.numInputs;
+        for (unsigned k = 0; k < r.numInputs; ++k, ++op) {
+            const Operand &o = operands_[op];
+            di.inputs[k].kind = static_cast<InputKind>(o.kind);
+            di.inputs[k].value = o.value;
+            di.inputs[k].reg = o.reg;
+            di.inputs[k].addr = o.addr;
+        }
+        di.hasRegOutput = r.flags & kHasReg;
+        di.hasMemOutput = r.flags & kHasMem;
+        di.outputIsData = r.flags & kOutData;
+        di.isPassThrough = r.flags & kPassThrough;
+        di.isBranch = r.flags & kIsBranch;
+        di.taken = r.flags & kTaken;
+        di.isJump = r.flags & kIsJump;
+        di.passSlot = r.passSlot;
+        di.outReg = r.outReg;
+        di.outAddr = r.outAddr;
+        di.outValue = r.outValue;
+        sink.onInstr(di);
+    }
+    sink.onRunEnd();
+    return records_.size();
+}
+
+TraceCapture::TraceCapture(const Program &prog, std::uint64_t byte_cap)
+    : trace_(std::make_shared<CapturedTrace>()), byteCap_(byte_cap)
+{
+    trace_->textSize_ = prog.textSize();
+}
+
+void
+TraceCapture::onInstr(const DynInstr &di)
+{
+    if (overflowed_)
+        return;
+    if (trace_->memoryBytes() > byteCap_) {
+        // Drop the buffers immediately: a half trace is useless and
+        // the memory is better spent on captures that do fit.
+        trace_.reset();
+        overflowed_ = true;
+        return;
+    }
+
+    CapturedTrace::Record r;
+    r.pc = di.pc;
+    r.flags = (di.hasRegOutput ? CapturedTrace::kHasReg : 0) |
+              (di.hasMemOutput ? CapturedTrace::kHasMem : 0) |
+              (di.outputIsData ? CapturedTrace::kOutData : 0) |
+              (di.isPassThrough ? CapturedTrace::kPassThrough : 0) |
+              (di.isBranch ? CapturedTrace::kIsBranch : 0) |
+              (di.taken ? CapturedTrace::kTaken : 0) |
+              (di.isJump ? CapturedTrace::kIsJump : 0);
+    r.numInputs = di.numInputs;
+    r.passSlot = di.passSlot;
+    r.outReg = di.outReg;
+    r.outAddr = di.outAddr;
+    r.outValue = di.outValue;
+    trace_->records_.push_back(r);
+    for (unsigned k = 0; k < di.numInputs; ++k) {
+        CapturedTrace::Operand o;
+        o.kind = static_cast<std::uint8_t>(di.inputs[k].kind);
+        o.value = di.inputs[k].value;
+        o.reg = di.inputs[k].reg;
+        o.addr = di.inputs[k].addr;
+        trace_->operands_.push_back(o);
+    }
+}
+
+std::shared_ptr<const CapturedTrace>
+TraceCapture::take()
+{
+    return std::move(trace_);
+}
+
+} // namespace ppm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * In-memory dynamic-trace capture and replay.
+ *
+ * The two-pass analysis pays for every experiment cell twice: once to
+ * profile execution counts and once to feed the model, re-executing
+ * the identical deterministic stream. TraceCapture records the decoded
+ * DynInstr stream into a compact columnar buffer during pass 1 (it
+ * runs alongside ExecProfile behind a TeeSink); CapturedTrace then
+ * replays that buffer through any TraceSink bit-exactly, so pass 2 —
+ * and every further predictor configuration over the same (program,
+ * input, budget) cell — skips the simulator entirely.
+ *
+ * Memory is bounded: a capture that outgrows its byte cap discards its
+ * buffers and marks itself overflowed, and callers fall back to the
+ * classic two-pass re-simulation. Either path sees the same stream,
+ * so model statistics are identical (tests/test_runner.cc asserts
+ * this).
+ */
+
+#ifndef PPM_RUNNER_TRACE_BUFFER_HH
+#define PPM_RUNNER_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** Fans one DynInstr stream out to several sinks (profile + capture). */
+class TeeSink : public TraceSink
+{
+  public:
+    explicit TeeSink(std::vector<TraceSink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void
+    onInstr(const DynInstr &di) override
+    {
+        for (TraceSink *sink : sinks_)
+            sink->onInstr(di);
+    }
+
+    void
+    onRunEnd() override
+    {
+        for (TraceSink *sink : sinks_)
+            sink->onRunEnd();
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/** A replayable in-memory recording of one deterministic run. */
+class CapturedTrace
+{
+  public:
+    /** Dynamic instructions recorded. */
+    std::uint64_t size() const { return records_.size(); }
+
+    /** Bytes held by the record and operand buffers. */
+    std::uint64_t memoryBytes() const;
+
+    /**
+     * Replay the recorded stream through @p sink (including the final
+     * onRunEnd). @p prog must be the program the trace was captured
+     * from (checked via text size, as in sim/trace_file). Returns the
+     * number of records replayed.
+     */
+    std::uint64_t replay(const Program &prog, TraceSink &sink) const;
+
+  private:
+    friend class TraceCapture;
+
+    // Compact split encoding: one fixed Record per instruction plus
+    // numInputs Operands in a side pool — roughly half the footprint
+    // of buffering DynInstr itself. seq and the Instruction pointer
+    // are reconstructed on replay.
+    struct Record
+    {
+        Value outValue = 0;
+        Addr outAddr = 0;
+        StaticId pc = 0;
+        std::uint8_t flags = 0;
+        std::uint8_t numInputs = 0;
+        std::uint8_t passSlot = 0;
+        RegIndex outReg = 0;
+    };
+
+    struct Operand
+    {
+        Value value = 0;
+        Addr addr = 0;
+        std::uint8_t kind = 0;
+        RegIndex reg = 0;
+    };
+
+    static constexpr std::uint8_t kHasReg = 1 << 0;
+    static constexpr std::uint8_t kHasMem = 1 << 1;
+    static constexpr std::uint8_t kOutData = 1 << 2;
+    static constexpr std::uint8_t kPassThrough = 1 << 3;
+    static constexpr std::uint8_t kIsBranch = 1 << 4;
+    static constexpr std::uint8_t kTaken = 1 << 5;
+    static constexpr std::uint8_t kIsJump = 1 << 6;
+
+    std::vector<Record> records_;
+    std::vector<Operand> operands_;
+    StaticId textSize_ = 0;
+};
+
+/**
+ * TraceSink that records the stream into a CapturedTrace, up to a
+ * byte cap. Run it behind a TeeSink next to the pass-1 ExecProfile:
+ * the profile stays complete even when the capture overflows, so an
+ * overflowed capture costs nothing beyond today's two-pass mode.
+ */
+class TraceCapture : public TraceSink
+{
+  public:
+    /** Record a run of @p prog, keeping at most @p byte_cap bytes. */
+    TraceCapture(const Program &prog, std::uint64_t byte_cap);
+
+    void onInstr(const DynInstr &di) override;
+
+    /** True once the cap was exceeded; the buffer has been dropped. */
+    bool overflowed() const { return overflowed_; }
+
+    /**
+     * Surrender the finished trace, or nullptr when the capture
+     * overflowed. The capture must not be fed further instructions.
+     */
+    std::shared_ptr<const CapturedTrace> take();
+
+  private:
+    std::shared_ptr<CapturedTrace> trace_;
+    std::uint64_t byteCap_;
+    bool overflowed_ = false;
+};
+
+} // namespace ppm
+
+#endif // PPM_RUNNER_TRACE_BUFFER_HH

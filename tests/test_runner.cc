@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Experiment-engine tests: the parallel captured-trace replay path
+ * must be bit-identical to the serial two-pass reference (runModel),
+ * the memory-cap fallback must transparently degrade to two-pass
+ * mode, captures must be shared across predictor configs, and
+ * results must come back in submission order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "report/json_emitter.hh"
+#include "runner/engine.hh"
+#include "runner/stage_report.hh"
+#include "runner/trace_buffer.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+namespace ppm {
+namespace {
+
+constexpr std::uint64_t kBudget = 60'000;
+
+/** Collapse every counter a run produces into one comparable string. */
+std::string
+fingerprint(const DpgStats &s)
+{
+    std::ostringstream os;
+    os << toJson(s);
+    os << "|seq=" << s.sequences.instructionsInSequences();
+    os << "|trees=" << s.trees.generateCount();
+    os << "|lazy=" << s.lazyDataNodes << "," << s.inputDataNodes;
+    os << "|combo=";
+    for (std::uint64_t v : s.paths.perCombo)
+        os << v << ",";
+    os << "|sat=" << s.paths.saturationEvents;
+    return os.str();
+}
+
+/** The serial two-pass reference for one workload cell. */
+DpgStats
+referenceStats(const Workload &w, const ExperimentConfig &config)
+{
+    const Program prog = assemble(std::string(w.source), w.name);
+    return runModel(prog, w.makeInput(kDefaultWorkloadSeed), config);
+}
+
+ExperimentConfig
+cellConfig(PredictorKind kind)
+{
+    ExperimentConfig config;
+    config.maxInstrs = kBudget;
+    config.dpg.kind = kind;
+    return config;
+}
+
+/** Records the full DynInstr stream for field-level comparison. */
+class StreamRecorder : public TraceSink
+{
+  public:
+    struct Entry
+    {
+        DynInstr di;
+    };
+
+    void
+    onInstr(const DynInstr &di) override
+    {
+        entries.push_back({di});
+    }
+
+    void
+    onRunEnd() override
+    {
+        ++runEnds;
+    }
+
+    std::vector<Entry> entries;
+    int runEnds = 0;
+};
+
+void
+expectSameStream(const StreamRecorder &a, const StreamRecorder &b)
+{
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        const DynInstr &x = a.entries[i].di;
+        const DynInstr &y = b.entries[i].di;
+        ASSERT_EQ(x.seq, y.seq) << "at record " << i;
+        ASSERT_EQ(x.pc, y.pc) << "at record " << i;
+        ASSERT_EQ(x.instr, y.instr) << "at record " << i;
+        ASSERT_EQ(x.numInputs, y.numInputs) << "at record " << i;
+        for (unsigned k = 0; k < x.numInputs; ++k) {
+            ASSERT_EQ(x.inputs[k].kind, y.inputs[k].kind);
+            ASSERT_EQ(x.inputs[k].value, y.inputs[k].value);
+            ASSERT_EQ(x.inputs[k].reg, y.inputs[k].reg);
+            ASSERT_EQ(x.inputs[k].addr, y.inputs[k].addr);
+        }
+        ASSERT_EQ(x.hasRegOutput, y.hasRegOutput);
+        ASSERT_EQ(x.outReg, y.outReg);
+        ASSERT_EQ(x.hasMemOutput, y.hasMemOutput);
+        ASSERT_EQ(x.outAddr, y.outAddr);
+        ASSERT_EQ(x.outValue, y.outValue);
+        ASSERT_EQ(x.outputIsData, y.outputIsData);
+        ASSERT_EQ(x.isPassThrough, y.isPassThrough);
+        ASSERT_EQ(x.passSlot, y.passSlot);
+        ASSERT_EQ(x.isBranch, y.isBranch);
+        ASSERT_EQ(x.taken, y.taken);
+        ASSERT_EQ(x.isJump, y.isJump);
+    }
+}
+
+TEST(TeeSink, FansOutToEverySink)
+{
+    const Program prog = assemble("li $4, 7\nnop\nhalt\n", "tee");
+    StreamRecorder a, b;
+    TeeSink tee({&a, &b});
+    Machine m(prog);
+    m.run(&tee, 100);
+    EXPECT_EQ(a.entries.size(), 3u);
+    EXPECT_EQ(a.runEnds, 1);
+    EXPECT_EQ(b.runEnds, 1);
+    expectSameStream(a, b);
+}
+
+TEST(CapturedTrace, ReplayMatchesLiveStream)
+{
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+    const auto input = w.makeInput(kDefaultWorkloadSeed);
+
+    StreamRecorder live;
+    TraceCapture capture(prog, 1ULL << 30);
+    TeeSink tee({&live, &capture});
+    Machine m(prog, input);
+    m.run(&tee, 20'000);
+    ASSERT_FALSE(capture.overflowed());
+
+    const auto trace = capture.take();
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->size(), live.entries.size());
+    EXPECT_GT(trace->memoryBytes(), 0u);
+
+    StreamRecorder replayed;
+    EXPECT_EQ(trace->replay(prog, replayed), trace->size());
+    EXPECT_EQ(replayed.runEnds, 1);
+    expectSameStream(live, replayed);
+}
+
+TEST(CapturedTrace, OverflowDropsBufferAndKeepsProfileIntact)
+{
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+
+    ExecProfile profile(prog.textSize());
+    TraceCapture capture(prog, /*byte_cap=*/1024);
+    TeeSink tee({&profile, &capture});
+    Machine m(prog, w.makeInput(kDefaultWorkloadSeed));
+    m.run(&tee, 20'000);
+
+    EXPECT_TRUE(capture.overflowed());
+    EXPECT_EQ(capture.take(), nullptr);
+    // The tee kept profiling after the capture gave up.
+    EXPECT_EQ(profile.total(), 20'000u);
+}
+
+TEST(CapturedTrace, ReplayRejectsWrongProgram)
+{
+    const Program prog = assemble("nop\nhalt\n", "a");
+    TraceCapture capture(prog, 1ULL << 20);
+    Machine m(prog);
+    m.run(&capture, 10);
+    const auto trace = capture.take();
+    ASSERT_NE(trace, nullptr);
+
+    const Program other = assemble("nop\nnop\nhalt\n", "b");
+    StreamRecorder sink;
+    EXPECT_THROW(trace->replay(other, sink), std::runtime_error);
+}
+
+// The determinism contract: parallel scheduling + captured-trace
+// replay is bit-identical to the serial two-pass reference, across
+// workloads (incl. FP) and every predictor kind.
+TEST(ExperimentEngine, ParallelReplayMatchesSerialReference)
+{
+    const std::vector<const char *> names = {"compress", "gcc",
+                                             "swim"};
+
+    EngineOptions opts;
+    opts.threads = 3;
+    opts.replay = true;
+    ExperimentEngine engine(opts);
+
+    std::vector<ExperimentJob> jobs;
+    for (const char *name : names)
+        for (PredictorKind kind : kAllPredictorKinds)
+            jobs.push_back(
+                engine.makeJob(findWorkload(name), cellConfig(kind)));
+
+    const auto outcomes = engine.run(jobs);
+    ASSERT_EQ(outcomes.size(), names.size() * 3);
+
+    std::size_t i = 0;
+    for (const char *name : names) {
+        for (PredictorKind kind : kAllPredictorKinds) {
+            const DpgStats ref =
+                referenceStats(findWorkload(name), cellConfig(kind));
+            EXPECT_TRUE(outcomes[i].timing.replayed)
+                << name << " cell " << i;
+            EXPECT_EQ(fingerprint(outcomes[i].stats),
+                      fingerprint(ref))
+                << name << " cell " << i;
+            ++i;
+        }
+    }
+}
+
+// Memory-cap fallback: a run exceeding the trace cap transparently
+// degrades to two-pass mode and still matches the reference.
+TEST(ExperimentEngine, TraceCapFallbackMatchesReference)
+{
+    EngineOptions opts;
+    opts.threads = 2;
+    opts.traceByteCap = 4096;  // Far below any real run.
+    opts.replay = true;
+    ExperimentEngine engine(opts);
+
+    const Workload &w = findWorkload("gcc");
+    std::vector<ExperimentJob> jobs;
+    for (PredictorKind kind : kAllPredictorKinds)
+        jobs.push_back(engine.makeJob(w, cellConfig(kind)));
+
+    const auto outcomes = engine.run(jobs);
+    std::size_t i = 0;
+    for (PredictorKind kind : kAllPredictorKinds) {
+        EXPECT_FALSE(outcomes[i].timing.replayed) << "cell " << i;
+        EXPECT_EQ(fingerprint(outcomes[i].stats),
+                  fingerprint(referenceStats(w, cellConfig(kind))))
+            << "cell " << i;
+        ++i;
+    }
+}
+
+TEST(ExperimentEngine, CaptureSharedAcrossPredictorConfigs)
+{
+    EngineOptions opts;
+    opts.threads = 1;  // Serialize so hit accounting is exact.
+    opts.replay = true;
+    ExperimentEngine engine(opts);
+
+    const auto outcomes = engine.run(engine.workloadMatrix(
+        {findWorkload("compress")},
+        {PredictorKind::LastValue, PredictorKind::Stride2Delta,
+         PredictorKind::Context},
+        cellConfig(PredictorKind::Context)));
+
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(outcomes[0].timing.captureShared);
+    EXPECT_TRUE(outcomes[1].timing.captureShared);
+    EXPECT_TRUE(outcomes[2].timing.captureShared);
+
+    const auto counters = engine.cache().counters();
+    EXPECT_EQ(counters.captureMisses, 1u);
+    EXPECT_EQ(counters.captureHits, 2u);
+    // One workload, three cells: assembled exactly once.
+    EXPECT_EQ(counters.programMisses, 1u);
+    EXPECT_EQ(counters.programHits, 2u);
+}
+
+TEST(ExperimentEngine, ResultsComeBackInSubmissionOrder)
+{
+    EngineOptions opts;
+    opts.threads = 4;
+    ExperimentEngine engine(opts);
+
+    const std::vector<const char *> names = {"li", "go", "compress",
+                                             "m88ksim"};
+    std::vector<ExperimentJob> jobs;
+    for (const char *name : names)
+        jobs.push_back(engine.makeJob(
+            findWorkload(name),
+            cellConfig(PredictorKind::LastValue)));
+
+    const auto outcomes = engine.run(jobs);
+    ASSERT_EQ(outcomes.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(outcomes[i].stats.workload, names[i]);
+}
+
+TEST(ExperimentEngine, PpmThreadsEnvOverride)
+{
+    ASSERT_EQ(setenv("PPM_THREADS", "3", 1), 0);
+    {
+        ExperimentEngine engine;
+        EXPECT_EQ(engine.threads(), 3u);
+    }
+    ASSERT_EQ(setenv("PPM_THREADS", "garbage", 1), 0);
+    {
+        // Unparseable values fall back to hardware concurrency >= 1.
+        ExperimentEngine engine;
+        EXPECT_GE(engine.threads(), 1u);
+    }
+    unsetenv("PPM_THREADS");
+
+    // Explicit options beat the environment.
+    ASSERT_EQ(setenv("PPM_THREADS", "7", 1), 0);
+    EngineOptions opts;
+    opts.threads = 2;
+    ExperimentEngine engine(opts);
+    EXPECT_EQ(engine.threads(), 2u);
+    unsetenv("PPM_THREADS");
+}
+
+TEST(ExperimentEngine, ReplayDisableForcesTwoPass)
+{
+    EngineOptions opts;
+    opts.threads = 1;
+    opts.replay = false;
+    ExperimentEngine engine(opts);
+
+    const Workload &w = findWorkload("compress");
+    const auto outcomes =
+        engine.run({engine.makeJob(
+            w, cellConfig(PredictorKind::LastValue))});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].timing.replayed);
+    EXPECT_EQ(
+        fingerprint(outcomes[0].stats),
+        fingerprint(referenceStats(
+            w, cellConfig(PredictorKind::LastValue))));
+}
+
+TEST(ExperimentEngine, StageReportCarriesSchemaAndTotals)
+{
+    EngineOptions opts;
+    opts.threads = 2;
+    ExperimentEngine engine(opts);
+    engine.run(engine.workloadMatrix(
+        {findWorkload("compress")},
+        {PredictorKind::LastValue, PredictorKind::Context},
+        cellConfig(PredictorKind::Context)));
+
+    std::ostringstream json;
+    writeBenchJson(json, engine);
+    const std::string doc = json.str();
+    EXPECT_NE(doc.find("\"schema\":\"ppm-bench-timing-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"threads\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"workload\":\"compress\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"totals\":{\"runs\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"simulations\":1"), std::string::npos);
+
+    std::ostringstream summary;
+    printStageSummary(summary, engine);
+    EXPECT_NE(summary.str().find("2 runs"), std::string::npos);
+}
+
+TEST(RunCache, HashInputSeparatesStreams)
+{
+    const Workload &w = findWorkload("compress");
+    const auto a = w.makeInput(1);
+    const auto b = w.makeInput(2);
+    EXPECT_NE(hashInput(a), hashInput(b));
+    EXPECT_EQ(hashInput(a), hashInput(w.makeInput(1)));
+    EXPECT_NE(hashInput({}), hashInput({0}));
+}
+
+} // namespace
+} // namespace ppm

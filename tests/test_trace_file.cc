@@ -24,13 +24,18 @@ class TraceFileTest : public ::testing::Test
     void
     TearDown() override
     {
-        std::remove(path());
+        std::remove(path().c_str());
     }
 
-    static const char *
+    // Unique per test: ctest runs discovered tests as parallel
+    // processes, so a shared fixed path is a write/remove race.
+    static std::string
     path()
     {
-        return "/tmp/ppm_trace_test.bin";
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        return std::string("/tmp/ppm_trace_test_") + info->name() +
+               ".bin";
     }
 };
 

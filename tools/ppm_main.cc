@@ -33,6 +33,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/figures.hh"
+#include "runner/engine.hh"
 #include "asmr/assembler.hh"
 #include "dpg/dpg_graph.hh"
 #include "isa/disasm.hh"
@@ -264,23 +265,43 @@ cmdAnalyze(const CliArgs &args)
     }
 
     std::vector<RunResult> runs;
-    for (PredictorKind kind : kinds) {
-        config.dpg.kind = kind;
-        DpgStats stats;
-        if (const auto trace_path = args.option("trace-file")) {
-            // Trace-driven: both passes replay the captured stream.
+    if (const auto trace_path = args.option("trace-file")) {
+        // Trace-driven: both passes replay the captured file stream.
+        for (PredictorKind kind : kinds) {
+            config.dpg.kind = kind;
             ExecProfile profile(t.program.textSize());
             replayTrace(*trace_path, t.program, profile);
             DpgAnalyzer analyzer(t.program, profile, config.dpg);
             replayTrace(*trace_path, t.program, analyzer);
-            stats = analyzer.takeStats();
-        } else {
-            stats = runModel(t.program, t.input, config);
+            RunResult run;
+            run.isFloat = t.isFloat;
+            run.stats = analyzer.takeStats();
+            runs.push_back(std::move(run));
         }
-        RunResult run;
-        run.isFloat = t.isFloat;
-        run.stats = std::move(stats);
-        runs.push_back(std::move(run));
+    } else {
+        // Live: the engine simulates once, captures the stream, and
+        // replays it for every requested predictor in parallel.
+        // (t.program stays valid for the report printers below.)
+        auto program = std::make_shared<const Program>(t.program);
+        auto input = std::make_shared<const std::vector<Value>>(
+            std::move(t.input));
+        std::vector<ExperimentJob> jobs;
+        for (PredictorKind kind : kinds) {
+            ExperimentJob job;
+            job.program = program;
+            job.input = input;
+            job.config = config;
+            job.config.dpg.kind = kind;
+            job.isFloat = t.isFloat;
+            jobs.push_back(std::move(job));
+        }
+        for (auto &outcome :
+             ExperimentEngine::shared().run(jobs)) {
+            RunResult run;
+            run.isFloat = outcome.isFloat;
+            run.stats = std::move(outcome.stats);
+            runs.push_back(std::move(run));
+        }
     }
     const DpgStats &s = runs.front().stats;
 
