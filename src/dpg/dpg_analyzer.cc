@@ -2,19 +2,18 @@
 
 #include <cassert>
 
+#include "verify/differential_bank.hh"
+#include "verify/invariant_checker.hh"
+
 namespace ppm {
 
 DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
                          const DpgConfig &config)
-    : prog_(prog),
-      profile_(profile),
-      cfg_(config),
-      bank_(config.kind, config.predictor, config.gshareBits)
+    : DpgAnalyzer(prog, profile,
+                  PredictorBank(config.kind, config.predictor,
+                                config.gshareBits),
+                  config)
 {
-    stats_.workload = prog.name;
-    stats_.kind = config.kind;
-    stats_.paths.influenceCount =
-        LinearHistogram(config.influenceCap + 1);
 }
 
 DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
@@ -28,7 +27,17 @@ DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
     stats_.kind = config.kind;
     stats_.paths.influenceCount =
         LinearHistogram(config.influenceCap + 1);
+    if (cfg_.verify) {
+        // The oracles always mirror cfg.kind's standard predictors;
+        // with a caller-supplied bank this doubles as a check that
+        // the bank really behaves like that configuration.
+        diff_ = std::make_unique<verify::DifferentialBank>(
+            cfg_.kind, cfg_.predictor, cfg_.gshareBits);
+        inv_ = std::make_unique<verify::InvariantChecker>();
+    }
 }
+
+DpgAnalyzer::~DpgAnalyzer() = default;
 
 void
 DpgAnalyzer::appendPending(ValueInfo &vi, StaticId consumer,
@@ -172,6 +181,8 @@ DpgAnalyzer::onInstr(const DynInstr &di)
 
         const bool predicted =
             bank_.predictInput(di.pc, slot, in.value);
+        if (diff_)
+            diff_->checkInput(di.pc, slot, in.value, predicted);
         input_pred[slot] = predicted;
         if (predicted)
             has_pred = true;
@@ -181,8 +192,13 @@ DpgAnalyzer::onInstr(const DynInstr &di)
         const ArcLabel label =
             makeArcLabel(vi.outputPredicted, predicted);
         appendPending(vi, di.pc, di.seq, label);
-        if (vi.isData)
+        if (inv_)
+            inv_->noteArcRef();
+        if (vi.isData) {
             stats_.arcs.recordDataArc();
+            if (inv_)
+                inv_->noteDataArcRef();
+        }
 
         // Unpredictability origins: a mispredicted input either
         // carries its producer's origins onward (<n,n>) or marks a
@@ -233,6 +249,8 @@ DpgAnalyzer::onInstr(const DynInstr &di)
     } else if (di.isBranch) {
         has_output = true;
         out_pred = bank_.predictBranch(di.pc, di.taken);
+        if (diff_)
+            diff_->checkBranch(di.pc, di.taken, out_pred);
     } else if (di.isPassThrough) {
         // Loads/stores/jr copy the designated input's predictability
         // to the output; the output predictor is not consulted, so
@@ -242,6 +260,8 @@ DpgAnalyzer::onInstr(const DynInstr &di)
     } else if (di.hasValueOutput()) {
         has_output = true;
         out_pred = bank_.predictOutput(di.pc, di.outValue);
+        if (diff_)
+            diff_->checkOutput(di.pc, di.outValue, out_pred);
     }
 
     NodeClass cls =
@@ -255,6 +275,8 @@ DpgAnalyzer::onInstr(const DynInstr &di)
         stats_.branches.record(
             classifyBranchInputs(has_pred, has_unpred, has_imm),
             out_pred);
+        if (inv_)
+            inv_->noteBranch();
     }
 
     // --- Node-level influence flow. ---
@@ -342,6 +364,19 @@ DpgAnalyzer::takeStats()
 
     stats_.sequences.finish();
     stats_.gshareAccuracy = bank_.branchPredictor().accuracy();
+    if (cfg_.verify && profile_.total() != stats_.dynInstrs) {
+        // Release-mode version of the assert above: in verify mode a
+        // profile/stream mismatch must abort even without NDEBUG.
+        throw verify::VerifyError(
+            "pass-1 profile does not cover the analyzed stream: " +
+            std::to_string(profile_.total()) + " profiled vs " +
+            std::to_string(stats_.dynInstrs) + " analyzed");
+    }
+    if (inv_) {
+        inv_->finalize(stats_, cfg_.trackInfluence,
+                       bank_.branchPredictor().lookups(),
+                       bank_.branchPredictor().hits());
+    }
     return std::move(stats_);
 }
 

@@ -18,6 +18,7 @@
 #define PPM_DPG_DPG_ANALYZER_HH
 
 #include <array>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,11 @@
 
 namespace ppm {
 
+namespace verify {
+class DifferentialBank;
+class InvariantChecker;
+} // namespace verify
+
 /** Analyzer knobs; defaults reproduce the paper's configuration. */
 struct DpgConfig
 {
@@ -45,6 +51,15 @@ struct DpgConfig
     unsigned influenceCap = kDefaultInfluenceCap;
     /** Path/tree analysis can be disabled for faster label-only runs. */
     bool trackInfluence = true;
+
+    /**
+     * Differential verification: shadow every predictor update with
+     * the verify/ oracles and audit the DPG invariants at finalize,
+     * throwing verify::VerifyError on the first divergence. The
+     * PPM_VERIFY=1 environment knob sets this on every engine job
+     * (see runner/engine.cc). Costs roughly 2-4x analysis time.
+     */
+    bool verify = false;
 };
 
 /** Path-analysis aggregates (paper Figs. 9 and 11). */
@@ -145,6 +160,8 @@ class DpgAnalyzer : public TraceSink
                 PredictorBank bank,
                 const DpgConfig &config = DpgConfig{});
 
+    ~DpgAnalyzer();
+
     void onInstr(const DynInstr &di) override;
     void onRunEnd() override;
 
@@ -156,6 +173,12 @@ class DpgAnalyzer : public TraceSink
 
     /** Access to the predictor bank (for tests/ablations). */
     PredictorBank &bank() { return bank_; }
+
+    /** The differential bank, when cfg.verify is on (tests). */
+    const verify::DifferentialBank *differentialBank() const
+    {
+        return diff_.get();
+    }
 
   private:
     /** A deferred arc bundle toward one static consumer. */
@@ -208,6 +231,10 @@ class DpgAnalyzer : public TraceSink
     PredictorBank bank_;
     DpgStats stats_;
     bool finalized_ = false;
+
+    /** Differential verification state (non-null iff cfg.verify). */
+    std::unique_ptr<verify::DifferentialBank> diff_;
+    std::unique_ptr<verify::InvariantChecker> inv_;
 
     std::array<ValueInfo, kNumRegs> regs_;
     std::unordered_map<Addr, ValueInfo> mem_;

@@ -51,6 +51,13 @@ envReplayEnabled()
     return !(s && *s && *s == '0');
 }
 
+bool
+envVerifyEnabled()
+{
+    const char *s = std::getenv("PPM_VERIFY");
+    return s && *s && *s != '0';
+}
+
 constexpr std::uint64_t kDefaultTraceCapBytes =
     256ULL * 1024 * 1024;
 
@@ -76,6 +83,7 @@ ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
                       kDefaultTraceCapBytes / (1024 * 1024)) *
                   1024 * 1024;
     replay_ = opts.replay.value_or(envReplayEnabled());
+    verify_ = opts.verify.value_or(envVerifyEnabled());
 }
 
 ExperimentEngine::~ExperimentEngine()
@@ -160,8 +168,9 @@ ExperimentEngine::runJob(const ExperimentJob &job)
     out.timing.dynInstrs = ref.result->dynInstrs;
 
     const auto t1 = Clock::now();
-    DpgAnalyzer analyzer(prog, *ref.result->profile,
-                         job.config.dpg);
+    DpgConfig dpg = job.config.dpg;
+    dpg.verify |= verify_;
+    DpgAnalyzer analyzer(prog, *ref.result->profile, dpg);
     if (ref.result->trace) {
         ref.result->trace->replay(prog, analyzer);
         out.timing.replayed = true;

@@ -26,6 +26,10 @@
  *   PPM_TRACE_MEM_MB  per-capture byte cap (default 256 MiB)
  *   PPM_REPLAY=0      disable capture/replay (always two-pass) —
  *                     the baseline for speedup measurements
+ *   PPM_VERIFY=1      run every cell with differential verification:
+ *                     oracle predictors in lockstep with pred/ plus
+ *                     the DPG invariant audit (see src/verify/,
+ *                     TESTING.md); any divergence throws
  *   PPM_BENCH_JSON    path: the shared engine writes a stage-timing
  *                     JSON report at process exit
  */
@@ -88,6 +92,7 @@ struct EngineOptions
     unsigned threads = 0;
     std::uint64_t traceByteCap = 0;
     std::optional<bool> replay;
+    std::optional<bool> verify;
 };
 
 class ExperimentEngine
@@ -125,6 +130,7 @@ class ExperimentEngine
     RunCache &cache() { return cache_; }
     unsigned threads() const { return threads_; }
     bool replayEnabled() const { return replay_; }
+    bool verifyEnabled() const { return verify_; }
     std::uint64_t traceByteCap() const { return traceByteCap_; }
 
     /** One entry per completed cell, in completion batches. */
@@ -152,6 +158,7 @@ class ExperimentEngine
     unsigned threads_ = 1;
     std::uint64_t traceByteCap_ = 0;
     bool replay_ = true;
+    bool verify_ = false;
     bool reportAtExit_ = false;
 
     mutable std::mutex historyMutex_;

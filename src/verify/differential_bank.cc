@@ -1,0 +1,59 @@
+#include "verify/differential_bank.hh"
+
+#include <sstream>
+
+#include "pred/predictor_bank.hh"
+
+namespace ppm::verify {
+
+DifferentialBank::DifferentialBank(PredictorKind kind,
+                                   const PredictorConfig &config,
+                                   unsigned gshare_bits)
+    : output_(makeOracle(kind, config)),
+      input_(makeOracle(kind, config)),
+      gshare_(gshare_bits),
+      kindName_(predictorName(kind))
+{
+}
+
+void
+DifferentialBank::mismatch(const char *site, StaticId pc,
+                           bool production) const
+{
+    std::ostringstream os;
+    os << "differential verification failed: " << kindName_ << " "
+       << site << " predictor at pc " << pc << " after " << checks_
+       << " checks: production says "
+       << (production ? "predicted" : "mispredicted")
+       << ", oracle disagrees";
+    throw VerifyError(os.str());
+}
+
+void
+DifferentialBank::checkOutput(StaticId pc, Value actual,
+                              bool production)
+{
+    ++checks_;
+    if (output_->predictAndUpdate(pc, actual) != production)
+        mismatch("output", pc, production);
+}
+
+void
+DifferentialBank::checkInput(StaticId pc, unsigned slot, Value actual,
+                             bool production)
+{
+    ++checks_;
+    const std::uint64_t key = PredictorBank::inputKey(pc, slot);
+    if (input_->predictAndUpdate(key, actual) != production)
+        mismatch("input", pc, production);
+}
+
+void
+DifferentialBank::checkBranch(StaticId pc, bool taken, bool production)
+{
+    ++checks_;
+    if (gshare_.predictAndUpdate(pc, taken) != production)
+        mismatch("branch", pc, production);
+}
+
+} // namespace ppm::verify

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lockstep differential verification of the predictor bank.
+ *
+ * A DifferentialBank shadows one DpgAnalyzer's PredictorBank with the
+ * oracle predictors from verify/oracles.hh: every predict-and-update
+ * the production bank performs is replayed through the matching
+ * oracle, and the first divergence aborts the run with a VerifyError
+ * naming the call site. Enabled by DpgConfig::verify (the PPM_VERIFY
+ * environment knob — see runner/engine.cc).
+ */
+
+#ifndef PPM_VERIFY_DIFFERENTIAL_BANK_HH
+#define PPM_VERIFY_DIFFERENTIAL_BANK_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "verify/oracles.hh"
+
+namespace ppm::verify {
+
+/** A differential or invariant check failed; the run is untrusted. */
+class VerifyError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class DifferentialBank
+{
+  public:
+    /** Oracles mirroring a production bank of @p kind predictors. */
+    DifferentialBank(PredictorKind kind, const PredictorConfig &config,
+                     unsigned gshare_bits);
+
+    /**
+     * Cross-check the production output-predictor result for the
+     * instruction at @p pc producing @p actual. Throws VerifyError
+     * when the oracle disagrees with @p production.
+     */
+    void checkOutput(StaticId pc, Value actual, bool production);
+
+    /** Cross-check an input-predictor result for operand @p slot. */
+    void checkInput(StaticId pc, unsigned slot, Value actual,
+                    bool production);
+
+    /** Cross-check the gshare direction result for a branch. */
+    void checkBranch(StaticId pc, bool taken, bool production);
+
+    /** Predictions cross-checked so far (tests/reporting). */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+  private:
+    [[noreturn]] void mismatch(const char *site, StaticId pc,
+                               bool production) const;
+
+    std::unique_ptr<OraclePredictor> output_;
+    std::unique_ptr<OraclePredictor> input_;
+    GshareOracle gshare_;
+    std::string kindName_;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace ppm::verify
+
+#endif // PPM_VERIFY_DIFFERENTIAL_BANK_HH

@@ -1,0 +1,190 @@
+#include "verify/invariant_checker.hh"
+
+#include <sstream>
+
+#include "verify/differential_bank.hh"
+
+namespace ppm::verify {
+
+namespace {
+
+/** Append "<what>: <lhs expr> = a != b = <rhs expr>" to @p out. */
+void
+requireEq(std::vector<std::string> &out, std::uint64_t a,
+          std::uint64_t b, const char *what)
+{
+    if (a == b)
+        return;
+    std::ostringstream os;
+    os << what << ": " << a << " != " << b;
+    out.push_back(os.str());
+}
+
+void
+requireLe(std::vector<std::string> &out, std::uint64_t a,
+          std::uint64_t b, const char *what)
+{
+    if (a <= b)
+        return;
+    std::ostringstream os;
+    os << what << ": " << a << " > " << b;
+    out.push_back(os.str());
+}
+
+} // namespace
+
+std::vector<std::string>
+InvariantChecker::audit(const DpgStats &stats, bool trackInfluence)
+{
+    std::vector<std::string> v;
+
+    // --- Node accounting: every dynamic instruction is classified
+    // --- into exactly one class, and the opcode-category breakdown
+    // --- re-sums to the class totals.
+    requireEq(v, stats.nodes.total(), stats.dynInstrs,
+              "classified nodes != dynamic instructions");
+    std::uint64_t class_sum = 0;
+    for (unsigned c = 0; c < kNumNodeClasses; ++c) {
+        const auto cls = static_cast<NodeClass>(c);
+        class_sum += stats.nodes.count(cls);
+        std::uint64_t cat_sum = 0;
+        for (unsigned cat = 0; cat < kNumOpCategories; ++cat)
+            cat_sum +=
+                stats.nodes.count(cls, static_cast<OpCategory>(cat));
+        requireEq(v, cat_sum, stats.nodes.count(cls),
+                  "node opcode-category breakdown != class total");
+    }
+    requireEq(v, class_sum, stats.nodes.total(),
+              "node classes do not partition the node total");
+
+    // --- Per-class balance: generation + propagation + termination
+    // --- plus the two non-classifying groups account for every node.
+    const std::uint64_t balance =
+        stats.nodes.generates() + stats.nodes.propagates() +
+        stats.nodes.terminates() +
+        stats.nodes.count(NodeClass::UnpredFlow) +
+        stats.nodes.count(NodeClass::Inert);
+    requireEq(v, balance, stats.nodes.total(),
+              "gen+prop+term (+unpred,+inert) != node total");
+
+    // --- Arc accounting: <p,p>+<p,n>+<n,p>+<n,n> partitions every
+    // --- arc, per use class and overall.
+    std::uint64_t cell_sum = 0;
+    std::uint64_t label_sum = 0;
+    for (unsigned l = 0; l < kNumArcLabels; ++l) {
+        const auto label = static_cast<ArcLabel>(l);
+        label_sum += stats.arcs.countLabel(label);
+        std::uint64_t use_sum = 0;
+        for (unsigned u = 0; u < kNumArcUses; ++u)
+            use_sum +=
+                stats.arcs.count(static_cast<ArcUse>(u), label);
+        requireEq(v, use_sum, stats.arcs.countLabel(label),
+                  "arc use classes do not partition a label");
+        cell_sum += use_sum;
+    }
+    requireEq(v, cell_sum, stats.arcs.total(),
+              "arc (use,label) cells do not partition the arc total");
+    requireEq(v, label_sum, stats.arcs.total(),
+              "arc labels do not partition the arc total");
+    requireLe(v, stats.arcs.dataArcs(), stats.arcs.total(),
+              "more D arcs than arcs");
+
+    // --- Unpredictability census: one record per unpredicted output,
+    // --- which is exactly the termination + unpredictable-flow nodes.
+    requireEq(v, stats.unpred.total(),
+              stats.nodes.terminates() +
+                  stats.nodes.count(NodeClass::UnpredFlow),
+              "unpredictability census != unpredicted outputs");
+
+    // --- Sequences: predictable runs cannot cover more instructions
+    // --- than were executed, and the stepper must have seen them all.
+    requireLe(v, stats.sequences.instructionsInSequences(),
+              stats.dynInstrs,
+              "more instructions in predictable sequences than "
+              "executed");
+    requireEq(v, stats.sequences.totalInstructions(), stats.dynInstrs,
+              "sequence stepper missed instructions");
+
+    if (!trackInfluence)
+        return v;
+
+    // --- Path analysis (influence tracking on): every propagating
+    // --- element is recorded once, in every histogram.
+    const PathStats &ps = stats.paths;
+    requireEq(v, ps.propagateElements,
+              stats.nodes.propagates() + stats.arcs.propagates(),
+              "propagate elements != propagating nodes + arcs");
+    std::uint64_t combo_sum = 0;
+    for (std::uint64_t c : ps.perCombo)
+        combo_sum += c;
+    requireEq(v, combo_sum, ps.propagateElements,
+              "Fig. 9 combination sets do not partition the "
+              "propagate elements");
+    for (unsigned c = 0; c < kNumGeneratorClasses; ++c) {
+        std::uint64_t with_c = 0;
+        for (unsigned mask = 0; mask < 64; ++mask) {
+            if (mask & (1u << c))
+                with_c += ps.perCombo[mask];
+        }
+        requireEq(v, with_c, ps.perClass[c],
+                  "Fig. 9 per-class counter != its combination sets");
+    }
+    requireEq(v, ps.influenceCount.totalWeight(), ps.propagateElements,
+              "influence-count histogram missed propagate elements");
+    requireEq(v, ps.influenceDistance.totalWeight(),
+              ps.propagateElements,
+              "influence-distance histogram missed propagate "
+              "elements");
+    requireLe(v, ps.saturationEvents, ps.propagateElements,
+              "more saturation events than propagate elements");
+
+    // --- Trees: one tree per generate (node or arc).
+    requireEq(v, stats.trees.generateCount(),
+              stats.nodes.generates() + stats.arcs.generates(),
+              "tree count != node + arc generates");
+    std::uint64_t tree_class_sum = 0;
+    for (unsigned c = 0; c < kNumGeneratorClasses; ++c)
+        tree_class_sum += stats.trees.generateCount(
+            static_cast<GeneratorClass>(c));
+    requireEq(v, tree_class_sum, stats.trees.generateCount(),
+              "tree generator classes do not partition the trees");
+
+    return v;
+}
+
+void
+InvariantChecker::finalize(const DpgStats &stats, bool trackInfluence,
+                           std::uint64_t gshare_lookups,
+                           std::uint64_t gshare_hits) const
+{
+    std::vector<std::string> v = audit(stats, trackInfluence);
+
+    // Streaming degree accounting: the flushed arc totals must equal
+    // the in-degree references the analyzer consumed.
+    requireEq(v, stats.arcs.total(), arcRefs_,
+              "flushed arcs != consumed operand references "
+              "(pending-arc bookkeeping lost or duplicated arcs)");
+    requireEq(v, stats.arcs.dataArcs(), dataArcRefs_,
+              "flushed D arcs != consumed D-value references");
+
+    // Branch census vs. the gshare predictor's own counters.
+    requireEq(v, stats.branches.total(), branches_,
+              "branch census != classified branches");
+    requireEq(v, gshare_lookups, branches_,
+              "gshare lookups != classified branches");
+    requireEq(v, gshare_hits,
+              stats.branches.total() - stats.branches.mispredicted(),
+              "gshare hits != predicted branches in the census");
+
+    if (v.empty())
+        return;
+    std::ostringstream os;
+    os << "DPG invariant check failed for " << stats.workload << " ("
+       << v.size() << " violation" << (v.size() == 1 ? "" : "s")
+       << "):";
+    for (const std::string &msg : v)
+        os << "\n  - " << msg;
+    throw VerifyError(os.str());
+}
+
+} // namespace ppm::verify

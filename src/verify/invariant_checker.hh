@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DPG invariant checker: audits the streaming DpgAnalyzer's
+ * accounting against the model's conservation laws.
+ *
+ * Two layers:
+ *
+ *  1. Streaming degree accounting. While the analyzer runs (verify
+ *     mode), it reports every arc reference it defers and every
+ *     branch it classifies; at finalize the checker requires the
+ *     flushed ArcStats/BranchStats totals to equal those counts —
+ *     i.e. arc counts sum to the nodes' consumed in-degrees, so no
+ *     pending arc was lost or double-flushed by the live-value
+ *     machinery.
+ *
+ *  2. Final-state conservation. audit() checks a finished DpgStats
+ *     for the partition and balance laws of the paper's taxonomy:
+ *     every node is in exactly one class, <p,p>+<p,n>+<n,p>+<n,n>
+ *     partitions every arc, generation + propagation + termination
+ *     (+ unpredictable flow + inert) balances the node total per
+ *     class, the path/influence histograms each account for every
+ *     propagating element, and the per-class Fig. 9 counters are
+ *     consistent with their combination sets.
+ *
+ * finalize() throws VerifyError listing every violated invariant.
+ */
+
+#ifndef PPM_VERIFY_INVARIANT_CHECKER_HH
+#define PPM_VERIFY_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dpg/dpg_analyzer.hh"
+
+namespace ppm::verify {
+
+class InvariantChecker
+{
+  public:
+    /** One deferred arc reference was recorded (consumed operand). */
+    void noteArcRef() { ++arcRefs_; }
+
+    /** One D-node-tail arc reference was recorded. */
+    void noteDataArcRef() { ++dataArcRefs_; }
+
+    /** One conditional branch was classified. */
+    void noteBranch() { ++branches_; }
+
+    /**
+     * Conservation-law audit of a finished run. Returns one message
+     * per violated invariant (empty = clean). @p trackInfluence must
+     * match the DpgConfig of the run (path/tree invariants only hold
+     * when influence tracking was on).
+     */
+    static std::vector<std::string> audit(const DpgStats &stats,
+                                          bool trackInfluence);
+
+    /**
+     * Full check: streaming degree accounting plus audit(), with the
+     * gshare counters cross-checked against the branch census.
+     * Throws VerifyError listing every violation.
+     */
+    void finalize(const DpgStats &stats, bool trackInfluence,
+                  std::uint64_t gshare_lookups,
+                  std::uint64_t gshare_hits) const;
+
+  private:
+    std::uint64_t arcRefs_ = 0;
+    std::uint64_t dataArcRefs_ = 0;
+    std::uint64_t branches_ = 0;
+};
+
+} // namespace ppm::verify
+
+#endif // PPM_VERIFY_INVARIANT_CHECKER_HH

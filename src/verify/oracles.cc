@@ -1,0 +1,176 @@
+#include "verify/oracles.hh"
+
+#include "support/bit_ops.hh"
+
+namespace ppm::verify {
+
+namespace {
+
+/**
+ * The table index a production direct-mapped table of 2^bits entries
+ * would select. Oracles key their sparse maps by this index so they
+ * alias exactly like the real tables without preallocating them.
+ */
+std::uint64_t
+tableIndex(std::uint64_t key, unsigned bits)
+{
+    return key & lowBits(bits);
+}
+
+} // namespace
+
+// --- Last-value -------------------------------------------------------
+
+LastValueOracle::LastValueOracle(const PredictorConfig &config)
+    : tableBits_(config.tableBits)
+{
+}
+
+bool
+LastValueOracle::predictAndUpdate(std::uint64_t key, Value actual)
+{
+    const std::uint64_t idx = tableIndex(key, tableBits_);
+    auto it = slots_.find(idx);
+    if (it == slots_.end()) {
+        // Cold slot: install with the fresh-install hysteresis of 2,
+        // and a cold table never predicts correctly.
+        slots_.emplace(idx, Slot{actual, 2});
+        return false;
+    }
+
+    Slot &s = it->second;
+    if (s.value == actual) {
+        if (s.confidence < 3)
+            ++s.confidence;
+        return true;
+    }
+    if (--s.confidence == 0) {
+        s.value = actual;
+        s.confidence = 1;
+    }
+    return false;
+}
+
+// --- 2-delta stride ---------------------------------------------------
+
+StrideOracle::StrideOracle(const PredictorConfig &config)
+    : tableBits_(config.tableBits)
+{
+}
+
+bool
+StrideOracle::predictAndUpdate(std::uint64_t key, Value actual)
+{
+    const std::uint64_t idx = tableIndex(key, tableBits_);
+    auto it = slots_.find(idx);
+    if (it == slots_.end()) {
+        slots_.emplace(idx, Slot{actual, 0, 0});
+        return false;
+    }
+
+    Slot &s = it->second;
+    const bool correct = actual == s.last + s.stride;
+
+    // The 2-delta rule: a delta becomes the predicting stride only
+    // after appearing twice in a row.
+    const Value delta = actual - s.last;
+    if (delta == s.candidate)
+        s.stride = delta;
+    s.candidate = delta;
+    s.last = actual;
+    return correct;
+}
+
+// --- Two-level context (FCM) -----------------------------------------
+
+ContextOracle::ContextOracle(const PredictorConfig &config) : cfg_(config)
+{
+}
+
+std::uint64_t
+ContextOracle::l2IndexOf(std::uint64_t key, std::uint64_t history) const
+{
+    // Mirrors the production hash pipeline exactly: the hash functions
+    // are part of the predictor's specification, not an implementation
+    // detail, so the oracle reuses support/bit_ops rather than
+    // reinventing them.
+    std::uint64_t h = mix64(history);
+    if (!cfg_.sharedL2)
+        h = hashCombine(h, key);
+    return tableIndex(h, cfg_.l2Bits);
+}
+
+bool
+ContextOracle::predictAndUpdate(std::uint64_t key, Value actual)
+{
+    const std::uint64_t l1 = tableIndex(key, cfg_.tableBits);
+    std::uint64_t &history = histories_[l1]; // absent -> 0, like a
+                                             // zero-filled L1 table.
+    const std::uint64_t l2 = l2IndexOf(key, history);
+
+    bool correct = false;
+    auto it = slots_.find(l2);
+    if (it == slots_.end()) {
+        slots_.emplace(l2, Slot{actual, 1});
+    } else if (it->second.value == actual) {
+        correct = true;
+        if (it->second.confidence < 7)
+            ++it->second.confidence;
+    } else if (--it->second.confidence == 0) {
+        it->second.value = actual;
+        it->second.confidence = 1;
+    }
+
+    // Shift the 16-bit folded value into the context, oldest first.
+    const std::uint64_t folded = foldBits(actual, 16) & 0xffff;
+    const std::uint64_t kept = cfg_.historyLen >= 4
+                                   ? ~std::uint64_t(0)
+                                   : lowBits(16 * cfg_.historyLen);
+    history = ((history << 16) | folded) & kept;
+    return correct;
+}
+
+// --- gshare -----------------------------------------------------------
+
+GshareOracle::GshareOracle(unsigned index_bits) : indexBits_(index_bits)
+{
+}
+
+bool
+GshareOracle::predictAndUpdate(StaticId pc, bool taken)
+{
+    const std::uint64_t idx =
+        tableIndex(std::uint64_t(pc) ^ history_, indexBits_);
+    auto [it, inserted] = counters_.try_emplace(idx, 1u); // weak n.t.
+    unsigned &ctr = it->second;
+
+    const bool predicted = ctr >= 2;
+    const bool correct = predicted == taken;
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               lowBits(indexBits_);
+    return correct;
+}
+
+// --- Factory ----------------------------------------------------------
+
+std::unique_ptr<OraclePredictor>
+makeOracle(PredictorKind kind, const PredictorConfig &config)
+{
+    switch (kind) {
+      case PredictorKind::LastValue:
+        return std::make_unique<LastValueOracle>(config);
+      case PredictorKind::Stride2Delta:
+        return std::make_unique<StrideOracle>(config);
+      case PredictorKind::Context:
+        return std::make_unique<ContextOracle>(config);
+    }
+    return nullptr;
+}
+
+} // namespace ppm::verify

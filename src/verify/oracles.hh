@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Oracle predictors: deliberately naive, table-free reimplementations
+ * of the production predictor suite (last-value, 2-delta stride,
+ * two-level context, gshare), used only by the differential
+ * verification layer.
+ *
+ * Each oracle re-derives the predictor's update rule from the paper's
+ * description and stores its state in sparse maps keyed by the same
+ * table index the production predictor would use, so direct-mapped
+ * aliasing is modeled exactly while sharing no table-management code
+ * with src/pred/. Agreement between an oracle and its production
+ * counterpart on every predict-and-update call is therefore evidence
+ * that the optimized table implementation is correct; disagreement is
+ * a bug in one of the two (see DifferentialBank).
+ */
+
+#ifndef PPM_VERIFY_ORACLES_HH
+#define PPM_VERIFY_ORACLES_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "pred/value_predictor.hh"
+#include "support/types.hh"
+
+namespace ppm::verify {
+
+/** Interface shared by the value-predictor oracles. */
+class OraclePredictor
+{
+  public:
+    virtual ~OraclePredictor() = default;
+
+    /**
+     * Predict the next value of @p key's sequence, then train on
+     * @p actual; returns true iff the prediction was correct. Must
+     * match the production ValuePredictor::predictAndUpdate bit for
+     * bit on any call sequence.
+     */
+    virtual bool predictAndUpdate(std::uint64_t key, Value actual) = 0;
+
+    /** Forget all state. */
+    virtual void reset() = 0;
+};
+
+/** Last-value oracle with the 2-bit replacement hysteresis. */
+class LastValueOracle : public OraclePredictor
+{
+  public:
+    explicit LastValueOracle(const PredictorConfig &config);
+
+    bool predictAndUpdate(std::uint64_t key, Value actual) override;
+    void reset() override { slots_.clear(); }
+
+  private:
+    struct Slot
+    {
+        Value value = 0;
+        unsigned confidence = 0; ///< 0..3, replace when it hits 0.
+    };
+
+    std::map<std::uint64_t, Slot> slots_;
+    unsigned tableBits_;
+};
+
+/** 2-delta stride oracle. */
+class StrideOracle : public OraclePredictor
+{
+  public:
+    explicit StrideOracle(const PredictorConfig &config);
+
+    bool predictAndUpdate(std::uint64_t key, Value actual) override;
+    void reset() override { slots_.clear(); }
+
+  private:
+    struct Slot
+    {
+        Value last = 0;
+        Value stride = 0;     ///< the stride predictions use.
+        Value candidate = 0;  ///< most recent observed delta.
+    };
+
+    std::map<std::uint64_t, Slot> slots_;
+    unsigned tableBits_;
+};
+
+/** Two-level context (FCM) oracle, shared or private second level. */
+class ContextOracle : public OraclePredictor
+{
+  public:
+    explicit ContextOracle(const PredictorConfig &config);
+
+    bool predictAndUpdate(std::uint64_t key, Value actual) override;
+    void
+    reset() override
+    {
+        histories_.clear();
+        slots_.clear();
+    }
+
+  private:
+    struct Slot
+    {
+        Value value = 0;
+        unsigned confidence = 0; ///< 0..7, replace when it hits 0.
+    };
+
+    std::uint64_t l2IndexOf(std::uint64_t key,
+                            std::uint64_t history) const;
+
+    std::map<std::uint64_t, std::uint64_t> histories_; ///< by L1 index.
+    std::map<std::uint64_t, Slot> slots_;              ///< by L2 index.
+    PredictorConfig cfg_;
+};
+
+/** gshare oracle: 2-bit counters in a sparse map + its own history. */
+class GshareOracle
+{
+  public:
+    explicit GshareOracle(unsigned index_bits);
+
+    /** Predict-and-train; must match Gshare::predictAndUpdate. */
+    bool predictAndUpdate(StaticId pc, bool taken);
+
+    void
+    reset()
+    {
+        counters_.clear();
+        history_ = 0;
+    }
+
+  private:
+    std::map<std::uint64_t, unsigned> counters_; ///< 0..3, init 1.
+    std::uint64_t history_ = 0;
+    unsigned indexBits_;
+};
+
+/** Build the value oracle mirroring @p kind / @p config. */
+std::unique_ptr<OraclePredictor>
+makeOracle(PredictorKind kind, const PredictorConfig &config);
+
+} // namespace ppm::verify
+
+#endif // PPM_VERIFY_ORACLES_HH

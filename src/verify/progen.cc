@@ -1,0 +1,164 @@
+#include "verify/progen.hh"
+
+#include <sstream>
+
+#include "support/rng.hh"
+
+namespace ppm::verify {
+
+namespace {
+
+/**
+ * Register budget: $4..$15 are generator data registers, $2/$3 are
+ * address scratch, $16/$17/$18 are loop counters (outer/inner/
+ * innermost), $31 is the link register (leaf calls only). Subroutines
+ * clobber data and address registers but never loop counters.
+ */
+
+/** Emit one random straight-line ALU op over $4..$15. */
+void
+emitAluOp(std::ostringstream &os, Rng &rng)
+{
+    static const char *kOps[] = {"add",  "sub",  "mul", "and",
+                                 "or",   "xor",  "nor", "slt",
+                                 "sltu", "seq",  "sne", "div",
+                                 "rem",  "sllv", "srlv"};
+    static const char *kImmOps[] = {"addi", "andi", "ori", "xori",
+                                    "slti"};
+    const unsigned rd = 4 + rng.nextBelow(12);
+    const unsigned rs1 = 4 + rng.nextBelow(12);
+    const unsigned rs2 = 4 + rng.nextBelow(12);
+    switch (rng.nextBelow(4)) {
+      case 0:
+        os << "        " << kImmOps[rng.nextBelow(5)] << " $" << rd
+           << ", $" << rs1 << ", " << rng.nextRange(-128, 127)
+           << "\n";
+        break;
+      case 1:
+        os << "        " << (rng.chancePercent(50) ? "sll" : "srl")
+           << " $" << rd << ", $" << rs1 << ", "
+           << rng.nextBelow(64) << "\n";
+        break;
+      case 2:
+        os << "        li $" << rd << ", "
+           << static_cast<std::int64_t>(rng.nextSkewed(32)) << "\n";
+        break;
+      default:
+        os << "        " << kOps[rng.nextBelow(15)] << " $" << rd
+           << ", $" << rs1 << ", $" << rs2 << "\n";
+        break;
+    }
+}
+
+/** Emit a bounded memory access into the scratch array. */
+void
+emitMemOp(std::ostringstream &os, Rng &rng, unsigned mem_words)
+{
+    const unsigned rv = 4 + rng.nextBelow(12);
+    const unsigned ra = 4 + rng.nextBelow(12);
+    os << "        andi $2, $" << ra << ", " << (mem_words - 1)
+       << "\n";
+    os << "        sll  $2, $2, 3\n";
+    os << "        la   $3, scratch\n";
+    os << "        addu $2, $2, $3\n";
+    if (rng.chancePercent(50))
+        os << "        st $" << rv << ", 0($2)\n";
+    else
+        os << "        ld $" << rv << ", 0($2)\n";
+}
+
+/** One random body op: ALU, or memory when enabled. */
+void
+emitBodyOp(std::ostringstream &os, Rng &rng,
+           const ProgenOptions &opts)
+{
+    if (opts.memOps && rng.chancePercent(25))
+        emitMemOp(os, rng, opts.memWords);
+    else
+        emitAluOp(os, rng);
+}
+
+} // namespace
+
+std::string
+generateProgram(std::uint64_t seed, const ProgenOptions &opts)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+    os << "        .data\n";
+    os << "scratch: .space " << (8 * opts.memWords) << "\n";
+    os << "        .text\n";
+    os << "main:\n";
+    for (unsigned r = 4; r < 16; ++r) {
+        os << "        li $" << r << ", "
+           << static_cast<std::int64_t>(rng.nextSkewed(16)) << "\n";
+    }
+
+    // Decide the leaf subroutine roster up front so call sites can
+    // reference them; bodies are emitted after the halt.
+    const unsigned nfuncs =
+        opts.calls ? 1 + rng.nextBelow(3) : 0;
+
+    const unsigned blocks = 1 + rng.nextBelow(opts.maxBlocks);
+    for (unsigned b = 0; b < blocks; ++b) {
+        const unsigned outer_iters = 2 + rng.nextBelow(60);
+        os << "        li $16, " << outer_iters << "\n";
+        os << "outer" << b << ":\n";
+
+        const unsigned body_ops = 1 + rng.nextBelow(opts.maxBodyOps);
+        for (unsigned i = 0; i < body_ops; ++i)
+            emitBodyOp(os, rng, opts);
+
+        // Optional call into a leaf subroutine.
+        if (nfuncs > 0 && rng.chancePercent(50))
+            os << "        jal  func" << rng.nextBelow(nfuncs)
+               << "\n";
+
+        // Optional data-dependent skip (forward branch).
+        if (rng.chancePercent(60)) {
+            const unsigned rc = 4 + rng.nextBelow(12);
+            os << "        beqz $" << rc << ", skip" << b << "\n";
+            for (unsigned i = 0; i < 1 + rng.nextBelow(3); ++i)
+                emitAluOp(os, rng);
+            os << "skip" << b << ":\n";
+        }
+
+        // Optional bounded inner loop, with an optional third-level
+        // innermost loop nested inside it.
+        if (opts.nestedLoops && rng.chancePercent(50)) {
+            const unsigned inner_iters = 1 + rng.nextBelow(12);
+            os << "        li $17, " << inner_iters << "\n";
+            os << "inner" << b << ":\n";
+            for (unsigned i = 0; i < 1 + rng.nextBelow(4); ++i)
+                emitBodyOp(os, rng, opts);
+            if (rng.chancePercent(35)) {
+                const unsigned deep_iters = 1 + rng.nextBelow(6);
+                os << "        li $18, " << deep_iters << "\n";
+                os << "deep" << b << ":\n";
+                for (unsigned i = 0; i < 1 + rng.nextBelow(3); ++i)
+                    emitAluOp(os, rng);
+                os << "        addi $18, $18, -1\n";
+                os << "        bnez $18, deep" << b << "\n";
+            }
+            os << "        addi $17, $17, -1\n";
+            os << "        bnez $17, inner" << b << "\n";
+        }
+
+        os << "        addi $16, $16, -1\n";
+        os << "        bnez $16, outer" << b << "\n";
+    }
+    os << "        halt\n";
+
+    // Leaf subroutine bodies: straight-line work plus a return; they
+    // never loop or call, so every call site costs a bounded number
+    // of dynamic instructions.
+    for (unsigned f = 0; f < nfuncs; ++f) {
+        os << "func" << f << ":\n";
+        for (unsigned i = 0; i < 1 + rng.nextBelow(5); ++i)
+            emitBodyOp(os, rng, opts);
+        os << "        ret\n";
+    }
+    return os.str();
+}
+
+} // namespace ppm::verify

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structured random program generation for property testing.
+ *
+ * Generates random but always-valid, always-terminating YISA programs:
+ * straight-line ALU blocks, bounded (optionally nested) loops,
+ * data-dependent forward skips, bounded memory traffic into a scratch
+ * array, and leaf call/return subroutines. Shared by the structural
+ * fuzz test (tests/test_fuzz.cc) and the differential-oracle property
+ * tests (tests/test_verify.cc) so both explore the same shape space.
+ *
+ * Every program generated from the same seed and options is
+ * byte-identical (the generator draws only from support/rng.hh), and
+ * every program halts within kProgenInstrBound dynamic instructions.
+ */
+
+#ifndef PPM_VERIFY_PROGEN_HH
+#define PPM_VERIFY_PROGEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ppm::verify {
+
+/** Shape knobs; the defaults exercise every construct. */
+struct ProgenOptions
+{
+    /** Top-level loop blocks (uniform in [1, maxBlocks]). */
+    unsigned maxBlocks = 4;
+
+    /** Straight-line ops per block body (uniform in [1, maxBodyOps]). */
+    unsigned maxBodyOps = 10;
+
+    /** Emit bounded loads/stores into the scratch array. */
+    bool memOps = true;
+
+    /** Emit bounded inner loops (and, inside them, third-level
+     *  innermost loops) nested in the block loop. */
+    bool nestedLoops = true;
+
+    /** Emit leaf subroutines and jal/ret call sites. */
+    bool calls = true;
+
+    /** Scratch array size in 64-bit words (accesses are masked). */
+    unsigned memWords = 64;
+};
+
+/**
+ * Upper bound on the dynamic instruction count of any generated
+ * program: all loops have structurally bounded trip counts, and the
+ * worst-case product is far below this.
+ */
+constexpr std::uint64_t kProgenInstrBound = 2'000'000;
+
+/** Generate one program; same (seed, options) -> same source. */
+std::string generateProgram(std::uint64_t seed,
+                            const ProgenOptions &options = {});
+
+} // namespace ppm::verify
+
+#endif // PPM_VERIFY_PROGEN_HH

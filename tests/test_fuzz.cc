@@ -1,131 +1,22 @@
 /**
  * @file
  * Structured program fuzzing: randomly generated (but always valid
- * and terminating) programs are pushed through the whole stack —
- * assembler, simulator, model — checking crash-freedom, termination,
- * determinism, and the model's accounting invariants on shapes no
- * human would write.
+ * and terminating) programs from verify/progen are pushed through the
+ * whole stack — assembler, simulator, model — checking crash-freedom,
+ * termination, determinism, and the model's accounting invariants on
+ * shapes no human would write.
  */
 
 #include <gtest/gtest.h>
 
-#include <sstream>
-
 #include "analysis/experiment.hh"
 #include "asmr/assembler.hh"
 #include "sim/machine.hh"
-#include "support/rng.hh"
+#include "verify/invariant_checker.hh"
+#include "verify/progen.hh"
 
 namespace ppm {
 namespace {
-
-/** Emit one random straight-line ALU op over $4..$15. */
-void
-emitAluOp(std::ostringstream &os, Rng &rng)
-{
-    static const char *kOps[] = {"add",  "sub",  "mul", "and",
-                                 "or",   "xor",  "nor", "slt",
-                                 "sltu", "seq",  "sne", "div",
-                                 "rem",  "sllv", "srlv"};
-    static const char *kImmOps[] = {"addi", "andi", "ori", "xori",
-                                    "slti"};
-    const unsigned rd = 4 + rng.nextBelow(12);
-    const unsigned rs1 = 4 + rng.nextBelow(12);
-    const unsigned rs2 = 4 + rng.nextBelow(12);
-    switch (rng.nextBelow(4)) {
-      case 0:
-        os << "        " << kImmOps[rng.nextBelow(5)] << " $" << rd
-           << ", $" << rs1 << ", " << rng.nextRange(-128, 127)
-           << "\n";
-        break;
-      case 1:
-        os << "        " << (rng.chancePercent(50) ? "sll" : "srl")
-           << " $" << rd << ", $" << rs1 << ", "
-           << rng.nextBelow(64) << "\n";
-        break;
-      case 2:
-        os << "        li $" << rd << ", "
-           << static_cast<std::int64_t>(rng.nextSkewed(32)) << "\n";
-        break;
-      default:
-        os << "        " << kOps[rng.nextBelow(15)] << " $" << rd
-           << ", $" << rs1 << ", $" << rs2 << "\n";
-        break;
-    }
-}
-
-/** Emit a bounded memory access into the scratch array. */
-void
-emitMemOp(std::ostringstream &os, Rng &rng)
-{
-    const unsigned rv = 4 + rng.nextBelow(12);
-    const unsigned ra = 4 + rng.nextBelow(12);
-    os << "        andi $2, $" << ra << ", 63\n";
-    os << "        sll  $2, $2, 3\n";
-    os << "        la   $3, scratch\n";
-    os << "        addu $2, $2, $3\n";
-    if (rng.chancePercent(50))
-        os << "        st $" << rv << ", 0($2)\n";
-    else
-        os << "        ld $" << rv << ", 0($2)\n";
-}
-
-/** Generate a random structured program: nested bounded loops with
- *  straight-line bodies, data-dependent skips, and memory traffic. */
-std::string
-generateProgram(std::uint64_t seed)
-{
-    Rng rng(seed);
-    std::ostringstream os;
-    os << "        .data\n";
-    os << "scratch: .space 64\n";
-    os << "        .text\n";
-    os << "main:\n";
-    for (unsigned r = 4; r < 16; ++r) {
-        os << "        li $" << r << ", "
-           << static_cast<std::int64_t>(rng.nextSkewed(16)) << "\n";
-    }
-
-    const unsigned blocks = 1 + rng.nextBelow(4);
-    for (unsigned b = 0; b < blocks; ++b) {
-        const unsigned outer_iters = 2 + rng.nextBelow(60);
-        os << "        li $16, " << outer_iters << "\n";
-        os << "outer" << b << ":\n";
-
-        const unsigned body_ops = 1 + rng.nextBelow(10);
-        for (unsigned i = 0; i < body_ops; ++i) {
-            if (rng.chancePercent(25))
-                emitMemOp(os, rng);
-            else
-                emitAluOp(os, rng);
-        }
-
-        // Optional data-dependent skip (forward branch).
-        if (rng.chancePercent(60)) {
-            const unsigned rc = 4 + rng.nextBelow(12);
-            os << "        beqz $" << rc << ", skip" << b << "\n";
-            for (unsigned i = 0; i < 1 + rng.nextBelow(3); ++i)
-                emitAluOp(os, rng);
-            os << "skip" << b << ":\n";
-        }
-
-        // Optional bounded inner loop.
-        if (rng.chancePercent(50)) {
-            const unsigned inner_iters = 1 + rng.nextBelow(12);
-            os << "        li $17, " << inner_iters << "\n";
-            os << "inner" << b << ":\n";
-            for (unsigned i = 0; i < 1 + rng.nextBelow(4); ++i)
-                emitAluOp(os, rng);
-            os << "        addi $17, $17, -1\n";
-            os << "        bnez $17, inner" << b << "\n";
-        }
-
-        os << "        addi $16, $16, -1\n";
-        os << "        bnez $16, outer" << b << "\n";
-    }
-    os << "        halt\n";
-    return os.str();
-}
 
 class FuzzTest : public ::testing::TestWithParam<std::uint64_t>
 {
@@ -133,41 +24,38 @@ class FuzzTest : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(FuzzTest, AssembleRunModel)
 {
-    const std::string source = generateProgram(GetParam());
+    const std::uint64_t seed = GetParam();
+    SCOPED_TRACE(::testing::Message() << "progen seed " << seed);
+    const std::string source = verify::generateProgram(seed);
 
     // Assembles cleanly.
     Program prog;
-    ASSERT_NO_THROW(prog = assemble(source, "fuzz"))
-        << "seed " << GetParam() << "\n"
-        << source;
+    ASSERT_NO_THROW(prog = assemble(source, "fuzz")) << source;
 
     // Terminates within the structural bound.
     Machine m(prog);
-    ASSERT_EQ(m.run(nullptr, 2'000'000), StopReason::Halted)
-        << "seed " << GetParam();
+    ASSERT_EQ(m.run(nullptr, verify::kProgenInstrBound),
+              StopReason::Halted);
 
-    // The model's accounting invariants hold for every predictor.
+    // The model's conservation laws hold for every predictor.
     for (PredictorKind kind : kAllPredictorKinds) {
+        SCOPED_TRACE(::testing::Message()
+                     << "predictor " << predictorName(kind));
         ExperimentConfig config;
         config.dpg.kind = kind;
         const DpgStats stats = runModel(prog, {}, config);
         ASSERT_EQ(stats.dynInstrs, m.instrCount());
-        ASSERT_EQ(stats.nodes.total(), stats.dynInstrs);
-        std::uint64_t label_sum = 0;
-        for (unsigned l = 0; l < kNumArcLabels; ++l) {
-            label_sum +=
-                stats.arcs.countLabel(static_cast<ArcLabel>(l));
-        }
-        ASSERT_EQ(label_sum, stats.arcs.total());
-        ASSERT_EQ(stats.paths.propagateElements,
-                  stats.nodes.propagates() + stats.arcs.propagates());
-        ASSERT_LE(stats.sequences.instructionsInSequences(),
-                  stats.dynInstrs);
+        const auto violations =
+            verify::InvariantChecker::audit(stats,
+                                            /*trackInfluence=*/true);
+        ASSERT_TRUE(violations.empty())
+            << ::testing::PrintToString(violations);
     }
 
     // Deterministic re-execution.
     Machine m2(prog);
-    ASSERT_EQ(m2.run(nullptr, 2'000'000), StopReason::Halted);
+    ASSERT_EQ(m2.run(nullptr, verify::kProgenInstrBound),
+              StopReason::Halted);
     ASSERT_EQ(m2.instrCount(), m.instrCount());
     for (unsigned r = 1; r < kNumRegs; ++r) {
         ASSERT_EQ(m.reg(static_cast<RegIndex>(r)),

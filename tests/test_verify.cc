@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the differential verification subsystem (src/verify/):
+ * oracle-vs-production predictor equivalence on synthetic and
+ * progen-generated streams, lockstep verification through the
+ * DpgAnalyzer, invariant-checker positive runs, and injected-fault /
+ * injected-corruption negative runs (every corruption must be
+ * detected).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/experiment.hh"
+#include "asmr/assembler.hh"
+#include "pred/gshare.hh"
+#include "pred/predictor_bank.hh"
+#include "runner/engine.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "verify/differential_bank.hh"
+#include "verify/invariant_checker.hh"
+#include "verify/oracles.hh"
+#include "verify/progen.hh"
+
+namespace ppm {
+namespace {
+
+using verify::VerifyError;
+
+// --- Oracle vs. production: synthetic streams ------------------------
+
+/**
+ * Drive @p steps predict-and-update calls through both sides with a
+ * stream mixing repeating, striding, and erratic per-key sequences,
+ * asserting result equality on every call.
+ */
+void
+expectLockstep(ValuePredictor &prod, verify::OraclePredictor &oracle,
+               std::uint64_t seed, unsigned key_space, unsigned steps)
+{
+    Rng rng(seed);
+    std::vector<Value> next(key_space, 0);
+    for (unsigned i = 0; i < steps; ++i) {
+        const std::uint64_t key = rng.nextBelow(key_space);
+        Value v = next[key];
+        switch (rng.nextBelow(4)) {
+          case 0: // repeat (last-value friendly)
+            break;
+          case 1: // stride
+            next[key] = v + 3;
+            break;
+          case 2: // erratic jump
+            next[key] = rng.nextSkewed(24);
+            break;
+          default: // slow count
+            next[key] = v + 1;
+            break;
+        }
+        ASSERT_EQ(prod.predictAndUpdate(key, v),
+                  oracle.predictAndUpdate(key, v))
+            << "diverged at step " << i << " key " << key
+            << " value " << v;
+    }
+}
+
+TEST(Oracles, ValuePredictorsMatchProductionAcrossSizesAndSeeds)
+{
+    for (PredictorKind kind : kAllPredictorKinds) {
+        for (unsigned bits : {2u, 6u}) {
+            for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+                SCOPED_TRACE(::testing::Message()
+                             << predictorName(kind) << " tableBits "
+                             << bits << " seed " << seed);
+                PredictorConfig config;
+                config.tableBits = bits;
+                config.l2Bits = bits + 4;
+                auto prod = makeValuePredictor(kind, config);
+                auto oracle = verify::makeOracle(kind, config);
+                // Keys beyond the table size force direct-mapped
+                // aliasing, which the oracles must model exactly.
+                expectLockstep(*prod, *oracle, seed,
+                               /*key_space=*/(1u << bits) * 3,
+                               /*steps=*/20'000);
+            }
+        }
+    }
+}
+
+TEST(Oracles, ContextOracleMatchesAcrossHistoryAndSharing)
+{
+    for (unsigned history : {1u, 2u, 4u}) {
+        for (bool shared : {true, false}) {
+            SCOPED_TRACE(::testing::Message()
+                         << "historyLen " << history << " sharedL2 "
+                         << shared);
+            PredictorConfig config;
+            config.tableBits = 3;
+            config.l2Bits = 6;
+            config.historyLen = history;
+            config.sharedL2 = shared;
+            auto prod =
+                makeValuePredictor(PredictorKind::Context, config);
+            auto oracle =
+                verify::makeOracle(PredictorKind::Context, config);
+            expectLockstep(*prod, *oracle, /*seed=*/7,
+                           /*key_space=*/24, /*steps=*/20'000);
+        }
+    }
+}
+
+TEST(Oracles, GshareMatchesProductionAcrossSizes)
+{
+    for (unsigned bits : {2u, 6u, 16u}) {
+        SCOPED_TRACE(::testing::Message() << "gshare bits " << bits);
+        Gshare prod(bits);
+        verify::GshareOracle oracle(bits);
+        Rng rng(bits);
+        for (unsigned i = 0; i < 20'000; ++i) {
+            const StaticId pc =
+                static_cast<StaticId>(rng.nextBelow(96));
+            // Biased + pc-correlated direction stream.
+            const bool taken =
+                rng.chancePercent(70) ? (pc % 3 != 0)
+                                      : rng.chancePercent(50);
+            ASSERT_EQ(prod.predictAndUpdate(pc, taken),
+                      oracle.predictAndUpdate(pc, taken))
+                << "diverged at step " << i << " pc " << pc;
+        }
+    }
+}
+
+// --- Lockstep verification through the analyzer ----------------------
+
+TEST(DifferentialBank, ProgenRunsVerifyCleanForEveryPredictor)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+        SCOPED_TRACE(::testing::Message() << "progen seed " << seed);
+        const Program prog = assemble(
+            verify::generateProgram(seed), "progen-verify");
+        for (PredictorKind kind : kAllPredictorKinds) {
+            SCOPED_TRACE(::testing::Message()
+                         << "predictor " << predictorName(kind));
+            ExperimentConfig config;
+            config.dpg.kind = kind;
+            config.dpg.verify = true;
+            // Small tables force aliasing through the oracle path.
+            config.dpg.predictor.tableBits = 6;
+            config.dpg.predictor.l2Bits = 10;
+            EXPECT_NO_THROW((void)runModel(prog, {}, config));
+        }
+    }
+}
+
+TEST(DifferentialBank, WorkloadRunVerifiesCleanWithPaperConfig)
+{
+    ExperimentConfig config;
+    config.maxInstrs = 40'000;
+    config.dpg.verify = true;
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+    EXPECT_NO_THROW((void)runModel(
+        prog, w.makeInput(kDefaultWorkloadSeed), config));
+}
+
+/** Delegates to a real predictor but flips one call's result. */
+class FaultyPredictor : public ValuePredictor
+{
+  public:
+    FaultyPredictor(std::unique_ptr<ValuePredictor> inner,
+                    std::uint64_t flip_at)
+        : inner_(std::move(inner)), flipAt_(flip_at)
+    {
+    }
+
+    bool
+    predictAndUpdate(std::uint64_t key, Value actual) override
+    {
+        const bool r = inner_->predictAndUpdate(key, actual);
+        return ++calls_ == flipAt_ ? !r : r;
+    }
+
+    std::uint64_t calls() const { return calls_; }
+
+    std::optional<Value>
+    peek(std::uint64_t key) const override
+    {
+        return inner_->peek(key);
+    }
+
+    void reset() override { inner_->reset(); }
+    std::string name() const override { return inner_->name(); }
+
+  private:
+    std::unique_ptr<ValuePredictor> inner_;
+    std::uint64_t flipAt_;
+    std::uint64_t calls_ = 0;
+};
+
+TEST(DifferentialBank, InjectedPredictorFaultIsDetected)
+{
+    const Program prog =
+        assemble(verify::generateProgram(9), "progen-fault");
+
+    DpgConfig dpg;
+    dpg.kind = PredictorKind::Stride2Delta;
+    dpg.verify = true;
+
+    // Count the output-predictor calls of a clean run so the fault
+    // positions below are guaranteed to be reached.
+    std::uint64_t total_calls = 0;
+    {
+        ExecProfile profile(prog.textSize());
+        Machine pass1(prog);
+        pass1.run(&profile, verify::kProgenInstrBound);
+        auto counting = std::make_unique<FaultyPredictor>(
+            makeValuePredictor(dpg.kind, dpg.predictor),
+            /*flip_at=*/0);
+        FaultyPredictor *probe = counting.get();
+        PredictorBank bank(std::move(counting),
+                           makeValuePredictor(dpg.kind, dpg.predictor),
+                           dpg.gshareBits);
+        DpgConfig clean = dpg;
+        clean.verify = false;
+        DpgAnalyzer analyzer(prog, profile, std::move(bank), clean);
+        Machine pass2(prog);
+        pass2.run(&analyzer, verify::kProgenInstrBound);
+        (void)analyzer.takeStats();
+        total_calls = probe->calls();
+    }
+    ASSERT_GT(total_calls, 2u);
+
+    for (std::uint64_t flip_at :
+         {std::uint64_t{1}, total_calls / 2, total_calls}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "fault at output call " << flip_at << " of "
+                     << total_calls);
+        ExecProfile profile(prog.textSize());
+        Machine pass1(prog);
+        pass1.run(&profile, verify::kProgenInstrBound);
+
+        PredictorBank bank(
+            std::make_unique<FaultyPredictor>(
+                makeValuePredictor(dpg.kind, dpg.predictor), flip_at),
+            makeValuePredictor(dpg.kind, dpg.predictor),
+            dpg.gshareBits);
+        DpgAnalyzer analyzer(prog, profile, std::move(bank), dpg);
+        Machine pass2(prog);
+        EXPECT_THROW(pass2.run(&analyzer, verify::kProgenInstrBound),
+                     VerifyError);
+    }
+}
+
+// --- Invariant checker: positive and negative cases ------------------
+
+/** One reference run every corruption case reuses. */
+const DpgStats &
+referenceStats()
+{
+    static const DpgStats stats = [] {
+        const Program prog =
+            assemble(verify::generateProgram(13), "progen-inv");
+        return runModel(prog, {}, ExperimentConfig{});
+    }();
+    return stats;
+}
+
+TEST(InvariantChecker, CleanRunAuditsClean)
+{
+    const auto violations = verify::InvariantChecker::audit(
+        referenceStats(), /*trackInfluence=*/true);
+    EXPECT_TRUE(violations.empty())
+        << ::testing::PrintToString(violations);
+}
+
+TEST(InvariantChecker, EveryInjectedCorruptionIsDetected)
+{
+    struct Case
+    {
+        const char *name;
+        void (*corrupt)(DpgStats &);
+    };
+    const Case cases[] = {
+        {"phantom node",
+         [](DpgStats &s) {
+             s.nodes.record(NodeClass::GenImmImm, Opcode::Add);
+         }},
+        {"phantom arc",
+         [](DpgStats &s) {
+             s.arcs.record(ArcUse::Single, ArcLabel::PP);
+         }},
+        {"dropped dynamic instruction",
+         [](DpgStats &s) { ++s.dynInstrs; }},
+        {"phantom propagate element",
+         [](DpgStats &s) { ++s.paths.propagateElements; }},
+        {"skewed Fig. 9 class counter",
+         [](DpgStats &s) { ++s.paths.perClass[0]; }},
+        {"skewed Fig. 9 combination set",
+         [](DpgStats &s) { ++s.paths.perCombo[1]; }},
+        {"phantom influence-count sample",
+         [](DpgStats &s) { s.paths.influenceCount.add(1); }},
+        {"phantom influence-distance sample",
+         [](DpgStats &s) { s.paths.influenceDistance.add(4); }},
+        {"phantom unpredictability record",
+         [](DpgStats &s) { s.unpred.record(1); }},
+        {"phantom sequence step",
+         [](DpgStats &s) {
+             s.sequences.step(true);
+             s.sequences.finish();
+         }},
+        {"phantom generate tree",
+         [](DpgStats &s) {
+             (void)s.trees.newGenerate(GeneratorClass::C, 0);
+         }},
+    };
+
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.name);
+        DpgStats corrupted = referenceStats();
+        c.corrupt(corrupted);
+        const auto violations = verify::InvariantChecker::audit(
+            corrupted, /*trackInfluence=*/true);
+        EXPECT_FALSE(violations.empty())
+            << "corruption went undetected: " << c.name;
+    }
+}
+
+TEST(InvariantChecker, StreamingDegreeMismatchIsDetected)
+{
+    // A checker that observed no arc references must reject any run
+    // that claims arcs (and vice versa for branch/gshare counts).
+    verify::InvariantChecker checker;
+    EXPECT_THROW(checker.finalize(referenceStats(),
+                                  /*trackInfluence=*/true,
+                                  /*gshare_lookups=*/0,
+                                  /*gshare_hits=*/0),
+                 VerifyError);
+}
+
+TEST(InvariantChecker, AuditSkipsPathInvariantsWhenInfluenceOff)
+{
+    const Program prog =
+        assemble(verify::generateProgram(17), "progen-noinfl");
+    ExperimentConfig config;
+    config.dpg.trackInfluence = false;
+    const DpgStats stats = runModel(prog, {}, config);
+    const auto violations = verify::InvariantChecker::audit(
+        stats, /*trackInfluence=*/false);
+    EXPECT_TRUE(violations.empty())
+        << ::testing::PrintToString(violations);
+}
+
+// --- Engine wiring ----------------------------------------------------
+
+TEST(EngineVerify, VerifiedEngineRunMatchesUnverifiedRun)
+{
+    ExperimentConfig config;
+    config.maxInstrs = 30'000;
+    config.dpg.kind = PredictorKind::Context;
+
+    EngineOptions verified;
+    verified.threads = 2;
+    verified.verify = true;
+    ExperimentEngine engine(verified);
+    EXPECT_TRUE(engine.verifyEnabled());
+
+    EngineOptions plain;
+    plain.threads = 2;
+    plain.verify = false;
+    ExperimentEngine reference(plain);
+
+    const Workload &w = findWorkload("li");
+    const auto a = engine.run({engine.makeJob(w, config)});
+    const auto b = reference.run({reference.makeJob(w, config)});
+    ASSERT_EQ(a.size(), 1u);
+    // Verification observes; it must not perturb the results.
+    EXPECT_EQ(a[0].stats.nodes.total(), b[0].stats.nodes.total());
+    EXPECT_EQ(a[0].stats.arcs.total(), b[0].stats.arcs.total());
+    EXPECT_EQ(a[0].stats.branches.total(),
+              b[0].stats.branches.total());
+}
+
+TEST(EngineVerify, PpmVerifyEnvKnob)
+{
+    ASSERT_EQ(setenv("PPM_VERIFY", "1", 1), 0);
+    {
+        ExperimentEngine engine;
+        EXPECT_TRUE(engine.verifyEnabled());
+    }
+    ASSERT_EQ(setenv("PPM_VERIFY", "0", 1), 0);
+    {
+        ExperimentEngine engine;
+        EXPECT_FALSE(engine.verifyEnabled());
+    }
+    unsetenv("PPM_VERIFY");
+    {
+        ExperimentEngine engine;
+        EXPECT_FALSE(engine.verifyEnabled());
+    }
+
+    // Explicit options beat the environment.
+    ASSERT_EQ(setenv("PPM_VERIFY", "1", 1), 0);
+    EngineOptions opts;
+    opts.verify = false;
+    ExperimentEngine engine(opts);
+    EXPECT_FALSE(engine.verifyEnabled());
+    unsetenv("PPM_VERIFY");
+}
+
+// --- progen properties -------------------------------------------------
+
+TEST(Progen, SameSeedSameSource)
+{
+    EXPECT_EQ(verify::generateProgram(42),
+              verify::generateProgram(42));
+    EXPECT_NE(verify::generateProgram(42),
+              verify::generateProgram(43));
+}
+
+TEST(Progen, OptionsGateConstructs)
+{
+    verify::ProgenOptions bare;
+    bare.memOps = false;
+    bare.nestedLoops = false;
+    bare.calls = false;
+    bool any_mem = false, any_call = false, any_inner = false;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const std::string s = verify::generateProgram(seed, bare);
+        any_mem |= s.find(" st ") != std::string::npos ||
+                   s.find(" ld ") != std::string::npos;
+        any_call |= s.find("jal") != std::string::npos;
+        any_inner |= s.find("inner") != std::string::npos;
+    }
+    EXPECT_FALSE(any_mem);
+    EXPECT_FALSE(any_call);
+    EXPECT_FALSE(any_inner);
+
+    // With defaults, the constructs appear across a few seeds.
+    bool call = false, deep = false, mem = false;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const std::string s = verify::generateProgram(seed);
+        call |= s.find("jal") != std::string::npos;
+        deep |= s.find("deep") != std::string::npos;
+        mem |= s.find(" st ") != std::string::npos;
+    }
+    EXPECT_TRUE(call);
+    EXPECT_TRUE(deep);
+    EXPECT_TRUE(mem);
+}
+
+} // namespace
+} // namespace ppm
