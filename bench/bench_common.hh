@@ -25,9 +25,11 @@
 
 #include "analysis/experiment.hh"
 #include "asmr/assembler.hh"
+#include "obs/obs.hh"
 #include "report/figure_report.hh"
 #include "runner/engine.hh"
 #include "runner/stage_report.hh"
+#include "support/env.hh"
 #include "workloads/workload.hh"
 
 namespace ppm::bench {
@@ -36,8 +38,7 @@ namespace ppm::bench {
 inline std::uint64_t
 instrBudget()
 {
-    const char *quick = std::getenv("PPM_QUICK");
-    return (quick && *quick && *quick != '0') ? 200'000 : 4'000'000;
+    return envFlag("PPM_QUICK", false) ? 200'000 : 4'000'000;
 }
 
 /** The engine every bench binary shares (PPM_BENCH_JSON at exit). */
@@ -101,9 +102,14 @@ runMatrix(const std::vector<Workload> &workloads,
               << kinds.size() << " predictor(s) on "
               << engine().threads() << " thread(s) ..." << std::endl;
     std::vector<RunResult> results;
-    for (auto &outcome :
-         engine().run(engine().workloadMatrix(workloads, kinds, base)))
-        results.push_back(toRunResult(std::move(outcome)));
+    {
+        obs::Span span("bench.matrix", "bench");
+        for (auto &outcome : engine().run(
+                 engine().workloadMatrix(workloads, kinds, base)))
+            results.push_back(toRunResult(std::move(outcome)));
+    }
+    if (obs::Counter *c = obs::counter("bench.matrix_cells"))
+        c->add(results.size());
     printStageSummary(std::cerr, engine());
     return results;
 }

@@ -20,9 +20,18 @@ endif()
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
+# With -DOBS=ON the driver also captures spans and metrics; the CSVs
+# must still match the goldens byte for byte — observability may never
+# perturb model output.
+set(obs_env "")
+if(OBS)
+    set(obs_env "PPM_TRACE_JSON=${WORK_DIR}/trace.json"
+                "PPM_METRICS=${WORK_DIR}/metrics.json")
+endif()
+
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env PPM_QUICK=1
-            "PPM_CSV_DIR=${WORK_DIR}" ${BENCH_BIN}
+            "PPM_CSV_DIR=${WORK_DIR}" ${obs_env} ${BENCH_BIN}
     RESULT_VARIABLE rv
     OUTPUT_QUIET)
 if(NOT rv EQUAL 0)

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/obs.hh"
 #include "verify/differential_bank.hh"
 #include "verify/invariant_checker.hh"
 
@@ -376,6 +377,35 @@ DpgAnalyzer::takeStats()
         inv_->finalize(stats_, cfg_.trackInfluence,
                        bank_.branchPredictor().lookups(),
                        bank_.branchPredictor().hits());
+    }
+
+    // Fold this run's thread-confined tallies into the process-wide
+    // metrics registry. This is the analyzer's join point: counters
+    // are commutative sums, so the merged totals are deterministic
+    // regardless of which worker thread ran which analysis.
+    if (obs::Registry *reg = obs::registry()) {
+        auto addc = [&](const char *name, std::uint64_t v) {
+            reg->counter(name).add(v);
+        };
+        const PredictorBank::Tallies &t = bank_.tallies();
+        addc("pred.output_lookups", t.outputLookups);
+        addc("pred.output_hits", t.outputHits);
+        addc("pred.input_lookups", t.inputLookups);
+        addc("pred.input_hits", t.inputHits);
+        addc("pred.branch_lookups", bank_.branchPredictor().lookups());
+        addc("pred.branch_hits", bank_.branchPredictor().hits());
+        const PredTableStats out = bank_.outputPredictor().tableStats();
+        const PredTableStats in = bank_.inputPredictor().tableStats();
+        addc("pred.output_table_capacity", out.capacity);
+        addc("pred.output_table_occupied", out.occupied);
+        addc("pred.output_alias_refs", out.aliasRefs);
+        addc("pred.input_table_capacity", in.capacity);
+        addc("pred.input_table_occupied", in.occupied);
+        addc("pred.input_alias_refs", in.aliasRefs);
+        addc("dpg.instrs_analyzed", stats_.dynInstrs);
+        addc("dpg.runs", 1);
+        if (diff_)
+            addc("verify.checks", diff_->checksPerformed());
     }
     return std::move(stats_);
 }

@@ -1,0 +1,122 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "report/json_emitter.hh"
+
+namespace ppm::obs {
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        n += bucket(i);
+    return n;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+Registry::dumpText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << name << " " << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << " count=" << h->count() << " buckets=[";
+        bool first = true;
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            if (h->bucket(i) == 0)
+                continue;
+            if (!first)
+                os << " ";
+            first = false;
+            // Bucket i holds values with bit_width == i.
+            os << "<=" << ((i == 0) ? 0 : ((1ULL << i) - 1)) << ":"
+               << h->bucket(i);
+        }
+        os << "]\n";
+    }
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"schema\":\"ppm-metrics-v1\"";
+
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":" << c->value();
+    }
+    os << "}";
+
+    os << ",\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":{\"value\":"
+           << g->value() << ",\"max\":"
+           << std::max(g->max(), g->value()) << "}";
+    }
+    os << "}";
+
+    os << ",\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":{\"count\":"
+           << h->count() << ",\"buckets\":[";
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            if (i != 0)
+                os << ",";
+            os << h->bucket(i);
+        }
+        os << "]}";
+    }
+    os << "}";
+
+    os << "}\n";
+}
+
+} // namespace ppm::obs

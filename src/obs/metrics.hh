@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The metrics registry: named monotonic counters, gauges, and
+ * fixed-bucket (log2) histograms.
+ *
+ * Design constraints (see DESIGN.md, OBSERVABILITY):
+ *
+ *  - **Lock-free on the hot path.** Updating a metric is a relaxed
+ *    atomic add/store on a handle resolved once, at component
+ *    construction; no lock, no lookup. The registry mutex is taken
+ *    only to *create* a metric or to snapshot for a dump.
+ *  - **Deterministic merge.** Every counter is a commutative sum, so
+ *    the final value is independent of worker-thread interleaving;
+ *    thread-confined accumulators (PredictorBank, engine workers) are
+ *    folded in once, at their join point. Metric values never feed
+ *    back into the model, so enabling observability cannot perturb
+ *    figure CSVs (asserted by the golden_fig5_obs ctest).
+ *  - **Branch-on-null when disabled.** Components hold `Counter *`
+ *    members that are null unless observability is on (see obs.hh),
+ *    so the disabled cost is one predictable branch per site.
+ *
+ * Dumps are sorted by metric name, so output is stable run to run.
+ */
+
+#ifndef PPM_OBS_METRICS_HH
+#define PPM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ppm::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Point-in-time signed value, with a high-watermark. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+        std::int64_t prev = max_.load(std::memory_order_relaxed);
+        while (v > prev &&
+               !max_.compare_exchange_weak(prev, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    void
+    add(std::int64_t d)
+    {
+        set(v_.fetch_add(d, std::memory_order_relaxed) + d);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+    std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+/**
+ * Fixed-bucket log2 histogram: bucket i counts observations v with
+ * bit_width(v) == i (bucket 0: v == 0), i.e. bucket upper bounds
+ * 0, 1, 3, 7, ..., 2^63-1. Fixed shape keeps observation lock-free
+ * and merge trivially commutative.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    void
+    observe(std::uint64_t v)
+    {
+        unsigned b = 0;
+        while (v != 0) {
+            ++b;
+            v >>= 1;
+        }
+        buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    bucket(unsigned i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/**
+ * Owns every metric; handles returned by counter()/gauge()/histogram()
+ * stay valid for the registry's lifetime. One process-wide instance
+ * lives behind obs::registry() (null when observability is off).
+ */
+class Registry
+{
+  public:
+    /** The counter named @p name, creating it on first use. */
+    Counter &counter(const std::string &name);
+
+    /** The gauge named @p name, creating it on first use. */
+    Gauge &gauge(const std::string &name);
+
+    /** The histogram named @p name, creating it on first use. */
+    Histogram &histogram(const std::string &name);
+
+    /** Human-readable dump, one `name value` line per metric. */
+    void dumpText(std::ostream &os) const;
+
+    /** The "ppm-metrics-v1" JSON document. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace ppm::obs
+
+#endif // PPM_OBS_METRICS_HH

@@ -1,0 +1,154 @@
+#include "obs/obs.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+namespace ppm::obs {
+
+namespace {
+
+/** Process-wide observability state, initialized on first touch. */
+struct State
+{
+    bool on = false;
+    std::string tracePath;    ///< PPM_TRACE_JSON destination ("" = off).
+    std::string metricsSpec;  ///< PPM_METRICS value ("" = off).
+    Registry registry;
+    Tracer tracer;
+};
+
+bool
+metricsSpecIsStderr(const std::string &spec)
+{
+    return spec == "-" || spec == "1" || spec == "text" ||
+           spec == "stderr";
+}
+
+void exportAtExit();
+
+State &
+state()
+{
+    // Heap-allocate and never free: worker threads and static
+    // destructors (e.g. the shared engine writing PPM_BENCH_JSON)
+    // may still record spans while the process winds down.
+    static State *s = [] {
+        auto *st = new State;
+        if (const char *p = std::getenv("PPM_TRACE_JSON"); p && *p)
+            st->tracePath = p;
+        if (const char *m = std::getenv("PPM_METRICS"); m && *m)
+            st->metricsSpec = m;
+        st->on = !st->tracePath.empty() || !st->metricsSpec.empty();
+        if (st->on)
+            std::atexit(exportAtExit);
+        return st;
+    }();
+    return *s;
+}
+
+void
+exportAtExit()
+{
+    State &s = state();
+    if (!s.tracePath.empty()) {
+        std::ofstream out(s.tracePath);
+        if (out) {
+            s.tracer.exportChromeTrace(out);
+            out.flush();
+        }
+        if (!out) {
+            std::cerr << "ppm: cannot write PPM_TRACE_JSON="
+                      << s.tracePath << "\n";
+        }
+    }
+    if (!s.metricsSpec.empty()) {
+        if (metricsSpecIsStderr(s.metricsSpec)) {
+            std::cerr << "[ppm metrics]\n";
+            s.registry.dumpText(std::cerr);
+        } else {
+            std::ofstream out(s.metricsSpec);
+            if (out) {
+                s.registry.dumpJson(out);
+                out.flush();
+            }
+            if (!out) {
+                std::cerr << "ppm: cannot write PPM_METRICS="
+                          << s.metricsSpec << "\n";
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return state().on;
+}
+
+Registry *
+registry()
+{
+    State &s = state();
+    return s.on ? &s.registry : nullptr;
+}
+
+Tracer *
+tracer()
+{
+    State &s = state();
+    return s.on ? &s.tracer : nullptr;
+}
+
+Counter *
+counter(const std::string &name)
+{
+    Registry *r = registry();
+    return r ? &r->counter(name) : nullptr;
+}
+
+Gauge *
+gauge(const std::string &name)
+{
+    Registry *r = registry();
+    return r ? &r->gauge(name) : nullptr;
+}
+
+Histogram *
+histogram(const std::string &name)
+{
+    Registry *r = registry();
+    return r ? &r->histogram(name) : nullptr;
+}
+
+void
+forceEnable()
+{
+    state().on = true;
+}
+
+void
+dumpMetricsText(std::ostream &os)
+{
+    if (Registry *r = registry())
+        r->dumpText(os);
+}
+
+void
+dumpMetricsJson(std::ostream &os)
+{
+    if (Registry *r = registry())
+        r->dumpJson(os);
+}
+
+void
+exportChromeTrace(std::ostream &os)
+{
+    if (Tracer *t = tracer())
+        t->exportChromeTrace(os);
+}
+
+} // namespace ppm::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Observability facade: enablement, the process-wide Registry and
+ * Tracer, and the at-exit exporters.
+ *
+ * Environment knobs (read once, at first instrumentation touch):
+ *
+ *   PPM_TRACE_JSON=<path>   capture hierarchical spans and write the
+ *                           Chrome-trace (chrome://tracing / Perfetto)
+ *                           JSON document to <path> at process exit
+ *   PPM_METRICS=<path|->    dump every metric at process exit: "-",
+ *                           "1", "text" or "stderr" print the human
+ *                           text form to stderr; anything else is a
+ *                           path receiving the "ppm-metrics-v1" JSON
+ *
+ * Either knob enables the metrics registry. When neither is set (and
+ * no test called forceEnable), registry() and tracer() return null
+ * and every instrumentation site reduces to a branch-on-null — the
+ * contract that keeps the disabled overhead under 2% on bench_smoke.
+ *
+ * Instrumented components resolve their handles once, at
+ * construction:
+ *
+ *     Counter *hits_ = obs::counter("cache.capture_hits");
+ *     ...
+ *     if (hits_) hits_->add();
+ */
+
+#ifndef PPM_OBS_OBS_HH
+#define PPM_OBS_OBS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
+
+namespace ppm::obs {
+
+/** True when metrics/span capture is on (env knobs or forceEnable). */
+bool enabled();
+
+/** The process-wide registry, or null when observability is off. */
+Registry *registry();
+
+/** The process-wide tracer, or null when span capture is off. */
+Tracer *tracer();
+
+/** The counter @p name, or null when observability is off. */
+Counter *counter(const std::string &name);
+
+/** The gauge @p name, or null when observability is off. */
+Gauge *gauge(const std::string &name);
+
+/** The histogram @p name, or null when observability is off. */
+Histogram *histogram(const std::string &name);
+
+/**
+ * Turn metrics + span capture on programmatically (tests, the
+ * `ppm metrics` command). Must run before the instrumented components
+ * are constructed — handles are resolved at construction time.
+ * Does not arm the at-exit export; callers dump explicitly.
+ */
+void forceEnable();
+
+/** Write the metrics dump (text form) to @p os. No-op when off. */
+void dumpMetricsText(std::ostream &os);
+
+/** Write the "ppm-metrics-v1" JSON document to @p os. No-op when off. */
+void dumpMetricsJson(std::ostream &os);
+
+/** Write the Chrome-trace JSON document to @p os. No-op when off. */
+void exportChromeTrace(std::ostream &os);
+
+} // namespace ppm::obs
+
+#endif // PPM_OBS_OBS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hierarchical trace spans with Chrome-trace JSON export.
+ *
+ * A Span is an RAII scope marker: constructing one opens an interval
+ * on the current thread, destroying it records the completed interval
+ * into a per-thread buffer. Buffers are thread-local, so the hot path
+ * is an append with no lock; the exporter's mutex is taken only once
+ * per thread (to register its buffer) and once at export.
+ *
+ * Spans on one thread nest strictly (RAII guarantees LIFO close), so
+ * the exported intervals form a forest per thread — exactly the
+ * containment model `chrome://tracing` / Perfetto render. Export
+ * writes the standard Trace Event Format: one "ph":"X" (complete)
+ * event per span plus "M" thread_name metadata events, triggered at
+ * process exit by PPM_TRACE_JSON=<path> (see obs.hh).
+ */
+
+#ifndef PPM_OBS_TRACE_SPAN_HH
+#define PPM_OBS_TRACE_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppm::obs {
+
+class Tracer;
+
+/** One completed interval on one thread. */
+struct SpanRecord
+{
+    const char *name;  ///< Static string: span site label.
+    const char *cat;   ///< Static string: subsystem category.
+    std::uint64_t tsUs;
+    std::uint64_t durUs;
+};
+
+/** The per-thread span buffer; owned by the Tracer, found via TLS. */
+class ThreadTrace
+{
+  public:
+    explicit ThreadTrace(std::uint32_t tid) : tid_(tid) {}
+
+    std::uint32_t tid() const { return tid_; }
+
+  private:
+    friend class Tracer;
+
+    std::uint32_t tid_;
+    std::string name_;  ///< Optional thread display name.
+    std::vector<SpanRecord> spans_;
+    /** Open-span count; only ever touched by the owning thread. */
+    unsigned depth_ = 0;
+};
+
+/**
+ * Collects every thread's spans and writes the Chrome-trace document.
+ * One process-wide instance lives behind obs::tracer() (null when
+ * span capture is off).
+ */
+class Tracer
+{
+  public:
+    Tracer();
+
+    /** This thread's buffer, creating + registering it on first use. */
+    ThreadTrace &threadTrace();
+
+    /** Label this thread in the exported trace ("worker-3"). */
+    void setThreadName(const std::string &name);
+
+    /** Microseconds since tracer construction. */
+    std::uint64_t nowUs() const;
+
+    /** Record one completed span on this thread. */
+    void record(const char *name, const char *cat, std::uint64_t ts_us,
+                std::uint64_t dur_us);
+
+    /** Current nesting depth on this thread (tests). */
+    unsigned depth();
+
+    void enterSpan();
+    void exitSpan();
+
+    /** Spans recorded so far, across all threads. */
+    std::uint64_t spanCount() const;
+
+    /** Write the Chrome Trace Event Format JSON document. */
+    void exportChromeTrace(std::ostream &os) const;
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadTrace>> threads_;
+};
+
+/**
+ * RAII span: a no-op (one branch) when span capture is disabled.
+ * @p name and @p cat must be string literals (stored by pointer).
+ */
+class Span
+{
+  public:
+    Span(const char *name, const char *cat);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    Tracer *tracer_;  ///< Null when capture is off.
+    const char *name_;
+    const char *cat_;
+    std::uint64_t startUs_ = 0;
+};
+
+} // namespace ppm::obs
+
+#endif // PPM_OBS_TRACE_SPAN_HH

@@ -46,6 +46,11 @@ bool
 ContextPredictor::predictAndUpdate(std::uint64_t key, Value actual)
 {
     L1Entry &l1 = l1_[l1Index(key)];
+    ++accesses_;
+    if (l1.used && l1.tag != key)
+        ++aliasRefs_;
+    l1.tag = key;
+    l1.used = true;
     L2Entry &l2 = l2_[l2Index(key, l1.history)];
 
     bool correct = false;
@@ -85,6 +90,20 @@ ContextPredictor::reset()
         e = L1Entry{};
     for (auto &e : l2_)
         e = L2Entry{};
+    accesses_ = 0;
+    aliasRefs_ = 0;
+}
+
+PredTableStats
+ContextPredictor::tableStats() const
+{
+    PredTableStats s;
+    s.capacity = l2_.size();
+    for (const L2Entry &e : l2_)
+        s.occupied += e.valid ? 1 : 0;
+    s.accesses = accesses_;
+    s.aliasRefs = aliasRefs_;
+    return s;
 }
 
 } // namespace ppm

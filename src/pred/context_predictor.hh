@@ -37,11 +37,22 @@ class ContextPredictor : public ValuePredictor
     void reset() override;
     std::string name() const override { return "context"; }
 
+    /**
+     * capacity/occupied describe the second-level (value) table;
+     * aliasRefs counts first-level history entries touched by more
+     * than one key (L2 sharing is by design — see class comment).
+     */
+    PredTableStats tableStats() const override;
+
   private:
     struct L1Entry
     {
         /** historyLen 16-bit folded values packed oldest..newest. */
         std::uint64_t history = 0;
+        /** Last key to touch this entry — aliasing census only; never
+         *  consulted for prediction, so behavior is tag-free. */
+        std::uint64_t tag = 0;
+        bool used = false;
     };
 
     struct L2Entry
@@ -61,6 +72,8 @@ class ContextPredictor : public ValuePredictor
     std::uint64_t l2Mask_;
     unsigned historyLen_;
     bool sharedL2_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t aliasRefs_ = 0;
 };
 
 } // namespace ppm

@@ -32,11 +32,15 @@ class LastValuePredictor : public ValuePredictor
     std::optional<Value> peek(std::uint64_t key) const override;
     void reset() override;
     std::string name() const override { return "last-value"; }
+    PredTableStats tableStats() const override;
 
   private:
     struct Entry
     {
         Value value = 0;
+        /** Last key to touch this entry — aliasing census only; never
+         *  consulted for prediction, so behavior is tag-free. */
+        std::uint64_t tag = 0;
         SatCounter counter{2, 0};
         bool valid = false;
     };
@@ -45,6 +49,8 @@ class LastValuePredictor : public ValuePredictor
 
     std::vector<Entry> table_;
     std::uint64_t mask_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t aliasRefs_ = 0;
 };
 
 } // namespace ppm

@@ -74,13 +74,20 @@ PredictorBank::inputKey(StaticId pc, unsigned slot)
 bool
 PredictorBank::predictOutput(StaticId pc, Value actual)
 {
-    return output_->predictAndUpdate(pc, actual);
+    const bool correct = output_->predictAndUpdate(pc, actual);
+    ++tallies_.outputLookups;
+    tallies_.outputHits += correct ? 1 : 0;
+    return correct;
 }
 
 bool
 PredictorBank::predictInput(StaticId pc, unsigned slot, Value actual)
 {
-    return input_->predictAndUpdate(inputKey(pc, slot), actual);
+    const bool correct =
+        input_->predictAndUpdate(inputKey(pc, slot), actual);
+    ++tallies_.inputLookups;
+    tallies_.inputHits += correct ? 1 : 0;
+    return correct;
 }
 
 bool
@@ -95,6 +102,7 @@ PredictorBank::reset()
     output_->reset();
     input_->reset();
     gshare_.reset();
+    tallies_ = Tallies{};
 }
 
 } // namespace ppm

@@ -60,10 +60,26 @@ class PredictorBank
     /** Key used for input predictions (exposed for tests). */
     static std::uint64_t inputKey(StaticId pc, unsigned slot);
 
+    /**
+     * Lookup/hit tallies per predictor role. Thread-confined (each
+     * analyzer owns its bank): plain counters, folded into the
+     * metrics registry once, at the analyzer's join point.
+     */
+    struct Tallies
+    {
+        std::uint64_t outputLookups = 0;
+        std::uint64_t outputHits = 0;
+        std::uint64_t inputLookups = 0;
+        std::uint64_t inputHits = 0;
+    };
+
+    const Tallies &tallies() const { return tallies_; }
+
   private:
     std::unique_ptr<ValuePredictor> output_;
     std::unique_ptr<ValuePredictor> input_;
     Gshare gshare_;
+    Tallies tallies_;
 };
 
 } // namespace ppm

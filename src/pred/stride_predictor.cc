@@ -20,6 +20,10 @@ bool
 StridePredictor::predictAndUpdate(std::uint64_t key, Value actual)
 {
     Entry &e = table_[index(key)];
+    ++accesses_;
+    if (e.valid && e.tag != key)
+        ++aliasRefs_;
+    e.tag = key;
 
     if (!e.valid) {
         e.last = actual;
@@ -56,6 +60,20 @@ StridePredictor::reset()
 {
     for (auto &e : table_)
         e = Entry{};
+    accesses_ = 0;
+    aliasRefs_ = 0;
+}
+
+PredTableStats
+StridePredictor::tableStats() const
+{
+    PredTableStats s;
+    s.capacity = table_.size();
+    for (const Entry &e : table_)
+        s.occupied += e.valid ? 1 : 0;
+    s.accesses = accesses_;
+    s.aliasRefs = aliasRefs_;
+    return s;
 }
 
 } // namespace ppm

@@ -29,6 +29,7 @@ class StridePredictor : public ValuePredictor
     std::optional<Value> peek(std::uint64_t key) const override;
     void reset() override;
     std::string name() const override { return "stride"; }
+    PredTableStats tableStats() const override;
 
   private:
     struct Entry
@@ -36,6 +37,9 @@ class StridePredictor : public ValuePredictor
         Value last = 0;
         Value predStride = 0;
         Value lastStride = 0;
+        /** Last key to touch this entry — aliasing census only; never
+         *  consulted for prediction, so behavior is tag-free. */
+        std::uint64_t tag = 0;
         bool valid = false;
     };
 
@@ -43,6 +47,8 @@ class StridePredictor : public ValuePredictor
 
     std::vector<Entry> table_;
     std::uint64_t mask_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t aliasRefs_ = 0;
 };
 
 } // namespace ppm

@@ -27,6 +27,29 @@
 
 namespace ppm {
 
+/**
+ * Table-pressure introspection of one predictor instance (the
+ * observability layer folds these into the metrics registry at each
+ * analyzer's join point — see obs/obs.hh and DESIGN.md).
+ */
+struct PredTableStats
+{
+    /** Entries in the value (last-level) table. */
+    std::uint64_t capacity = 0;
+
+    /** Entries currently holding a learned mapping. */
+    std::uint64_t occupied = 0;
+
+    /** predictAndUpdate calls served. */
+    std::uint64_t accesses = 0;
+
+    /**
+     * Accesses that hit a (first-level) entry last touched by a
+     * *different* key — destructive-aliasing pressure on the table.
+     */
+    std::uint64_t aliasRefs = 0;
+};
+
 /** Abstract last-level interface all value predictors implement. */
 class ValuePredictor
 {
@@ -64,6 +87,16 @@ class ValuePredictor
 
     /** Short name for reports ("last", "stride", "context"). */
     virtual std::string name() const = 0;
+
+    /**
+     * Occupancy / aliasing snapshot. Default: all zeros, for
+     * predictors (e.g. user-supplied ones) that do not track it.
+     */
+    virtual PredTableStats
+    tableStats() const
+    {
+        return PredTableStats{};
+    }
 };
 
 /** The predictor families studied in the paper. */

@@ -2,15 +2,21 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <ostream>
 #include <stdexcept>
+
+#include "obs/obs.hh"
 
 namespace ppm {
 
 std::string
 csvEscape(const std::string &field)
 {
+    // RFC 4180: quote any field containing a separator, a quote, or a
+    // line break — including bare '\r', which unquoted silently splits
+    // rows in strict readers.
     const bool needs_quotes =
-        field.find_first_of(",\"\n") != std::string::npos;
+        field.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quotes)
         return field;
     std::string out = "\"";
@@ -27,7 +33,7 @@ csvEscape(const std::string &field)
 namespace {
 
 void
-writeRow(std::ofstream &os, const std::vector<std::string> &row)
+writeRow(std::ostream &os, const std::vector<std::string> &row)
 {
     for (std::size_t i = 0; i < row.size(); ++i) {
         if (i != 0)
@@ -39,6 +45,19 @@ writeRow(std::ofstream &os, const std::vector<std::string> &row)
 
 } // namespace
 
+void
+writeCsv(std::ostream &os, const CsvTable &table)
+{
+    writeRow(os, table.header);
+    for (const auto &row : table.rows)
+        writeRow(os, row);
+    // A full disk surfaces as a failed stream, not an exception; check
+    // after flushing so a truncated table cannot pass for a success.
+    os.flush();
+    if (!os)
+        throw std::runtime_error("CSV write failed (disk full?)");
+}
+
 bool
 writeCsv(const std::string &dir, const std::string &name,
          const CsvTable &table)
@@ -49,9 +68,15 @@ writeCsv(const std::string &dir, const std::string &name,
     std::ofstream os(path);
     if (!os)
         throw std::runtime_error("cannot write " + path);
-    writeRow(os, table.header);
-    for (const auto &row : table.rows)
-        writeRow(os, row);
+    try {
+        writeCsv(os, table);
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(std::string(e.what()) + ": " + path);
+    }
+    if (obs::Counter *c = obs::counter("report.csv_files"))
+        c->add();
+    if (obs::Counter *c = obs::counter("report.csv_rows"))
+        c->add(table.rows.size());
     return true;
 }
 

@@ -8,6 +8,7 @@
 #ifndef PPM_REPORT_CSV_EMITTER_HH
 #define PPM_REPORT_CSV_EMITTER_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,9 +22,18 @@ struct CsvTable
 };
 
 /**
+ * Write @p table to @p os. Throws std::runtime_error when the stream
+ * enters a failed state (e.g. a full disk truncating the file) — the
+ * stream is flushed and checked, so success really means every byte
+ * was accepted.
+ */
+void writeCsv(std::ostream &os, const CsvTable &table);
+
+/**
  * Write @p table to @p dir/@p name.csv. Returns false (without
  * touching the filesystem) when @p dir is empty; throws
- * std::runtime_error when the file cannot be written.
+ * std::runtime_error when the file cannot be opened or the write
+ * fails/truncates.
  */
 bool writeCsv(const std::string &dir, const std::string &name,
               const CsvTable &table);

@@ -8,8 +8,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/obs.hh"
 #include "runner/stage_report.hh"
 #include "sim/machine.hh"
+#include "support/env.hh"
 
 namespace ppm {
 
@@ -23,39 +25,11 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Parse a positive integer env var; @p fallback when unset/garbage. */
-std::uint64_t
-envUint(const char *name, std::uint64_t fallback)
-{
-    const char *s = std::getenv(name);
-    if (!s || !*s)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0' || v == 0)
-        return fallback;
-    return v;
-}
-
 unsigned
 defaultThreads()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
-}
-
-bool
-envReplayEnabled()
-{
-    const char *s = std::getenv("PPM_REPLAY");
-    return !(s && *s && *s == '0');
-}
-
-bool
-envVerifyEnabled()
-{
-    const char *s = std::getenv("PPM_VERIFY");
-    return s && *s && *s != '0';
 }
 
 constexpr std::uint64_t kDefaultTraceCapBytes =
@@ -72,18 +46,31 @@ keyOf(const ExperimentJob &job)
 
 ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
 {
+    // Env parsing throws EnvError on malformed values (PPM_THREADS=abc
+    // must abort loudly, not silently run with a default).
     threads_ = opts.threads > 0
                    ? opts.threads
                    : static_cast<unsigned>(
-                         envUint("PPM_THREADS", defaultThreads()));
+                         envUint("PPM_THREADS", defaultThreads(),
+                                 /*min=*/1));
     traceByteCap_ =
         opts.traceByteCap > 0
             ? opts.traceByteCap
             : envUint("PPM_TRACE_MEM_MB",
-                      kDefaultTraceCapBytes / (1024 * 1024)) *
+                      kDefaultTraceCapBytes / (1024 * 1024),
+                      /*min=*/1) *
                   1024 * 1024;
-    replay_ = opts.replay.value_or(envReplayEnabled());
-    verify_ = opts.verify.value_or(envVerifyEnabled());
+    replay_ = opts.replay.value_or(envFlag("PPM_REPLAY", true));
+    verify_ = opts.verify.value_or(envFlag("PPM_VERIFY", false));
+
+    obsJobs_ = obs::counter("runner.jobs_completed");
+    obsBatches_ = obs::counter("runner.batches");
+    obsSimulations_ = obs::counter("runner.simulations");
+    obsReplays_ = obs::counter("runner.replays");
+    obsReplayFallbacks_ = obs::counter("runner.replay_fallbacks");
+    obsWorkerBusyUs_ = obs::counter("runner.worker_busy_us");
+    if (obs::Gauge *g = obs::gauge("runner.threads"))
+        g->set(static_cast<std::int64_t>(threads_));
 }
 
 ExperimentEngine::~ExperimentEngine()
@@ -138,10 +125,14 @@ ExperimentEngine::workloadMatrix(
 ExperimentOutcome
 ExperimentEngine::runJob(const ExperimentJob &job)
 {
+    obs::Span job_span("job", "runner");
     const Program &prog = *job.program;
 
     RunCache::CaptureRef ref =
         cache_.capture(keyOf(job), [&]() -> CaptureResult {
+            obs::Span span("simulate", "runner");
+            if (obsSimulations_)
+                obsSimulations_->add();
             CaptureResult r;
             const auto t0 = Clock::now();
             r.profile =
@@ -168,15 +159,22 @@ ExperimentEngine::runJob(const ExperimentJob &job)
     out.timing.dynInstrs = ref.result->dynInstrs;
 
     const auto t1 = Clock::now();
+    obs::Span analyze_span("analyze", "runner");
     DpgConfig dpg = job.config.dpg;
     dpg.verify |= verify_;
     DpgAnalyzer analyzer(prog, *ref.result->profile, dpg);
     if (ref.result->trace) {
         ref.result->trace->replay(prog, analyzer);
         out.timing.replayed = true;
+        if (obsReplays_)
+            obsReplays_->add();
     } else {
+        // Capture overflowed its byte cap (or replay is off): spill
+        // fallback, re-simulating the deterministic stream.
         Machine m(prog, *job.input);
         m.run(&analyzer, job.config.maxInstrs);
+        if (obsReplayFallbacks_ && replay_)
+            obsReplayFallbacks_->add();
     }
     out.stats = analyzer.takeStats();
     out.timing.analyzeSec = secondsSince(t1);
@@ -187,6 +185,9 @@ std::vector<ExperimentOutcome>
 ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 {
     const auto t0 = Clock::now();
+    obs::Span batch_span("run_batch", "runner");
+    if (obsBatches_)
+        obsBatches_->add();
     std::vector<ExperimentOutcome> results(jobs.size());
     std::vector<std::exception_ptr> errors(jobs.size());
 
@@ -198,18 +199,40 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
         ++remaining[keyOf(job)];
     std::mutex remaining_mutex;
 
+    const unsigned nthreads = static_cast<unsigned>(
+        std::max<std::size_t>(
+            1, std::min<std::size_t>(threads_, jobs.size())));
+
+    // Per-worker accumulators, merged in worker-index order after the
+    // joins below: metric totals are sums, so the merged values are
+    // deterministic regardless of how jobs landed on workers.
+    struct WorkerLocal
+    {
+        std::uint64_t jobs = 0;
+        double busySec = 0.0;
+    };
+    std::vector<WorkerLocal> locals(nthreads);
+
     std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
+    auto worker = [&](unsigned wi, bool own_thread) {
+        if (own_thread && obs::tracer()) {
+            obs::tracer()->setThreadName("worker-" +
+                                         std::to_string(wi));
+        }
+        WorkerLocal &local = locals[wi];
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 break;
+            const auto jt0 = Clock::now();
             try {
                 results[i] = runJob(jobs[i]);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
+            local.busySec += secondsSince(jt0);
+            ++local.jobs;
             const CaptureKey key = keyOf(jobs[i]);
             std::lock_guard<std::mutex> lock(remaining_mutex);
             if (--remaining[key] == 0)
@@ -217,16 +240,36 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
         }
     };
 
-    const unsigned nthreads = static_cast<unsigned>(
-        std::min<std::size_t>(threads_, jobs.size()));
     if (nthreads <= 1) {
-        worker();
+        worker(0, /*own_thread=*/false);
     } else {
         std::vector<std::jthread> pool;
         pool.reserve(nthreads);
         for (unsigned t = 0; t < nthreads; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t, /*own_thread=*/true);
         // jthread joins on destruction.
+        pool.clear();
+    }
+
+    // Join point: fold the per-worker accumulators into the global
+    // metrics, in index order.
+    const double wall = secondsSince(t0);
+    double busy = 0.0;
+    std::uint64_t done = 0;
+    for (const WorkerLocal &local : locals) {
+        busy += local.busySec;
+        done += local.jobs;
+    }
+    if (obsJobs_)
+        obsJobs_->add(done);
+    if (obsWorkerBusyUs_)
+        obsWorkerBusyUs_->add(
+            static_cast<std::uint64_t>(busy * 1e6));
+    if (obs::Gauge *g = obs::gauge("runner.utilization_pct")) {
+        if (wall > 0.0) {
+            g->set(static_cast<std::int64_t>(
+                100.0 * busy / (wall * nthreads)));
+        }
     }
 
     for (const std::exception_ptr &e : errors) {
@@ -234,7 +277,6 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
             std::rethrow_exception(e);
     }
 
-    const double wall = secondsSince(t0);
     {
         std::lock_guard<std::mutex> lock(historyMutex_);
         totalWallSec_ += wall;

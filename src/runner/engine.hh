@@ -32,6 +32,14 @@
  *                     TESTING.md); any divergence throws
  *   PPM_BENCH_JSON    path: the shared engine writes a stage-timing
  *                     JSON report at process exit
+ *   PPM_TRACE_JSON    path: hierarchical spans (assemble / simulate /
+ *                     analyze / job / run_batch) are captured and
+ *                     exported as Chrome-trace JSON at process exit
+ *   PPM_METRICS       path or "-": the metrics registry is dumped at
+ *                     process exit (see obs/obs.hh)
+ *
+ * Malformed env values (PPM_THREADS=abc) throw EnvError naming the
+ * variable instead of being silently treated as unset.
  */
 
 #ifndef PPM_RUNNER_ENGINE_HH
@@ -45,6 +53,7 @@
 #include <vector>
 
 #include "analysis/experiment.hh"
+#include "obs/metrics.hh"
 #include "runner/run_cache.hh"
 #include "workloads/workload.hh"
 
@@ -160,6 +169,14 @@ class ExperimentEngine
     bool replay_ = true;
     bool verify_ = false;
     bool reportAtExit_ = false;
+
+    /** Metric handles; null when observability is off (obs/obs.hh). */
+    obs::Counter *obsJobs_ = nullptr;
+    obs::Counter *obsBatches_ = nullptr;
+    obs::Counter *obsSimulations_ = nullptr;
+    obs::Counter *obsReplays_ = nullptr;
+    obs::Counter *obsReplayFallbacks_ = nullptr;
+    obs::Counter *obsWorkerBusyUs_ = nullptr;
 
     mutable std::mutex historyMutex_;
     std::vector<TimedRun> history_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "asmr/assembler.hh"
+#include "obs/obs.hh"
 
 namespace ppm {
 
@@ -34,6 +35,26 @@ hashInput(const std::vector<Value> &input)
     return h;
 }
 
+RunCache::RunCache()
+    : obsProgramHits_(obs::counter("cache.program_hits")),
+      obsProgramMisses_(obs::counter("cache.program_misses")),
+      obsProgramCollisions_(obs::counter("cache.program_collisions")),
+      obsCaptureHits_(obs::counter("cache.capture_hits")),
+      obsCaptureMisses_(obs::counter("cache.capture_misses")),
+      obsWaitersBlocked_(obs::counter("cache.waiters_blocked"))
+{
+}
+
+std::string
+RunCache::programKey(const std::string &name,
+                     std::string_view source) const
+{
+    const std::uint64_t src_hash =
+        hashHook_ ? hashHook_(source)
+                  : std::hash<std::string_view>{}(source);
+    return name + '\0' + std::to_string(src_hash);
+}
+
 std::shared_ptr<const Program>
 RunCache::program(const std::string &name, std::string_view source,
                   double *assemble_sec)
@@ -41,27 +62,48 @@ RunCache::program(const std::string &name, std::string_view source,
     if (assemble_sec)
         *assemble_sec = 0.0;
 
-    // Key by name + source hash: two programs may share a name (CLI
-    // files), and a workload's source is stable per process.
-    const std::uint64_t src_hash =
-        std::hash<std::string_view>{}(source);
-    const std::string key =
-        name + '\0' + std::to_string(src_hash) + '\0' +
-        std::to_string(source.size());
-
+    // Key by name + source hash for lookup, but never *trust* the
+    // hash: a 64-bit collision silently returning the wrong cached
+    // program would corrupt every figure derived from it, so hits are
+    // confirmed against the stored source text.
+    const std::string key = programKey(name, source);
+    bool collided = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = programs_.find(key);
         if (it != programs_.end()) {
-            ++counters_.programHits;
-            return it->second;
+            if (it->second.source == source) {
+                ++counters_.programHits;
+                if (obsProgramHits_)
+                    obsProgramHits_->add();
+                return it->second.program;
+            }
+            // Same key, different source: a genuine hash collision.
+            // Fall back to a fresh assemble; the first image keeps the
+            // cache slot (capture keys alias program identity).
+            collided = true;
         }
+    }
+    if (collided) {
+        ++counters_.programCollisions;
+        if (obsProgramCollisions_)
+            obsProgramCollisions_->add();
+        const auto t0 = Clock::now();
+        obs::Span span("assemble", "runner");
+        auto prog = std::make_shared<const Program>(
+            assemble(std::string(source), name));
+        if (assemble_sec)
+            *assemble_sec = secondsSince(t0);
+        return prog;
     }
 
     const auto t0 = Clock::now();
-    auto prog =
-        std::make_shared<const Program>(assemble(std::string(source),
-                                                 name));
+    std::shared_ptr<const Program> prog;
+    {
+        obs::Span span("assemble", "runner");
+        prog = std::make_shared<const Program>(
+            assemble(std::string(source), name));
+    }
     const double elapsed = secondsSince(t0);
     if (assemble_sec)
         *assemble_sec = elapsed;
@@ -69,9 +111,18 @@ RunCache::program(const std::string &name, std::string_view source,
     std::lock_guard<std::mutex> lock(mutex_);
     // A racing thread may have assembled the same source; keep the
     // first image so capture keys (program identity) stay unique.
-    auto [it, inserted] = programs_.emplace(key, std::move(prog));
-    ++(inserted ? counters_.programMisses : counters_.programHits);
-    return it->second;
+    auto [it, inserted] = programs_.emplace(
+        key, ProgramEntry{std::string(source), std::move(prog)});
+    if (inserted) {
+        ++counters_.programMisses;
+        if (obsProgramMisses_)
+            obsProgramMisses_->add();
+    } else {
+        ++counters_.programHits;
+        if (obsProgramHits_)
+            obsProgramHits_->add();
+    }
+    return it->second.program;
 }
 
 RunCache::CaptureRef
@@ -95,10 +146,22 @@ RunCache::capture(const CaptureKey &key,
         }
     }
     if (!owner) {
+        if (obsCaptureHits_)
+            obsCaptureHits_->add();
         // get() blocks (outside the lock) until the computing thread
         // fulfils the promise.
+        if (future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            ++counters_.waitersBlocked;
+            if (obsWaitersBlocked_)
+                obsWaitersBlocked_->add();
+            obs::Span span("capture_wait", "runner");
+            return {future.get(), true};
+        }
         return {future.get(), true};
     }
+    if (obsCaptureMisses_)
+        obsCaptureMisses_->add();
 
     // Compute outside the lock so unrelated captures proceed in
     // parallel; waiters for this key block on the shared_future.
@@ -134,6 +197,14 @@ RunCache::counters() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return counters_;
+}
+
+void
+RunCache::setSourceHashForTesting(
+    std::function<std::uint64_t(std::string_view)> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hashHook_ = std::move(hook);
 }
 
 } // namespace ppm

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "asmr/program.hh"
+#include "obs/metrics.hh"
 #include "runner/trace_buffer.hh"
 #include "sim/profiler.hh"
 
@@ -81,13 +82,19 @@ std::uint64_t hashInput(const std::vector<Value> &input);
 class RunCache
 {
   public:
+    RunCache();
+
     /** Cache hit/miss counters (tests, stage reports). */
     struct Counters
     {
         std::uint64_t programHits = 0;
         std::uint64_t programMisses = 0;
+        /** Lookups whose key matched but whose source text did not. */
+        std::uint64_t programCollisions = 0;
         std::uint64_t captureHits = 0;
         std::uint64_t captureMisses = 0;
+        /** Capture hits that had to block on an in-flight compute. */
+        std::uint64_t waitersBlocked = 0;
     };
 
     /** Outcome of a capture lookup. */
@@ -101,10 +108,24 @@ class RunCache
      * Assemble @p source as @p name, or reuse the cached image when
      * the same (name, source) was assembled before. If @p assemble_sec
      * is non-null it receives the assembly wall time (0 on a hit).
+     *
+     * Lookup is by (name, source hash), but a hit is confirmed by
+     * comparing the stored source text, so a 64-bit hash collision
+     * falls back to a fresh (uncached) assemble instead of silently
+     * returning the wrong program.
      */
     std::shared_ptr<const Program>
     program(const std::string &name, std::string_view source,
             double *assemble_sec = nullptr);
+
+    /**
+     * Replace the source-hash function used for program keying.
+     * Testing seam: a constant hook forces every source pair to
+     * collide, exercising the collision-recovery path. Install before
+     * any concurrent program() use.
+     */
+    void setSourceHashForTesting(
+        std::function<std::uint64_t(std::string_view)> hook);
 
     /**
      * The capture for @p key, computing it via @p fn exactly once
@@ -126,12 +147,30 @@ class RunCache
     using CaptureFuture =
         std::shared_future<std::shared_ptr<const CaptureResult>>;
 
+    /** Cached image plus the exact source it was assembled from. */
+    struct ProgramEntry
+    {
+        std::string source;
+        std::shared_ptr<const Program> program;
+    };
+
+    std::string programKey(const std::string &name,
+                           std::string_view source) const;
+
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_ptr<const Program>>
-        programs_;
+    std::unordered_map<std::string, ProgramEntry> programs_;
     std::unordered_map<CaptureKey, CaptureFuture, CaptureKeyHash>
         captures_;
     Counters counters_;
+    std::function<std::uint64_t(std::string_view)> hashHook_;
+
+    /** Null when observability is off (see obs/obs.hh). */
+    obs::Counter *obsProgramHits_;
+    obs::Counter *obsProgramMisses_;
+    obs::Counter *obsProgramCollisions_;
+    obs::Counter *obsCaptureHits_;
+    obs::Counter *obsCaptureMisses_;
+    obs::Counter *obsWaitersBlocked_;
 };
 
 } // namespace ppm

@@ -6,6 +6,7 @@
 #include "analysis/figures.hh"
 #include "report/json_emitter.hh"
 #include "runner/engine.hh"
+#include "support/env.hh"
 #include "support/string_utils.hh"
 
 namespace ppm {
@@ -50,8 +51,7 @@ accumulate(const std::vector<ExperimentEngine::TimedRun> &runs)
 bool
 quickMode()
 {
-    const char *quick = std::getenv("PPM_QUICK");
-    return quick && *quick && *quick != '0';
+    return envFlag("PPM_QUICK", false);
 }
 
 const char *

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hh"
+
 namespace ppm {
 
 std::uint64_t
@@ -55,6 +57,8 @@ TraceCapture::TraceCapture(const Program &prog, std::uint64_t byte_cap)
     : trace_(std::make_shared<CapturedTrace>()), byteCap_(byte_cap)
 {
     trace_->textSize_ = prog.textSize();
+    if (obs::Counter *c = obs::counter("trace.captures"))
+        c->add();
 }
 
 void
@@ -65,6 +69,13 @@ TraceCapture::onInstr(const DynInstr &di)
     if (trace_->memoryBytes() > byteCap_) {
         // Drop the buffers immediately: a half trace is useless and
         // the memory is better spent on captures that do fit.
+        // (Metric updates here are off the per-instruction hot path:
+        // overflow fires at most once per capture.)
+        if (obs::Counter *c = obs::counter("trace.overflows"))
+            c->add();
+        if (obs::Counter *c =
+                obs::counter("trace.bytes_dropped_on_overflow"))
+            c->add(trace_->memoryBytes());
         trace_.reset();
         overflowed_ = true;
         return;
@@ -98,6 +109,12 @@ TraceCapture::onInstr(const DynInstr &di)
 std::shared_ptr<const CapturedTrace>
 TraceCapture::take()
 {
+    if (trace_) {
+        if (obs::Counter *c = obs::counter("trace.bytes_captured"))
+            c->add(trace_->memoryBytes());
+        if (obs::Counter *c = obs::counter("trace.records_captured"))
+            c->add(trace_->size());
+    }
     return std::move(trace_);
 }
 

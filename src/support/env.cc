@@ -1,0 +1,57 @@
+#include "support/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace ppm {
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback, std::uint64_t min)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+
+    // strtoull accepts a leading '-' (wrapping the value) and skips
+    // leading whitespace; reject both explicitly so PPM_THREADS=-2
+    // cannot masquerade as a huge count and ' 12' is as loud as '1 2'.
+    if (*s == '-' || std::isspace(static_cast<unsigned char>(*s))) {
+        throw EnvError(std::string(name) + ": expected an unsigned " +
+                       "integer, got '" + s + "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+        throw EnvError(std::string(name) + ": expected an unsigned " +
+                       "integer, got '" + s + "'");
+    }
+    if (v < min) {
+        throw EnvError(std::string(name) + ": value " + s +
+                       " is below the minimum of " +
+                       std::to_string(min));
+    }
+    return v;
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    std::string v(s);
+    for (char &c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    throw EnvError(std::string(name) +
+                   ": expected a boolean (0/1/true/false/yes/no/" +
+                   "on/off), got '" + v + "'");
+}
+
+} // namespace ppm

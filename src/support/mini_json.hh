@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal JSON DOM parser. The repository emits several hand-rolled
+ * JSON documents (stage-timing reports, metrics dumps, Chrome-trace
+ * span exports) and the observability ctests must validate them
+ * without adding a dependency; this is the smallest parser that can
+ * round-trip those documents. Full RFC 8259 grammar, DOM-only,
+ * throws JsonError with byte offsets on malformed input.
+ */
+
+#ifndef PPM_SUPPORT_MINI_JSON_HH
+#define PPM_SUPPORT_MINI_JSON_HH
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppm {
+
+/** The input was not valid JSON. */
+class JsonError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed JSON value; a tree of these is the document. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered; duplicate keys keep the last occurrence. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member @p key of an object, or null when absent / not object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Member @p key, which must exist: throws JsonError otherwise.
+     */
+    const JsonValue &at(std::string_view key) const;
+};
+
+/** Parse @p text as one JSON document; trailing garbage throws. */
+JsonValue parseJson(std::string_view text);
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_MINI_JSON_HH

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "pred/predictor_bank.hh"
 
 namespace ppm::verify {
@@ -20,6 +21,8 @@ void
 DifferentialBank::mismatch(const char *site, StaticId pc,
                            bool production) const
 {
+    if (obs::Counter *c = obs::counter("verify.divergences"))
+        c->add(1);
     std::ostringstream os;
     os << "differential verification failed: " << kindName_ << " "
        << site << " predictor at pc " << pc << " after " << checks_

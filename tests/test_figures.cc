@@ -7,6 +7,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "analysis/figures.hh"
 #include "report/csv_emitter.hh"
@@ -183,6 +184,47 @@ TEST(Csv, EscapesFields)
     EXPECT_EQ(csvEscape("plain"), "plain");
     EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
     EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    // Bare carriage returns split rows in strict RFC 4180 readers if
+    // left unquoted (the reporting-path bug this guards against).
+    EXPECT_EQ(csvEscape("a\rb"), "\"a\rb\"");
+    EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+    EXPECT_EQ(csvEscape("crlf\r\n"), "\"crlf\r\n\"");
+}
+
+TEST(Csv, CarriageReturnRoundTrips)
+{
+    CsvTable t;
+    t.header = {"k", "v"};
+    t.rows.push_back({"cr", "a\rb"});
+    std::ostringstream os;
+    writeCsv(os, t);
+    // Exactly two row terminators: the embedded \r must sit inside a
+    // quoted field, not act as one.
+    const std::string doc = os.str();
+    EXPECT_EQ(doc, "k,v\ncr,\"a\rb\"\n");
+}
+
+TEST(Csv, StreamFailureThrows)
+{
+    CsvTable t;
+    t.header = {"x"};
+    t.rows.push_back({"1"});
+
+    std::ostringstream os;
+    os.setstate(std::ios::badbit);
+    EXPECT_THROW(writeCsv(os, t), std::runtime_error);
+
+    // A genuinely full device, where the data is lost at flush time.
+    std::ofstream full("/dev/full");
+    if (full) {
+        EXPECT_THROW(
+            {
+                for (int i = 0; i < 100'000; ++i)
+                    t.rows.push_back({"padpadpadpadpadpad"});
+                writeCsv(full, t);
+            },
+            std::runtime_error);
+    }
 }
 
 TEST(Csv, EmptyDirSkips)

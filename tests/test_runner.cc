@@ -17,8 +17,10 @@
 #include "asmr/assembler.hh"
 #include "report/json_emitter.hh"
 #include "runner/engine.hh"
+#include "runner/run_cache.hh"
 #include "runner/stage_report.hh"
 #include "runner/trace_buffer.hh"
+#include "support/env.hh"
 #include "sim/machine.hh"
 #include "workloads/workload.hh"
 
@@ -300,12 +302,6 @@ TEST(ExperimentEngine, PpmThreadsEnvOverride)
         ExperimentEngine engine;
         EXPECT_EQ(engine.threads(), 3u);
     }
-    ASSERT_EQ(setenv("PPM_THREADS", "garbage", 1), 0);
-    {
-        // Unparseable values fall back to hardware concurrency >= 1.
-        ExperimentEngine engine;
-        EXPECT_GE(engine.threads(), 1u);
-    }
     unsetenv("PPM_THREADS");
 
     // Explicit options beat the environment.
@@ -315,6 +311,112 @@ TEST(ExperimentEngine, PpmThreadsEnvOverride)
     ExperimentEngine engine(opts);
     EXPECT_EQ(engine.threads(), 2u);
     unsetenv("PPM_THREADS");
+}
+
+// Malformed env values used to fall back silently (a typo in
+// PPM_THREADS ran the sweep single-threaded with no hint); they must
+// abort loudly, naming the offending variable.
+TEST(ExperimentEngine, MalformedEnvFailsLoudly)
+{
+    for (const char *bad : {"garbage", "3x", "-2", ""}) {
+        if (*bad == '\0')
+            continue;  // Empty means unset: falls back, no error.
+        ASSERT_EQ(setenv("PPM_THREADS", bad, 1), 0);
+        try {
+            ExperimentEngine engine;
+            FAIL() << "PPM_THREADS=" << bad << " did not throw";
+        } catch (const EnvError &e) {
+            EXPECT_NE(std::string(e.what()).find("PPM_THREADS"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    unsetenv("PPM_THREADS");
+
+    ASSERT_EQ(setenv("PPM_THREADS", "0", 1), 0);
+    EXPECT_THROW(ExperimentEngine{}, EnvError);  // Below min (1).
+    unsetenv("PPM_THREADS");
+
+    ASSERT_EQ(setenv("PPM_REPLAY", "maybe", 1), 0);
+    EXPECT_THROW(ExperimentEngine{}, EnvError);
+    unsetenv("PPM_REPLAY");
+}
+
+TEST(RunCache, HashCollisionReturnsRightProgram)
+{
+    RunCache cache;
+    // Force every source to the same 64-bit key: any second distinct
+    // source is now a guaranteed collision for the same name.
+    cache.setSourceHashForTesting(
+        [](std::string_view) { return std::uint64_t{42}; });
+
+    const auto a = cache.program("w", "li $4, 1\nhalt\n");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->textSize(), 2u);
+
+    // Same name, different source, same hash: before the fix this
+    // returned program `a` (2 instructions) for a 3-instruction
+    // source.
+    const auto b = cache.program("w", "li $4, 1\nnop\nhalt\n");
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(b->textSize(), 3u);
+
+    // A true re-request of the first source still hits.
+    const auto a2 = cache.program("w", "li $4, 1\nhalt\n");
+    EXPECT_EQ(a.get(), a2.get());
+
+    const auto counters = cache.counters();
+    EXPECT_EQ(counters.programMisses, 1u);
+    EXPECT_EQ(counters.programCollisions, 1u);
+    EXPECT_EQ(counters.programHits, 1u);
+}
+
+// The memory-cap boundary: a cap equal to the final footprint keeps
+// the capture; one byte less trips the overflow on the very last
+// record. Both settings must produce bit-identical results to the
+// serial reference, serially and multi-threaded.
+TEST(ExperimentEngine, TraceCapBoundaryIsExact)
+{
+    const Workload &w = findWorkload("compress");
+    constexpr std::uint64_t budget = 5'000;
+
+    // Measure the exact footprint of this cell's capture.
+    const Program prog = assemble(std::string(w.source), w.name);
+    TraceCapture capture(prog, /*byte_cap=*/1ULL << 30);
+    Machine m(prog, w.makeInput(kDefaultWorkloadSeed));
+    m.run(&capture, budget);
+    ASSERT_FALSE(capture.overflowed());
+    const auto trace = capture.take();
+    ASSERT_NE(trace, nullptr);
+    const std::uint64_t footprint = trace->memoryBytes();
+    ASSERT_GT(footprint, 0u);
+
+    ExperimentConfig config;
+    config.maxInstrs = budget;
+    config.dpg.kind = PredictorKind::Stride2Delta;
+    const DpgStats ref = runModel(
+        prog, w.makeInput(kDefaultWorkloadSeed), config);
+
+    for (const unsigned threads : {1u, 4u}) {
+        for (const std::uint64_t cap : {footprint, footprint - 1}) {
+            EngineOptions opts;
+            opts.threads = threads;
+            opts.traceByteCap = cap;
+            opts.replay = true;
+            ExperimentEngine engine(opts);
+            const auto outcomes =
+                engine.run({engine.makeJob(w, config)});
+            ASSERT_EQ(outcomes.size(), 1u);
+            // Exactly at the footprint: fits, so the replay path runs.
+            // One byte below: overflow on the last record, two-pass
+            // fallback.
+            EXPECT_EQ(outcomes[0].timing.replayed, cap == footprint)
+                << "cap=" << cap << " threads=" << threads;
+            EXPECT_EQ(fingerprint(outcomes[0].stats), fingerprint(ref))
+                << "cap=" << cap << " threads=" << threads;
+        }
+    }
 }
 
 TEST(ExperimentEngine, ReplayDisableForcesTwoPass)

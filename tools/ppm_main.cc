@@ -9,6 +9,10 @@
  *     ppm graph <file.s|workload> [opts]   emit a Fig.3-style DPG
  *                                          window as Graphviz dot
  *     ppm workloads                        list the SPEC95 analogs
+ *     ppm metrics [workload] [opts]        run one instrumented
+ *                                          analysis and dump every
+ *                                          metric (--json for the
+ *                                          "ppm-metrics-v1" document)
  *
  * Common options:
  *     --max N            dynamic instruction budget (default 4000000)
@@ -33,6 +37,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/figures.hh"
+#include "obs/obs.hh"
 #include "runner/engine.hh"
 #include "asmr/assembler.hh"
 #include "dpg/dpg_graph.hh"
@@ -64,7 +69,9 @@ usage(const std::string &message = "")
         "  ppm analyze <file.s | workload-name>\n"
         "          [--predictor last|stride|context] [--max N]\n"
         "          [--seed S] [--report overall,paths,...]\n"
-        "  ppm workloads\n";
+        "  ppm workloads\n"
+        "  ppm metrics [workload | file.s] [--json]\n"
+        "          [--predictor last|stride|context] [--max N]\n";
     std::exit(2);
 }
 
@@ -389,6 +396,45 @@ cmdGraph(const CliArgs &args)
     return 0;
 }
 
+/**
+ * `ppm metrics`: run one workload through the instrumented engine and
+ * dump the whole metrics registry, as a smoke view of the
+ * observability layer (README, OBSERVABILITY). PPM_METRICS/
+ * PPM_TRACE_JSON are not required — the registry is force-enabled
+ * here, before any instrumented component is constructed.
+ */
+int
+cmdMetrics(const CliArgs &args)
+{
+    if (args.positionals().size() > 2)
+        usage("metrics takes at most one workload or file");
+    obs::forceEnable();
+
+    Target t = resolveTarget(args.positionals().size() == 2
+                                 ? args.positionals()[1]
+                                 : "compress",
+                             args);
+    ExperimentConfig config;
+    config.maxInstrs = static_cast<std::uint64_t>(
+        args.intOption("max").value_or(200'000));
+    config.dpg.kind =
+        parsePredictor(args.option("predictor").value_or("context"));
+
+    ExperimentJob job;
+    job.program = std::make_shared<const Program>(std::move(t.program));
+    job.input =
+        std::make_shared<const std::vector<Value>>(std::move(t.input));
+    job.config = config;
+    job.isFloat = t.isFloat;
+    ExperimentEngine::shared().run({std::move(job)});
+
+    if (args.flag("json"))
+        obs::dumpMetricsJson(std::cout);
+    else
+        obs::dumpMetricsText(std::cout);
+    return 0;
+}
+
 int
 cmdWorkloads()
 {
@@ -430,6 +476,8 @@ main(int argc, char **argv)
             return cmdGraph(args);
         if (cmd == "workloads")
             return cmdWorkloads();
+        if (cmd == "metrics")
+            return cmdMetrics(args);
         usage("unknown command '" + cmd + "'");
     } catch (const AsmError &e) {
         std::cerr << "assembly error: " << e.what() << "\n";
