@@ -1,0 +1,86 @@
+# bench_hotpath: run the analyzer hot-path microbenchmark (reduced
+# budget/reps so tier-1 stays fast) and validate the emitted
+# "ppm-hotpath-v1" JSON. Informational: the test asserts schema and
+# sanity, never absolute throughput — CI machines are too noisy for
+# that. The JSON is uploaded as a CI artifact; the committed
+# BENCH_hotpath.json at the repo root records the curated
+# before/after numbers (full budget, quiet machine). Invoked as
+#   cmake -DBENCH_BIN=<micro_hotpath> -DOUT=<json path> -P bench_hotpath.cmake
+
+if(NOT BENCH_BIN OR NOT OUT)
+    message(FATAL_ERROR "bench_hotpath: BENCH_BIN and OUT must be set")
+endif()
+
+file(REMOVE "${OUT}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            PPM_HOTPATH_INSTRS=200000 PPM_HOTPATH_REPS=3
+            ${BENCH_BIN} ${OUT}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_hotpath: ${BENCH_BIN} exited with ${rv}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+    message(FATAL_ERROR "bench_hotpath: JSON not written to ${OUT}")
+endif()
+file(READ "${OUT}" doc)
+
+# string(JSON) fatal-errors on malformed JSON or missing keys, so each
+# GET below is itself a schema assertion.
+string(JSON schema GET "${doc}" schema)
+if(NOT schema STREQUAL "ppm-hotpath-v1")
+    message(FATAL_ERROR "bench_hotpath: bad schema '${schema}'")
+endif()
+
+string(JSON budget GET "${doc}" instr_budget)
+if(NOT budget EQUAL 200000)
+    message(FATAL_ERROR
+            "bench_hotpath: PPM_HOTPATH_INSTRS not honored "
+            "(instr_budget=${budget})")
+endif()
+
+string(JSON head_workload GET "${doc}" headline workload)
+string(JSON head_pred GET "${doc}" headline predictor)
+if(NOT head_pred STREQUAL "context")
+    message(FATAL_ERROR
+            "bench_hotpath: headline predictor '${head_pred}' "
+            "(expected context)")
+endif()
+
+string(JSON nscen LENGTH "${doc}" scenarios)
+if(nscen LESS 2)
+    message(FATAL_ERROR
+            "bench_hotpath: expected >= 2 scenarios, got ${nscen}")
+endif()
+
+set(headline_ips "")
+math(EXPR last "${nscen} - 1")
+foreach(i RANGE ${last})
+    string(JSON wl GET "${doc}" scenarios ${i} workload)
+    string(JSON pred GET "${doc}" scenarios ${i} predictor)
+    string(JSON dyn GET "${doc}" scenarios ${i} dyn_instrs)
+    string(JSON sec GET "${doc}" scenarios ${i} best_sec)
+    string(JSON ips GET "${doc}" scenarios ${i} instrs_per_sec)
+    if(dyn LESS 1 OR ips LESS 1)
+        message(FATAL_ERROR
+                "bench_hotpath: scenario ${i} (${wl}/${pred}) has "
+                "non-positive dyn_instrs=${dyn} or "
+                "instrs_per_sec=${ips}")
+    endif()
+    if(wl STREQUAL head_workload AND pred STREQUAL head_pred)
+        set(headline_ips "${ips}")
+    endif()
+endforeach()
+
+if(headline_ips STREQUAL "")
+    message(FATAL_ERROR
+            "bench_hotpath: headline ${head_workload}/${head_pred} "
+            "missing from scenarios")
+endif()
+
+message(STATUS
+        "bench_hotpath ok: ${nscen} scenarios, headline "
+        "${head_workload}/${head_pred} = ${headline_ips} instrs/sec")

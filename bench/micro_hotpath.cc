@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Analyzer-core hot-path microbenchmark.
+ *
+ * Measures raw model throughput (dynamic instructions per second
+ * through DpgAnalyzer::onInstr / onBlock) with the simulator taken out
+ * of the loop: each scenario captures one in-memory trace, then replays
+ * it through fresh analyzer instances and reports the best repetition.
+ * This isolates exactly the serving hot path the paged value table,
+ * the pending-arc arena, and block dispatch optimize — compare runs
+ * via the committed BENCH_hotpath.json trajectory at the repo root.
+ *
+ * Environment:
+ *   PPM_HOTPATH_INSTRS  dynamic-instruction budget per scenario
+ *                       (default 1,000,000)
+ *   PPM_HOTPATH_REPS    timed repetitions per scenario (default 5)
+ *   PPM_HOTPATH_JSON    output path for the "ppm-hotpath-v1" report
+ *                       (default: BENCH_hotpath.json in the cwd;
+ *                       argv[1] overrides both)
+ *
+ * The headline number is the Context-predictor row of the largest
+ * workload (by dynamic instructions executed), with the default
+ * configuration (influence tracking on).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "dpg/dpg_analyzer.hh"
+#include "runner/trace_buffer.hh"
+#include "sim/machine.hh"
+#include "sim/profiler.hh"
+#include "support/env.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using ppm::Value;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Scenario
+{
+    std::string workload;
+    std::string predictor;
+    std::uint64_t dynInstrs = 0;
+    unsigned reps = 0;
+    double bestSec = 0.0;
+    double instrsPerSec = 0.0;
+};
+
+const char *
+predictorJsonName(ppm::PredictorKind kind)
+{
+    switch (kind) {
+      case ppm::PredictorKind::LastValue: return "last-value";
+      case ppm::PredictorKind::Stride2Delta: return "stride";
+      case ppm::PredictorKind::Context: return "context";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ppm;
+
+    const std::uint64_t budget =
+        envUint("PPM_HOTPATH_INSTRS", 1'000'000, /*min=*/1);
+    const std::uint64_t reps =
+        envUint("PPM_HOTPATH_REPS", 5, /*min=*/1);
+    std::string out_path = "BENCH_hotpath.json";
+    if (const char *env = std::getenv("PPM_HOTPATH_JSON");
+        env && *env)
+        out_path = env;
+    if (argc > 1)
+        out_path = argv[1];
+
+    // The headline workload is the biggest program we model: every
+    // workload is capped by the same budget, so pick the one with the
+    // largest uncapped footprint (ties broken by name for stability).
+    const std::vector<Workload> &all = allWorkloads();
+    const Workload *largest = &all.front();
+    for (const Workload &w : all) {
+        if (w.approxInstrs > largest->approxInstrs ||
+            (w.approxInstrs == largest->approxInstrs &&
+             w.name < largest->name))
+            largest = &w;
+    }
+    // One mid-size integer workload alongside, as a second data point
+    // with different value/branch behavior.
+    const Workload &second = findWorkload(
+        largest->name == "compress" ? "gcc" : "compress");
+
+    std::vector<Scenario> rows;
+    std::uint64_t checksum = 0;
+
+    auto run_workload = [&](const Workload &w, bool all_kinds) {
+        const Program prog = assemble(std::string(w.source), w.name);
+        const std::vector<Value> input =
+            w.makeInput(kDefaultWorkloadSeed);
+
+        // Pass 1 once per workload: profile + capture. The cap is
+        // sized to always hold the budgeted stream (~100 B/instr
+        // worst case) so the measurement never falls back to
+        // re-simulation.
+        ExecProfile profile(prog.textSize());
+        TraceCapture capture(prog, budget * 128 + (64ULL << 20));
+        TeeSink tee({&profile, &capture});
+        Machine machine(prog, input);
+        machine.run(&tee, budget);
+        auto trace = capture.take();
+        if (!trace) {
+            std::cerr << "micro_hotpath: capture overflowed for "
+                      << w.name << "\n";
+            std::exit(1);
+        }
+
+        std::vector<PredictorKind> kinds;
+        if (all_kinds) {
+            kinds.assign(std::begin(kAllPredictorKinds),
+                         std::end(kAllPredictorKinds));
+        } else {
+            kinds.push_back(PredictorKind::Context);
+        }
+
+        for (PredictorKind kind : kinds) {
+            Scenario row;
+            row.workload = w.name;
+            row.predictor = predictorJsonName(kind);
+            row.dynInstrs = trace->size();
+            row.reps = static_cast<unsigned>(reps);
+            row.bestSec = 1e300;
+            for (std::uint64_t r = 0; r < reps; ++r) {
+                DpgConfig cfg;
+                cfg.kind = kind;
+                DpgAnalyzer analyzer(prog, profile, cfg);
+                const auto t0 = Clock::now();
+                trace->replay(prog, analyzer);
+                const double sec = secondsSince(t0);
+                row.bestSec = std::min(row.bestSec, sec);
+                // takeStats flushes live values — part of the model's
+                // cost, but excluded from the per-instruction figure;
+                // folding it into the checksum defeats dead-code
+                // elimination either way.
+                checksum ^= analyzer.takeStats().totalElements();
+            }
+            row.instrsPerSec =
+                static_cast<double>(row.dynInstrs) / row.bestSec;
+            std::cerr << "  " << row.workload << " / "
+                      << row.predictor << ": "
+                      << static_cast<std::uint64_t>(row.instrsPerSec)
+                      << " instrs/sec (best of " << row.reps
+                      << ", " << row.dynInstrs << " instrs)\n";
+            rows.push_back(row);
+        }
+    };
+
+    std::cerr << "micro_hotpath: budget " << budget
+              << " instrs, " << reps << " reps\n";
+    run_workload(*largest, /*all_kinds=*/true);
+    run_workload(second, /*all_kinds=*/false);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "micro_hotpath: cannot write " << out_path
+                  << "\n";
+        return 1;
+    }
+    out << "{\n  \"schema\": \"ppm-hotpath-v1\",\n"
+        << "  \"instr_budget\": " << budget << ",\n"
+        << "  \"headline\": {\"workload\": \"" << largest->name
+        << "\", \"predictor\": \"context\"},\n"
+        << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Scenario &r = rows[i];
+        out << "    {\"workload\": \"" << r.workload
+            << "\", \"predictor\": \"" << r.predictor
+            << "\", \"dyn_instrs\": " << r.dynInstrs
+            << ", \"reps\": " << r.reps
+            << ", \"best_sec\": " << r.bestSec
+            << ", \"instrs_per_sec\": "
+            << static_cast<std::uint64_t>(r.instrsPerSec) << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cerr << "micro_hotpath: wrote " << out_path
+              << " (checksum " << checksum << ")\n";
+    return 0;
+}

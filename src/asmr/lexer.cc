@@ -149,9 +149,11 @@ tokenizeLine(std::string_view line, unsigned line_no)
                     ++i;
                 }
             }
+            // Negate in the unsigned domain: -INT64_MIN is signed
+            // overflow (UB), but 2^64 - mag wraps to the right bit
+            // pattern for every magnitude including 2^63.
             const std::int64_t v =
-                negative ? -static_cast<std::int64_t>(mag)
-                         : static_cast<std::int64_t>(mag);
+                static_cast<std::int64_t>(negative ? 0 - mag : mag);
             push(TokKind::Int, std::string(line.substr(start, i - start)),
                  v);
             continue;

@@ -28,6 +28,9 @@ DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
     stats_.kind = config.kind;
     stats_.paths.influenceCount =
         LinearHistogram(config.influenceCap + 1);
+    pendingHist_ = obs::histogram("dpg.pending_arcs_per_value");
+    blockPrefetch_ = bank_.inputPredictor().prefetchProfitable() ||
+                     bank_.outputPredictor().prefetchProfitable();
     if (cfg_.verify) {
         // The oracles always mirror cfg.kind's standard predictors;
         // with a caller-supplied bank this doubles as a check that
@@ -44,22 +47,47 @@ void
 DpgAnalyzer::appendPending(ValueInfo &vi, StaticId consumer,
                            NodeId seq, ArcLabel label)
 {
-    for (auto &pa : vi.pending) {
-        if (pa.consumer == consumer) {
-            ++pa.labelCounts[static_cast<unsigned>(label)];
-            if (pa.lastSeq != seq) {
-                ++pa.instances;
-                pa.lastSeq = seq;
-            }
+    auto bump = [&](PendingArc &pa) {
+        ++pa.labelCounts[static_cast<unsigned>(label)];
+        if (pa.lastSeq != seq) {
+            ++pa.instances;
+            pa.lastSeq = seq;
+        }
+    };
+
+    for (unsigned k = 0; k < vi.pendingCount; ++k) {
+        if (vi.pendingInline[k].consumer == consumer) {
+            bump(vi.pendingInline[k]);
             return;
         }
     }
+    for (std::uint32_t i = vi.spillHead; i != PendingArena::kNil;
+         i = arena_.node(i).next) {
+        if (arena_.node(i).arc.consumer == consumer) {
+            bump(arena_.node(i).arc);
+            return;
+        }
+    }
+
     PendingArc pa;
     pa.consumer = consumer;
     pa.instances = 1;
     pa.lastSeq = seq;
     ++pa.labelCounts[static_cast<unsigned>(label)];
-    vi.pending.push_back(pa);
+    if (vi.pendingCount < kPendingInline) {
+        vi.pendingInline[vi.pendingCount++] = pa;
+        return;
+    }
+    // Inline buffer full: spill onto the value's arena chain. Chain
+    // order is irrelevant — arcs are resolved independently at kill
+    // time — so push-front keeps the append O(1).
+    if (vi.spillHead == PendingArena::kNil)
+        ++spillValues_;
+    const std::uint32_t i = arena_.alloc();
+    PendingArena::Node &n = arena_.node(i);
+    n.arc = pa;
+    n.next = vi.spillHead;
+    vi.spillHead = i;
 }
 
 void
@@ -67,7 +95,8 @@ DpgAnalyzer::killValue(ValueInfo &vi)
 {
     if (!vi.live)
         return;
-    for (const auto &pa : vi.pending) {
+
+    auto record = [this, &vi](const PendingArc &pa) {
         // Repeated-use: this value instance fed >= 2 dynamic instances
         // of the same static consumer. Repeated-use arcs subdivide by
         // producer kind (paper Fig. 6); everything else is single-use.
@@ -83,8 +112,22 @@ DpgAnalyzer::killValue(ValueInfo &vi)
                                    pa.labelCounts[l]);
             }
         }
+    };
+
+    unsigned list_len = vi.pendingCount;
+    for (unsigned k = 0; k < vi.pendingCount; ++k)
+        record(vi.pendingInline[k]);
+    for (std::uint32_t i = vi.spillHead; i != PendingArena::kNil;
+         i = arena_.node(i).next) {
+        record(arena_.node(i).arc);
+        ++list_len;
     }
-    vi.pending.clear();
+    if (pendingHist_)
+        pendingHist_->observe(list_len);
+
+    arena_.freeChain(vi.spillHead);
+    vi.spillHead = PendingArena::kNil;
+    vi.pendingCount = 0;
     vi.influence.clear();
     vi.live = false;
 }
@@ -111,7 +154,9 @@ DpgAnalyzer::regValue(RegIndex reg)
 DpgAnalyzer::ValueInfo &
 DpgAnalyzer::memValue(Addr addr)
 {
-    ValueInfo &vi = mem_[addr];
+    // Word-granular state: the simulator traps unaligned accesses, so
+    // addr >> 3 is a dense word index into the paged table.
+    ValueInfo &vi = mem_.getOrCreate(addr >> 3);
     if (!vi.live) {
         // First load from a word the program never stored: statically
         // allocated data (or zero-filled space) — a D node.
@@ -147,6 +192,80 @@ DpgAnalyzer::recordPropagateElement(std::uint8_t class_mask,
 
 void
 DpgAnalyzer::onInstr(const DynInstr &di)
+{
+    analyzeInstr(di);
+}
+
+bool
+DpgAnalyzer::prefersBlocks() const
+{
+    return blockPrefetch_;
+}
+
+void
+DpgAnalyzer::prefetchShallow(const DynInstr &di)
+{
+    for (unsigned slot = 0; slot < di.numInputs; ++slot) {
+        const DynInput &in = di.inputs[slot];
+        if (in.kind == InputKind::Imm)
+            continue;
+        bank_.prefetchInput(di.pc, slot);
+        if (in.kind == InputKind::Mem)
+            mem_.prefetch(in.addr >> 3);
+    }
+    if (di.hasMemOutput)
+        mem_.prefetch(di.outAddr >> 3);
+    if (!di.outputIsData && !di.isBranch && !di.isPassThrough &&
+        di.hasValueOutput())
+        bank_.prefetchOutput(di.pc);
+}
+
+void
+DpgAnalyzer::prefetchDeep(const DynInstr &di)
+{
+    for (unsigned slot = 0; slot < di.numInputs; ++slot) {
+        if (di.inputs[slot].kind == InputKind::Imm)
+            continue;
+        bank_.prefetchInputDeep(di.pc, slot);
+    }
+    if (!di.outputIsData && !di.isBranch && !di.isPassThrough &&
+        di.hasValueOutput())
+        bank_.prefetchOutputDeep(di.pc);
+}
+
+void
+DpgAnalyzer::onBlock(std::span<const DynInstr> block)
+{
+    // Two-stage software pipeline over the block. The far stage pulls
+    // first-level predictor entries and value-table slots; the near
+    // stage reads the (by now resident) FCM level-1 history to locate
+    // and pull the level-2 line — the dependent DRAM access that
+    // otherwise serializes the context-predictor hot path. Prefetches
+    // are pure hints: analyzeInstr runs in identical order with
+    // identical state, so output is byte-identical to the unbatched
+    // path (pinned by the golden and cross-path tests).
+    // Predictors with cache-resident tables opt out (see
+    // ValuePredictor::prefetchProfitable): for them the hint pipeline
+    // is pure overhead and the plain loop wins.
+    if (!blockPrefetch_) {
+        for (const DynInstr &di : block)
+            analyzeInstr(di);
+        return;
+    }
+    constexpr std::size_t kFar = 12;
+    constexpr std::size_t kNear = 4;
+    const std::size_t n = block.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kFar < n)
+            prefetchShallow(block[i + kFar]);
+        if (i + kNear < n)
+            prefetchDeep(block[i + kNear]);
+        analyzeInstr(block[i]);
+    }
+}
+
+void
+DpgAnalyzer::analyzeInstr(const DynInstr &di)
 {
     assert(!finalized_);
     ++stats_.dynInstrs;
@@ -340,7 +459,7 @@ DpgAnalyzer::onInstr(const DynInstr &di)
     if (di.hasRegOutput)
         install(regs_[di.outReg]);
     if (di.hasMemOutput)
-        install(mem_[di.outAddr]);
+        install(mem_.getOrCreate(di.outAddr >> 3));
 }
 
 void
@@ -360,8 +479,7 @@ DpgAnalyzer::takeStats()
 
     for (auto &vi : regs_)
         killValue(vi);
-    for (auto &[addr, vi] : mem_)
-        killValue(vi);
+    mem_.forEachSlot([this](ValueInfo &vi) { killValue(vi); });
 
     stats_.sequences.finish();
     stats_.gshareAccuracy = bank_.branchPredictor().accuracy();
@@ -404,6 +522,17 @@ DpgAnalyzer::takeStats()
         addc("pred.input_alias_refs", in.aliasRefs);
         addc("dpg.instrs_analyzed", stats_.dynInstrs);
         addc("dpg.runs", 1);
+        // Hot-path memory-layout telemetry (DESIGN.md Sec. 9): paged
+        // value-table footprint and pending-arc arena pressure.
+        addc("dpg.mem_pages_allocated", mem_.pagesAllocated());
+        addc("dpg.mem_pages_live", mem_.livePages());
+        addc("dpg.mem_pages_recycled", mem_.pagesRecycled());
+        addc("dpg.mem_dir_chunks", mem_.liveChunks());
+        addc("dpg.mem_table_bytes", mem_.memoryBytes());
+        addc("dpg.arena_chunks", arena_.chunkCount());
+        addc("dpg.arena_bytes", arena_.memoryBytes());
+        addc("dpg.arena_node_high_water", arena_.highWater());
+        addc("dpg.pending_spill_values", spillValues_);
         if (diff_)
             addc("verify.checks", diff_->checksPerformed());
     }

@@ -20,7 +20,6 @@
 #include <array>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "asmr/program.hh"
@@ -28,12 +27,14 @@
 #include "dpg/branch_stats.hh"
 #include "dpg/influence.hh"
 #include "dpg/node_stats.hh"
+#include "dpg/pending_arena.hh"
 #include "dpg/sequence_stats.hh"
 #include "dpg/tree_stats.hh"
 #include "dpg/unpred_stats.hh"
 #include "pred/predictor_bank.hh"
 #include "sim/profiler.hh"
 #include "sim/trace.hh"
+#include "support/paged_table.hh"
 
 namespace ppm {
 
@@ -41,6 +42,10 @@ namespace verify {
 class DifferentialBank;
 class InvariantChecker;
 } // namespace verify
+
+namespace obs {
+class Histogram;
+} // namespace obs
 
 /** Analyzer knobs; defaults reproduce the paper's configuration. */
 struct DpgConfig
@@ -163,6 +168,18 @@ class DpgAnalyzer : public TraceSink
     ~DpgAnalyzer();
 
     void onInstr(const DynInstr &di) override;
+
+    /**
+     * Batched entry point (the in-memory replay path): analyzes each
+     * instruction exactly as onInstr would — output is byte-identical
+     * — while prefetching the predictor-table and value-table lines
+     * the next few instructions will touch.
+     */
+    void onBlock(std::span<const DynInstr> block) override;
+
+    /** Blocks pay off iff the prefetch pipeline is armed. */
+    bool prefersBlocks() const override;
+
     void onRunEnd() override;
 
     /**
@@ -180,20 +197,18 @@ class DpgAnalyzer : public TraceSink
         return diff_.get();
     }
 
-  private:
-    /** A deferred arc bundle toward one static consumer. */
-    struct PendingArc
-    {
-        StaticId consumer;
-        /** Distinct dynamic instances of the consumer (repeated-use
-         *  needs >= 2 instances, not merely >= 2 arcs: one dynamic
-         *  instruction consuming a value twice is single-use). */
-        std::uint32_t instances = 0;
-        NodeId lastSeq = kInvalidNode;
-        std::array<std::uint32_t, kNumArcLabels> labelCounts{};
-    };
+    /** Inline PendingArc records per live value before arena spill.
+     *  2 covers the overwhelming majority of lists (see the
+     *  dpg.pending_arcs_per_value histogram and DESIGN.md Sec. 9). */
+    static constexpr unsigned kPendingInline = 2;
 
-    /** Model state of one live value (register or memory word). */
+  private:
+    /**
+     * Model state of one live value (register or memory word).
+     * Deferred arcs live in a small inline buffer; lists longer than
+     * kPendingInline spill into the analyzer's PendingArena as an
+     * index-linked chain — no heap allocation per live value.
+     */
     struct ValueInfo
     {
         bool live = false;
@@ -204,8 +219,15 @@ class DpgAnalyzer : public TraceSink
         /** Unpredictability origins (valid when !outputPredicted). */
         std::uint8_t unpredMask = 0;
 
+        /** PendingArc records used in the inline buffer. */
+        std::uint8_t pendingCount = 0;
+
+        /** Head of the spill chain in the arena (kNil when none). */
+        std::uint32_t spillHead = PendingArena::kNil;
+
+        std::array<PendingArc, kPendingInline> pendingInline{};
+
         InfluenceSet influence;
-        std::vector<PendingArc> pending;
     };
 
     /** Resolve + flush a dying value's deferred arcs. */
@@ -218,12 +240,21 @@ class DpgAnalyzer : public TraceSink
     ValueInfo &memValue(Addr addr);
 
     /** Append one deferred arc record on @p vi toward @p consumer. */
-    static void appendPending(ValueInfo &vi, StaticId consumer,
-                              NodeId seq, ArcLabel label);
+    void appendPending(ValueInfo &vi, StaticId consumer,
+                       NodeId seq, ArcLabel label);
 
     /** Record Fig. 9 / Fig. 11 entries for one propagating element. */
     void recordPropagateElement(std::uint8_t class_mask, unsigned nrefs,
                                 std::uint32_t max_depth, bool saturated);
+
+    /** The per-instruction model step (onInstr/onBlock body). */
+    void analyzeInstr(const DynInstr &di);
+
+    /** Warm the lines @p di will touch (block path, far stage). */
+    void prefetchShallow(const DynInstr &di);
+
+    /** Second-stage prefetch (FCM level-2, near stage). */
+    void prefetchDeep(const DynInstr &di);
 
     const Program &prog_;
     const ExecProfile &profile_;
@@ -237,7 +268,21 @@ class DpgAnalyzer : public TraceSink
     std::unique_ptr<verify::InvariantChecker> inv_;
 
     std::array<ValueInfo, kNumRegs> regs_;
-    std::unordered_map<Addr, ValueInfo> mem_;
+
+    /** Live memory values: paged, hash-free, word-granular (addr>>3). */
+    PagedTable<ValueInfo> mem_;
+
+    /** Spill storage for pending-arc chains. */
+    PendingArena arena_;
+
+    /** Values whose pending list spilled past the inline buffer. */
+    std::uint64_t spillValues_ = 0;
+
+    /** Run onBlock's prefetch pipeline (predictors opted in). */
+    bool blockPrefetch_ = false;
+
+    /** Pending-arc list length at kill time (obs; null when off). */
+    obs::Histogram *pendingHist_ = nullptr;
 
     /** Scratch for node-output influence construction. */
     InfluenceSet scratch_;

@@ -4,21 +4,72 @@
 #include <cassert>
 
 namespace ppm {
+namespace {
 
-std::uint32_t
-InfluenceSet::maxDepth() const
+/**
+ * Scratch index for the union's duplicate detection: open-addressing
+ * hash from generate id to the ref's position in refs_, re-armed per
+ * buildFromInputs call by epoch stamping (no per-call clear). Purely
+ * an accelerator — refs_ keeps first-occurrence order exactly as the
+ * old linear-scan merge produced it, so downstream output (including
+ * nth_element tie-breaking at saturation) is unchanged. Thread-local:
+ * each engine worker unions through its own table.
+ */
+struct DedupIndex
 {
-    std::uint32_t m = 0;
-    for (const auto &r : refs_)
-        m = std::max(m, r.depth);
-    return m;
-}
+    struct Slot
+    {
+        std::uint64_t gen = 0;
+        std::uint32_t idx = 0;
+        std::uint32_t epoch = 0;
+    };
+
+    std::vector<Slot> slots;
+    std::uint64_t mask = 0;
+    std::uint32_t epoch = 0;
+
+    /** Arm the index for one union of at most @p max_refs refs. */
+    void
+    begin(std::size_t max_refs)
+    {
+        std::size_t want = 16;
+        while (want < max_refs * 2)
+            want <<= 1;
+        if (slots.size() < want) {
+            slots.assign(want, Slot{});
+            mask = want - 1;
+            epoch = 0;
+        }
+        if (++epoch == 0) {
+            // Stamp wrap: stale slots could alias epoch 0.
+            for (Slot &s : slots)
+                s.epoch = 0;
+            epoch = 1;
+        }
+    }
+
+    /** The slot for @p gen (occupied iff slot.epoch == epoch). */
+    Slot &
+    probe(std::uint64_t gen)
+    {
+        std::size_t i =
+            (gen * 0x9E3779B97F4A7C15ull >> 32) & mask;
+        while (slots[i].epoch == epoch && slots[i].gen != gen)
+            i = (i + 1) & mask;
+        return slots[i];
+    }
+};
+
+thread_local DedupIndex t_dedup;
+
+} // namespace
 
 void
 InfluenceSet::clear()
 {
     refs_.clear();
     classMask_ = 0;
+    maxDepth_ = 0;
     saturated_ = false;
 }
 
@@ -28,6 +79,7 @@ InfluenceSet::setGenerate(std::uint64_t gen, GeneratorClass cls)
     refs_.clear();
     refs_.push_back(GenRef{gen, 0});
     classMask_ = generatorClassBit(cls);
+    maxDepth_ = 0;
     saturated_ = false;
 }
 
@@ -38,16 +90,30 @@ InfluenceSet::buildFromInputs(const InputInfluence *inputs,
     assert(cap >= 1);
     refs_.clear();
     classMask_ = 0;
+    maxDepth_ = 0;
     saturated_ = false;
 
-    auto merge_ref = [this](std::uint64_t gen, std::uint32_t depth) {
-        for (auto &r : refs_) {
-            if (r.gen == gen) {
-                r.depth = std::max(r.depth, depth);
-                return;
-            }
+    std::size_t incoming = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        incoming +=
+            inputs[i].set ? inputs[i].set->refs().size() : 1;
+    }
+    DedupIndex &dedup = t_dedup;
+    dedup.begin(incoming);
+
+    auto merge_ref = [this, &dedup](std::uint64_t gen,
+                                    std::uint32_t depth) {
+        DedupIndex::Slot &s = dedup.probe(gen);
+        if (s.epoch == dedup.epoch) {
+            GenRef &r = refs_[s.idx];
+            r.depth = std::max(r.depth, depth);
+        } else {
+            s.epoch = dedup.epoch;
+            s.gen = gen;
+            s.idx = static_cast<std::uint32_t>(refs_.size());
+            refs_.push_back(GenRef{gen, depth});
         }
-        refs_.push_back(GenRef{gen, depth});
+        maxDepth_ = std::max(maxDepth_, depth);
     };
 
     for (unsigned i = 0; i < count; ++i) {
@@ -66,6 +132,7 @@ InfluenceSet::buildFromInputs(const InputInfluence *inputs,
     if (refs_.size() > cap) {
         // Keep the deepest refs: they dominate the distance figures and
         // correspond to the long-lived trees the paper highlights.
+        // (maxDepth_ is unaffected: the deepest ref survives the trim.)
         std::nth_element(refs_.begin(), refs_.begin() + cap,
                          refs_.end(),
                          [](const GenRef &a, const GenRef &b) {

@@ -59,7 +59,7 @@ class InfluenceSet
     const std::vector<GenRef> &refs() const { return refs_; }
 
     /** Longest distance to any influencing generate (0 when empty). */
-    std::uint32_t maxDepth() const;
+    std::uint32_t maxDepth() const { return maxDepth_; }
 
     /** Drop everything. */
     void clear();
@@ -80,6 +80,10 @@ class InfluenceSet
 
   private:
     std::vector<GenRef> refs_;
+    /** Cached max over refs_ (maintained by the mutators: the hot
+     *  path reads it once per propagate, so recomputing was a full
+     *  extra pass over the set). */
+    std::uint32_t maxDepth_ = 0;
     std::uint8_t classMask_ = 0;
     bool saturated_ = false;
 };

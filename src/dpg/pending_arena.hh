@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deferred-arc records and their chunked spill arena.
+ *
+ * Every live value carries the set of static consumers it has fed so
+ * far; arcs are resolved (classified single/repeated-use) only when
+ * the value dies. The common case is tiny — most values feed one or
+ * two static consumers before being overwritten — so ValueInfo keeps
+ * a small inline buffer of PendingArc records and spills the rare
+ * longer lists into this arena: index-linked nodes carved out of
+ * fixed-size chunks owned by the analyzer, recycled through a free
+ * list as values die and reset wholesale between runs. No
+ * per-live-value heap allocation survives on the hot path.
+ *
+ * The obs histogram `dpg.pending_arcs_per_value` records the measured
+ * list-length distribution; `dpg.pending_spill_*` counters make the
+ * spill rate observable (see DESIGN.md Sec. 9).
+ */
+
+#ifndef PPM_DPG_PENDING_ARENA_HH
+#define PPM_DPG_PENDING_ARENA_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dpg/classes.hh"
+#include "support/types.hh"
+
+namespace ppm {
+
+/** A deferred arc bundle toward one static consumer. */
+struct PendingArc
+{
+    StaticId consumer = kInvalidStatic;
+    /** Distinct dynamic instances of the consumer (repeated-use
+     *  needs >= 2 instances, not merely >= 2 arcs: one dynamic
+     *  instruction consuming a value twice is single-use). */
+    std::uint32_t instances = 0;
+    NodeId lastSeq = kInvalidNode;
+    std::array<std::uint32_t, kNumArcLabels> labelCounts{};
+};
+
+/**
+ * Chunked allocator for spilled PendingArc nodes, addressed by dense
+ * 32-bit index (stable across growth — chunks never move). Lists are
+ * singly linked through Node::next; a freed chain is threaded onto
+ * the free list in O(list length) and reused before any fresh node.
+ */
+class PendingArena
+{
+  public:
+    static constexpr std::uint32_t kNil = ~std::uint32_t(0);
+
+    struct Node
+    {
+        PendingArc arc;
+        std::uint32_t next = kNil;
+    };
+
+    /** Allocate one node (arc reset, next = kNil). */
+    std::uint32_t
+    alloc()
+    {
+        if (freeHead_ != kNil) {
+            const std::uint32_t i = freeHead_;
+            Node &n = node(i);
+            freeHead_ = n.next;
+            n.arc = PendingArc{};
+            n.next = kNil;
+            return i;
+        }
+        const std::uint32_t i = bump_++;
+        if ((i >> kChunkLog2) >= chunks_.size())
+            chunks_.push_back(std::make_unique<Chunk>());
+        return i;
+    }
+
+    Node &
+    node(std::uint32_t i)
+    {
+        return (*chunks_[i >> kChunkLog2])[i & (kChunkSize - 1)];
+    }
+
+    const Node &
+    node(std::uint32_t i) const
+    {
+        return (*chunks_[i >> kChunkLog2])[i & (kChunkSize - 1)];
+    }
+
+    /** Return a whole chain (possibly kNil) to the free list. */
+    void
+    freeChain(std::uint32_t head)
+    {
+        while (head != kNil) {
+            Node &n = node(head);
+            const std::uint32_t next = n.next;
+            n.next = freeHead_;
+            freeHead_ = head;
+            head = next;
+        }
+    }
+
+    /** Wholesale reset between runs: all nodes free, chunks kept. */
+    void
+    reset()
+    {
+        freeHead_ = kNil;
+        bump_ = 0;
+    }
+
+    /** Nodes ever carved out of chunks (high-water mark). */
+    std::uint32_t highWater() const { return bump_; }
+
+    /** Chunks allocated (never shrinks). */
+    std::uint64_t chunkCount() const { return chunks_.size(); }
+
+    /** Bytes resident in chunks. */
+    std::uint64_t
+    memoryBytes() const
+    {
+        return chunks_.size() * sizeof(Chunk);
+    }
+
+  private:
+    static constexpr unsigned kChunkLog2 = 10;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkLog2;
+    using Chunk = std::array<Node, kChunkSize>;
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::uint32_t freeHead_ = kNil;
+    std::uint32_t bump_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_DPG_PENDING_ARENA_HH

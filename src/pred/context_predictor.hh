@@ -34,6 +34,30 @@ class ContextPredictor : public ValuePredictor
 
     bool predictAndUpdate(std::uint64_t key, Value actual) override;
     std::optional<Value> peek(std::uint64_t key) const override;
+
+    /** Pull the level-1 history entry for @p key. */
+    void
+    prefetch(std::uint64_t key) const override
+    {
+        __builtin_prefetch(&l1_[l1Index(key)]);
+    }
+
+    /**
+     * Read the (ideally already-resident) level-1 history and pull
+     * the level-2 value line it selects. If the history changes
+     * between this hint and the real access the prefetch was merely
+     * wasted — predictions are unaffected.
+     */
+    void
+    prefetchDeep(std::uint64_t key) const override
+    {
+        const L1Entry &l1 = l1_[l1Index(key)];
+        __builtin_prefetch(&l2_[l2Index(key, l1.history)]);
+    }
+
+    /** The shared level 2 is tens of MiB: prefetching pays here. */
+    bool prefetchProfitable() const override { return true; }
+
     void reset() override;
     std::string name() const override { return "context"; }
 

@@ -30,6 +30,13 @@ class LastValuePredictor : public ValuePredictor
 
     bool predictAndUpdate(std::uint64_t key, Value actual) override;
     std::optional<Value> peek(std::uint64_t key) const override;
+
+    void
+    prefetch(std::uint64_t key) const override
+    {
+        __builtin_prefetch(&table_[index(key)]);
+    }
+
     void reset() override;
     std::string name() const override { return "last-value"; }
     PredTableStats tableStats() const override;

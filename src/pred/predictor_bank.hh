@@ -49,6 +49,34 @@ class PredictorBank
     /** Predict-and-train the direction of the branch at @p pc. */
     bool predictBranch(StaticId pc, bool taken);
 
+    /** Warm input-predictor state for (pc, slot); pure hint. */
+    void
+    prefetchInput(StaticId pc, unsigned slot) const
+    {
+        input_->prefetch(inputKey(pc, slot));
+    }
+
+    /** Second-stage input prefetch (FCM level 2); pure hint. */
+    void
+    prefetchInputDeep(StaticId pc, unsigned slot) const
+    {
+        input_->prefetchDeep(inputKey(pc, slot));
+    }
+
+    /** Warm output-predictor state for @p pc; pure hint. */
+    void
+    prefetchOutput(StaticId pc) const
+    {
+        output_->prefetch(pc);
+    }
+
+    /** Second-stage output prefetch (FCM level 2); pure hint. */
+    void
+    prefetchOutputDeep(StaticId pc) const
+    {
+        output_->prefetchDeep(pc);
+    }
+
     /** Reset all component predictors. */
     void reset();
 

@@ -193,10 +193,30 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 
     // Captures are released as soon as their last cell finishes, so
     // resident trace memory tracks the in-flight set, not the batch.
-    std::unordered_map<CaptureKey, unsigned, CaptureKeyHash>
-        remaining;
-    for (const ExperimentJob &job : jobs)
-        ++remaining[keyOf(job)];
+    // The per-key refcounts live in a vector sized up front and
+    // indexed per job: workers decrement through a stable index, with
+    // no hash lookup — and no possibility of an operator[] insert
+    // rehashing the table — under the lock.
+    struct CaptureGroup
+    {
+        CaptureKey key;
+        unsigned remaining = 0;
+    };
+    std::vector<CaptureGroup> groups;
+    std::vector<std::size_t> groupOf(jobs.size());
+    {
+        std::unordered_map<CaptureKey, std::size_t, CaptureKeyHash>
+            index;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const CaptureKey key = keyOf(jobs[i]);
+            const auto [it, inserted] =
+                index.emplace(key, groups.size());
+            if (inserted)
+                groups.push_back(CaptureGroup{key, 0});
+            groupOf[i] = it->second;
+            ++groups[it->second].remaining;
+        }
+    }
     std::mutex remaining_mutex;
 
     const unsigned nthreads = static_cast<unsigned>(
@@ -233,10 +253,10 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
             }
             local.busySec += secondsSince(jt0);
             ++local.jobs;
-            const CaptureKey key = keyOf(jobs[i]);
+            CaptureGroup &group = groups[groupOf[i]];
             std::lock_guard<std::mutex> lock(remaining_mutex);
-            if (--remaining[key] == 0)
-                cache_.release(key);
+            if (--group.remaining == 0)
+                cache_.release(group.key);
         }
     };
 

@@ -152,7 +152,13 @@ RunCache::capture(const CaptureKey &key,
         // fulfils the promise.
         if (future.wait_for(std::chrono::seconds(0)) !=
             std::future_status::ready) {
-            ++counters_.waitersBlocked;
+            {
+                // counters_ is mutex-guarded everywhere else; an
+                // unguarded ++ here raced with counters() readers
+                // and concurrent waiters (lost increments).
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.waitersBlocked;
+            }
             if (obsWaitersBlocked_)
                 obsWaitersBlocked_->add();
             obs::Span span("capture_wait", "runner");

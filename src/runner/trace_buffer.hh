@@ -46,6 +46,25 @@ class TeeSink : public TraceSink
             sink->onInstr(di);
     }
 
+    /** Forward whole blocks so fan-out keeps the batched fast path. */
+    void
+    onBlock(std::span<const DynInstr> block) override
+    {
+        for (TraceSink *sink : sinks_)
+            sink->onBlock(block);
+    }
+
+    /** Batch when any fan-out target profits from it. */
+    bool
+    prefersBlocks() const override
+    {
+        for (const TraceSink *sink : sinks_) {
+            if (sink->prefersBlocks())
+                return true;
+        }
+        return false;
+    }
+
     void
     onRunEnd() override
     {
@@ -61,6 +80,14 @@ class TeeSink : public TraceSink
 class CapturedTrace
 {
   public:
+    /**
+     * Instructions per onBlock batch during replay. Sized so the
+     * staging buffer (~72 B per DynInstr) stays comfortably inside L1
+     * while giving block-aware sinks enough lookahead for their
+     * prefetch pipelines.
+     */
+    static constexpr std::size_t kReplayBlock = 256;
+
     /** Dynamic instructions recorded. */
     std::uint64_t size() const { return records_.size(); }
 

@@ -1,41 +1,6 @@
 #include "sim/memory.hh"
 
-#include <cassert>
-
 namespace ppm {
-
-Memory::Page *
-Memory::findPage(Addr addr) const
-{
-    const auto it = pages_.find(addr >> kPageBytesLog2);
-    return it == pages_.end() ? nullptr : it->second.get();
-}
-
-Memory::Page *
-Memory::getPage(Addr addr)
-{
-    auto &slot = pages_[addr >> kPageBytesLog2];
-    if (!slot)
-        slot = std::make_unique<Page>();
-    return slot.get();
-}
-
-Value
-Memory::read(Addr addr) const
-{
-    assert(addr % 8 == 0);
-    const Page *page = findPage(addr);
-    if (!page)
-        return 0;
-    return page->words[(addr % kPageBytes) / 8];
-}
-
-void
-Memory::write(Addr addr, Value value)
-{
-    assert(addr % 8 == 0);
-    getPage(addr)->words[(addr % kPageBytes) / 8] = value;
-}
 
 void
 Memory::loadImage(const std::vector<std::pair<Addr, Value>> &image)

@@ -6,10 +6,10 @@
 #ifndef PPM_SIM_MEMORY_HH
 #define PPM_SIM_MEMORY_HH
 
-#include <memory>
-#include <unordered_map>
+#include <cassert>
 #include <vector>
 
+#include "support/paged_table.hh"
 #include "support/types.hh"
 
 namespace ppm {
@@ -18,36 +18,48 @@ namespace ppm {
  * Byte-addressed, 8-byte-word-grained sparse memory. All accesses must be
  * 8-byte aligned (the simulator traps otherwise). Unbacked words read as
  * zero, so `.space` data and fresh stack live for free.
+ *
+ * Backed by the shared two-level PagedTable (support/paged_table.hh)
+ * keyed by word index: a lookup is two pointer steps instead of a hash
+ * and bucket probe, and the page geometry (4 KiB of data per table
+ * page) matches the previous hand-rolled layout.
  */
 class Memory
 {
   public:
     /** Read the aligned word at @p addr (0 if never written). */
-    Value read(Addr addr) const;
+    Value
+    read(Addr addr) const
+    {
+        assert(addr % 8 == 0);
+        const Value *word = words_.find(addr >> 3);
+        return word ? *word : 0;
+    }
 
     /** Write the aligned word at @p addr. */
-    void write(Addr addr, Value value);
+    void
+    write(Addr addr, Value value)
+    {
+        assert(addr % 8 == 0);
+        words_.getOrCreate(addr >> 3) = value;
+    }
 
     /** Load an initial image of (address, value) pairs. */
     void loadImage(const std::vector<std::pair<Addr, Value>> &image);
 
     /** Number of allocated pages (observability for tests). */
-    std::size_t pageCount() const { return pages_.size(); }
+    std::size_t pageCount() const { return words_.livePages(); }
 
     static constexpr unsigned kPageBytesLog2 = 12;
     static constexpr Addr kPageBytes = Addr(1) << kPageBytesLog2;
     static constexpr unsigned kWordsPerPage = kPageBytes / 8;
 
   private:
-    struct Page
-    {
-        Value words[kWordsPerPage] = {};
-    };
+    /** 2^9 words = 4 KiB data pages, matching kPageBytes. */
+    using WordTable = PagedTable<Value, 9>;
+    static_assert(WordTable::kSlotsPerPage == kWordsPerPage);
 
-    Page *findPage(Addr addr) const;
-    Page *getPage(Addr addr);
-
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    WordTable words_;
 };
 
 } // namespace ppm

@@ -18,6 +18,16 @@ ExecProfile::onInstr(const DynInstr &di)
     ++total_;
 }
 
+void
+ExecProfile::onBlock(std::span<const DynInstr> block)
+{
+    for (const DynInstr &di : block) {
+        assert(di.pc < counts_.size());
+        ++counts_[di.pc];
+    }
+    total_ += block.size();
+}
+
 std::uint64_t
 ExecProfile::count(StaticId pc) const
 {

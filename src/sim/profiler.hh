@@ -27,6 +27,9 @@ class ExecProfile : public TraceSink
 
     void onInstr(const DynInstr &di) override;
 
+    /** Batched counting: one tight loop, no per-instr virtual call. */
+    void onBlock(std::span<const DynInstr> block) override;
+
     /** Times static instruction @p pc executed. */
     std::uint64_t count(StaticId pc) const;
 

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "isa/instruction.hh"
 #include "support/types.hh"
@@ -85,6 +86,34 @@ class TraceSink
 
     /** Called once per executed instruction, in program order. */
     virtual void onInstr(const DynInstr &di) = 0;
+
+    /**
+     * Called with a batch of consecutive instructions, in program
+     * order. Semantically identical to calling onInstr for each
+     * element; producers that buffer (the in-memory trace replay)
+     * use this to amortize virtual dispatch, and sinks that care
+     * (DpgAnalyzer, TeeSink) override it to batch-process and
+     * prefetch upcoming predictor/table state. The default simply
+     * loops, so implementing onInstr alone stays correct.
+     */
+    virtual void
+    onBlock(std::span<const DynInstr> block)
+    {
+        for (const DynInstr &di : block)
+            onInstr(di);
+    }
+
+    /**
+     * Should producers that can batch (the in-memory trace replay)
+     * deliver via onBlock? Batching costs the producer a staging
+     * buffer between decode and dispatch, which measurably slows
+     * sinks that gain nothing from lookahead — so sinks opt in only
+     * when they exploit blocks (e.g. the analyzer's prefetch
+     * pipeline over DRAM-sized predictor tables). Either delivery
+     * mode must produce identical results; this only picks the
+     * faster path.
+     */
+    virtual bool prefersBlocks() const { return false; }
 
     /** Called after the last instruction of a run. */
     virtual void onRunEnd() {}

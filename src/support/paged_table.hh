@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Two-level paged table: a sparse, hash-free map from a 64-bit linear
+ * index to a value slot.
+ *
+ * Replaces the `std::unordered_map` on the model's per-instruction hot
+ * path (DpgAnalyzer's memory-value state, the simulator's sparse
+ * memory). A lookup is two dependent pointer steps — directory chunk,
+ * then page — plus an index mask; no hashing, no probing, no bucket
+ * chains. Slot references are stable for the table's lifetime: pages
+ * are never moved or freed behind a live reference, only recycled
+ * explicitly via releaseAll().
+ *
+ * Layout: the index is split (top..bottom) into chunk | page | slot.
+ * The directory is a flat vector of chunk pointers grown on demand;
+ * one chunk maps 2^DirLog2 pages, one page holds 2^SlotsLog2 slots.
+ * With the simulator's < 2^31 address space everything lives in a
+ * handful of chunks; indices beyond kMaxDirectChunks (pathological
+ * wild addresses) fall back to an ordered-map overflow directory so
+ * behavior stays correct without letting the flat directory balloon.
+ *
+ * Pages and chunks are recycled through free lists: releaseAll()
+ * returns every page to the free list (slots reset to T{}) and keeps
+ * the underlying allocations, so a table reused across runs allocates
+ * nothing in steady state.
+ */
+
+#ifndef PPM_SUPPORT_PAGED_TABLE_HH
+#define PPM_SUPPORT_PAGED_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ppm {
+
+template <typename T, unsigned SlotsLog2 = 6, unsigned DirLog2 = 11>
+class PagedTable
+{
+  public:
+    static constexpr std::uint64_t kSlotsPerPage =
+        std::uint64_t(1) << SlotsLog2;
+    static constexpr std::uint64_t kPagesPerChunk =
+        std::uint64_t(1) << DirLog2;
+
+    /**
+     * Flat-directory ceiling: indices below this resolve through the
+     * vector directory (the hot path); anything above goes through
+     * the overflow tree. 2^16 chunks cover a 2^(16+DirLog2+SlotsLog2)
+     * slot space — far beyond any real simulated footprint.
+     */
+    static constexpr std::uint64_t kMaxDirectChunks =
+        std::uint64_t(1) << 16;
+
+    /** The slot for @p index, creating its page if needed. */
+    T &
+    getOrCreate(std::uint64_t index)
+    {
+        Page *page = pageFor(index >> SlotsLog2, /*create=*/true);
+        return page->slots[index & (kSlotsPerPage - 1)];
+    }
+
+    /** The slot for @p index, or null when its page was never touched. */
+    T *
+    find(std::uint64_t index) const
+    {
+        Page *page = const_cast<PagedTable *>(this)->pageFor(
+            index >> SlotsLog2, /*create=*/false);
+        if (!page)
+            return nullptr;
+        return &page->slots[index & (kSlotsPerPage - 1)];
+    }
+
+    /**
+     * Hint that @p index is about to be accessed: pulls the slot's
+     * cache line toward the core if its page exists. Never allocates.
+     */
+    void
+    prefetch(std::uint64_t index) const
+    {
+        const std::uint64_t page_no = index >> SlotsLog2;
+        const std::uint64_t chunk_no = page_no >> DirLog2;
+        if (chunk_no >= dir_.size()) [[unlikely]]
+            return;
+        const Chunk *chunk = dir_[chunk_no].get();
+        if (!chunk)
+            return;
+        const Page *page =
+            chunk->pages[page_no & (kPagesPerChunk - 1)];
+        if (page) {
+            __builtin_prefetch(
+                &page->slots[index & (kSlotsPerPage - 1)]);
+        }
+    }
+
+    /** Visit every slot of every live page (dead slots included). */
+    template <typename F>
+    void
+    forEachSlot(F &&fn)
+    {
+        auto visit = [&fn](Chunk *chunk) {
+            if (!chunk)
+                return;
+            for (Page *page : chunk->pages) {
+                if (!page)
+                    continue;
+                for (T &slot : page->slots)
+                    fn(slot);
+            }
+        };
+        for (auto &chunk : dir_)
+            visit(chunk.get());
+        for (auto &[no, chunk] : overflow_)
+            visit(chunk.get());
+    }
+
+    /**
+     * Return every page to the free list (slots reset to T{}) and
+     * every chunk to the chunk free list. Capacity is retained: the
+     * next run reuses the same allocations. Invalidates all slot
+     * references.
+     */
+    void
+    releaseAll()
+    {
+        auto drain = [this](std::unique_ptr<Chunk> &chunk) {
+            if (!chunk)
+                return;
+            for (Page *&page : chunk->pages) {
+                if (page) {
+                    releasePage(page);
+                    page = nullptr;
+                }
+            }
+            freeChunks_.push_back(std::move(chunk));
+        };
+        for (auto &chunk : dir_)
+            drain(chunk);
+        dir_.clear();
+        for (auto &[no, chunk] : overflow_)
+            drain(chunk);
+        overflow_.clear();
+    }
+
+    /** Pages currently wired into the directory. */
+    std::uint64_t livePages() const { return livePages_; }
+
+    /** Pages ever allocated (the pool size; never shrinks). */
+    std::uint64_t pagesAllocated() const { return pool_.size(); }
+
+    /** Pages handed out from the free list instead of fresh memory. */
+    std::uint64_t pagesRecycled() const { return pagesRecycled_; }
+
+    /** Directory chunks currently wired (flat + overflow). */
+    std::uint64_t
+    liveChunks() const
+    {
+        std::uint64_t n = overflow_.size();
+        for (const auto &chunk : dir_)
+            n += chunk ? 1 : 0;
+        return n;
+    }
+
+    /** Lookups that went through the overflow directory. */
+    std::uint64_t overflowLookups() const { return overflowLookups_; }
+
+    /** Bytes resident in pages and directory chunks. */
+    std::uint64_t
+    memoryBytes() const
+    {
+        return pool_.size() * sizeof(Page) +
+               (dir_.capacity() + freeChunks_.size() +
+                overflow_.size()) *
+                   sizeof(Chunk *) +
+               liveChunks() * sizeof(Chunk);
+    }
+
+  private:
+    struct Page
+    {
+        std::array<T, kSlotsPerPage> slots{};
+    };
+
+    struct Chunk
+    {
+        std::array<Page *, kPagesPerChunk> pages{};
+    };
+
+    Page *
+    pageFor(std::uint64_t page_no, bool create)
+    {
+        const std::uint64_t chunk_no = page_no >> DirLog2;
+        Chunk *chunk;
+        if (chunk_no < kMaxDirectChunks) [[likely]] {
+            if (chunk_no >= dir_.size()) {
+                if (!create)
+                    return nullptr;
+                dir_.resize(chunk_no + 1);
+            }
+            chunk = dir_[chunk_no].get();
+            if (!chunk) {
+                if (!create)
+                    return nullptr;
+                dir_[chunk_no] = allocChunk();
+                chunk = dir_[chunk_no].get();
+            }
+        } else {
+            ++overflowLookups_;
+            auto it = overflow_.find(chunk_no);
+            if (it == overflow_.end()) {
+                if (!create)
+                    return nullptr;
+                it = overflow_.emplace(chunk_no, allocChunk()).first;
+            }
+            chunk = it->second.get();
+        }
+
+        Page *&slot = chunk->pages[page_no & (kPagesPerChunk - 1)];
+        if (!slot) {
+            if (!create)
+                return nullptr;
+            slot = allocPage();
+        }
+        return slot;
+    }
+
+    Page *
+    allocPage()
+    {
+        ++livePages_;
+        if (!freePages_.empty()) {
+            Page *page = freePages_.back();
+            freePages_.pop_back();
+            ++pagesRecycled_;
+            return page;
+        }
+        pool_.push_back(std::make_unique<Page>());
+        return pool_.back().get();
+    }
+
+    void
+    releasePage(Page *page)
+    {
+        for (T &slot : page->slots)
+            slot = T{};
+        freePages_.push_back(page);
+        --livePages_;
+    }
+
+    std::unique_ptr<Chunk>
+    allocChunk()
+    {
+        if (!freeChunks_.empty()) {
+            auto chunk = std::move(freeChunks_.back());
+            freeChunks_.pop_back();
+            return chunk;
+        }
+        return std::make_unique<Chunk>();
+    }
+
+    std::vector<std::unique_ptr<Chunk>> dir_;
+    std::map<std::uint64_t, std::unique_ptr<Chunk>> overflow_;
+    std::vector<std::unique_ptr<Page>> pool_;
+    std::vector<Page *> freePages_;
+    std::vector<std::unique_ptr<Chunk>> freeChunks_;
+    std::uint64_t livePages_ = 0;
+    std::uint64_t pagesRecycled_ = 0;
+    std::uint64_t overflowLookups_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_PAGED_TABLE_HH

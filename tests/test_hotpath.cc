@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Hot-path memory-layout tests (DESIGN.md Sec. 9): the two-level
+ * paged value table, the pending-arc inline buffer + spill arena, and
+ * the paged memory-state semantics of the analyzer. The structures
+ * are pure layout changes — every test here pins behavior that must
+ * be indistinguishable from the old hash-map / heap-vector code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "dpg/dpg_analyzer.hh"
+#include "dpg/pending_arena.hh"
+#include "obs/obs.hh"
+#include "support/paged_table.hh"
+
+namespace ppm {
+namespace {
+
+// --- PagedTable ----------------------------------------------------------
+
+TEST(PagedTable, FindIsNullUntilCreated)
+{
+    PagedTable<int> table;
+    EXPECT_EQ(table.find(0), nullptr);
+    EXPECT_EQ(table.find(12345), nullptr);
+    EXPECT_EQ(table.livePages(), 0u);
+
+    int &slot = table.getOrCreate(12345);
+    EXPECT_EQ(slot, 0);  // Value-initialized.
+    slot = 7;
+    ASSERT_NE(table.find(12345), nullptr);
+    EXPECT_EQ(*table.find(12345), 7);
+    // Same page, different slot: present but still default.
+    ASSERT_NE(table.find(12344), nullptr);
+    EXPECT_EQ(*table.find(12344), 0);
+    EXPECT_EQ(table.livePages(), 1u);
+}
+
+TEST(PagedTable, SparseFarIndicesAreIndependent)
+{
+    PagedTable<std::uint64_t> table;
+    // One index per region: low, mid, top of the simulator's address
+    // space, and one past the flat-directory ceiling (2^33 slots for
+    // the default 6+11+16 split) that must take the overflow path.
+    const std::vector<std::uint64_t> indices = {
+        0, 0xfffff, 0x0fffffff, (1ull << 33) + 5, (1ull << 40) + 9};
+    for (std::uint64_t i : indices)
+        table.getOrCreate(i) = i * 3 + 1;
+    for (std::uint64_t i : indices) {
+        ASSERT_NE(table.find(i), nullptr) << "index " << i;
+        EXPECT_EQ(*table.find(i), i * 3 + 1) << "index " << i;
+    }
+    EXPECT_EQ(table.livePages(), indices.size());
+    EXPECT_GT(table.overflowLookups(), 0u);
+    // Neighbours of a far index share no state.
+    EXPECT_EQ(*table.find((1ull << 40) + 8), 0u);
+}
+
+TEST(PagedTable, SlotReferencesSurviveDirectoryGrowth)
+{
+    PagedTable<std::uint64_t> table;
+    std::vector<std::uint64_t *> refs;
+    // Spread across enough chunks that the directory vector reallocs
+    // several times; pages must never move underneath a reference.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        std::uint64_t &slot =
+            table.getOrCreate(i << 20);  // Distinct chunk each.
+        slot = i + 100;
+        refs.push_back(&slot);
+    }
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(*refs[i], i + 100);
+        EXPECT_EQ(table.find(i << 20), refs[i]);
+    }
+}
+
+TEST(PagedTable, ReleaseAllRecyclesWithoutReallocating)
+{
+    PagedTable<int> table;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        table.getOrCreate(i * 1000) = 1;
+    const std::uint64_t allocated = table.pagesAllocated();
+    EXPECT_GT(allocated, 0u);
+
+    table.releaseAll();
+    EXPECT_EQ(table.livePages(), 0u);
+    EXPECT_EQ(table.find(0), nullptr);
+
+    // Re-touch the same indices: pages come from the free list (slots
+    // reset to T{}), no fresh allocation.
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(table.getOrCreate(i * 1000), 0) << "slot " << i;
+    EXPECT_EQ(table.pagesAllocated(), allocated);
+    EXPECT_EQ(table.pagesRecycled(), table.livePages());
+}
+
+TEST(PagedTable, ForEachSlotVisitsEveryLivePage)
+{
+    PagedTable<int> table;
+    table.getOrCreate(3) = 5;
+    table.getOrCreate(700) = 6;
+    table.getOrCreate((1ull << 40)) = 7;  // Overflow directory.
+    int sum = 0;
+    int slots = 0;
+    table.forEachSlot([&](int &v) {
+        sum += v;
+        ++slots;
+    });
+    EXPECT_EQ(sum, 18);
+    EXPECT_EQ(slots,
+              static_cast<int>(3 * PagedTable<int>::kSlotsPerPage));
+}
+
+TEST(PagedTable, PrefetchNeverAllocates)
+{
+    PagedTable<int> table;
+    table.prefetch(0);
+    table.prefetch(1ull << 40);
+    EXPECT_EQ(table.livePages(), 0u);
+    EXPECT_EQ(table.liveChunks(), 0u);
+}
+
+// --- PendingArena --------------------------------------------------------
+
+TEST(PendingArena, FreedChainIsReusedBeforeFreshNodes)
+{
+    PendingArena arena;
+    const std::uint32_t a = arena.alloc();
+    const std::uint32_t b = arena.alloc();
+    const std::uint32_t c = arena.alloc();
+    EXPECT_EQ(arena.highWater(), 3u);
+
+    // Thread a -> b -> c into a chain and free it.
+    arena.node(a).next = b;
+    arena.node(b).next = c;
+    arena.node(a).arc.instances = 99;
+    arena.freeChain(a);
+
+    // The next three allocations recycle exactly those nodes (LIFO
+    // over the chain walk) with the arc payload wiped.
+    for (int i = 0; i < 3; ++i) {
+        const std::uint32_t r = arena.alloc();
+        EXPECT_TRUE(r == a || r == b || r == c) << "got " << r;
+        EXPECT_EQ(arena.node(r).arc.instances, 0u);
+        EXPECT_EQ(arena.node(r).next, PendingArena::kNil);
+    }
+    EXPECT_EQ(arena.highWater(), 3u);  // No fresh node carved.
+}
+
+TEST(PendingArena, ResetKeepsChunksAndRestartsIndices)
+{
+    PendingArena arena;
+    // Force a second chunk (chunks hold 1024 nodes).
+    for (int i = 0; i < 1500; ++i)
+        arena.alloc();
+    const std::uint64_t chunks = arena.chunkCount();
+    EXPECT_GE(chunks, 2u);
+    const std::uint64_t bytes = arena.memoryBytes();
+
+    arena.reset();
+    EXPECT_EQ(arena.chunkCount(), chunks);  // Capacity retained.
+    EXPECT_EQ(arena.memoryBytes(), bytes);
+    EXPECT_EQ(arena.alloc(), 0u);  // Bump restarts at zero.
+    EXPECT_EQ(arena.highWater(), 1u);
+}
+
+TEST(PendingArena, FreeChainOfNilIsANoOp)
+{
+    PendingArena arena;
+    arena.freeChain(PendingArena::kNil);
+    EXPECT_EQ(arena.alloc(), 0u);
+}
+
+// --- pending-arc inline/spill boundary ----------------------------------
+
+DpgStats
+model(const std::string &src, PredictorKind kind)
+{
+    ExperimentConfig config;
+    config.dpg.kind = kind;
+    return runModelOnSource(src, "t", {}, config);
+}
+
+/** Straight-line program: $7 feeds exactly @p consumers static
+ *  consumers, then dies on overwrite. One extra consumer = one extra
+ *  instruction = one extra arc, whether the list is inline or
+ *  spilled. */
+std::string
+consumerProgram(unsigned consumers)
+{
+    std::string src = "  li $7, 5\n";
+    for (unsigned i = 0; i < consumers; ++i) {
+        src += "  addi $" + std::to_string(9 + i) + ", $7, " +
+               std::to_string(i) + "\n";
+    }
+    src += "  li $7, 0\n  halt\n";
+    return src;
+}
+
+TEST(PendingSpill, ArcCountsExactAcrossInlineBoundary)
+{
+    // kPendingInline fits inline; +1 takes the first arena node. The
+    // arc and instruction totals must step by exactly one per added
+    // consumer straight through the boundary — a dropped or
+    // double-counted spill arc shows up immediately.
+    std::uint64_t prev_arcs = 0;
+    std::uint64_t prev_instrs = 0;
+    for (unsigned k = 1; k <= DpgAnalyzer::kPendingInline + 3; ++k) {
+        const DpgStats stats =
+            model(consumerProgram(k), PredictorKind::LastValue);
+        if (k > 1) {
+            EXPECT_EQ(stats.arcs.total(), prev_arcs + 1)
+                << "consumers " << k;
+            EXPECT_EQ(stats.dynInstrs, prev_instrs + 1)
+                << "consumers " << k;
+        }
+        prev_arcs = stats.arcs.total();
+        prev_instrs = stats.dynInstrs;
+    }
+}
+
+/** Process-global spill counter (0 when obs is off). */
+std::uint64_t
+spillCounter()
+{
+    obs::Registry *reg = obs::registry();
+    return reg ? reg->counter("dpg.pending_spill_values").value() : 0;
+}
+
+TEST(PendingSpill, SpillCounterCountsValuesNotArcs)
+{
+    obs::forceEnable();
+
+    // At capacity: no spill.
+    std::uint64_t before = spillCounter();
+    model(consumerProgram(DpgAnalyzer::kPendingInline),
+          PredictorKind::LastValue);
+    EXPECT_EQ(spillCounter(), before);
+
+    // One past capacity: exactly one value spills.
+    before = spillCounter();
+    model(consumerProgram(DpgAnalyzer::kPendingInline + 1),
+          PredictorKind::LastValue);
+    EXPECT_EQ(spillCounter(), before + 1);
+
+    // Far past capacity: still one spilled value (counter is
+    // per-value, not per-node).
+    before = spillCounter();
+    model(consumerProgram(DpgAnalyzer::kPendingInline + 3),
+          PredictorKind::LastValue);
+    EXPECT_EQ(spillCounter(), before + 1);
+}
+
+TEST(PendingSpill, WriteOnceSpillChainKeepsEveryArc)
+{
+    // A write-once producer feeding four static consumers across 25
+    // iterations: the pending list spills (2 inline + 2 arena nodes)
+    // and every consumer's instance count keeps accumulating through
+    // the chain. 4 consumers x 25 instances = 100 write-once arcs.
+    const DpgStats stats = model(R"(
+        li $4, 777
+        li $8, 25
+l:      addi $9, $4, 1
+        addi $10, $4, 2
+        addi $11, $4, 3
+        addi $12, $4, 4
+        addi $8, $8, -1
+        bnez $8, l
+        halt
+)",
+                                 PredictorKind::LastValue);
+    std::uint64_t write_once = 0;
+    for (unsigned label = 0; label < kNumArcLabels; ++label) {
+        write_once += stats.arcs.count(
+            ArcUse::WriteOnce, static_cast<ArcLabel>(label));
+    }
+    EXPECT_EQ(write_once, 100u);
+}
+
+// --- paged memory-state semantics ---------------------------------------
+
+TEST(PagedMemState, FarApartLoadsEachGetOneLazyDataNode)
+{
+    // Two addresses ~0.75 GiB apart land in different directory
+    // chunks of the analyzer's paged table. Each untouched word gets
+    // exactly one lazy D node; a second load of the same word reuses
+    // the live value.
+    const std::string prologue = R"(
+        li $9, 1073741824
+        li $10, 268435456
+)";
+    const DpgStats base =
+        model(prologue + "  halt\n", PredictorKind::LastValue);
+    const DpgStats loads = model(prologue + R"(
+        ld $4, 0($9)
+        ld $5, 0($10)
+        ld $6, 0($9)
+        halt
+)",
+                                 PredictorKind::LastValue);
+    EXPECT_EQ(loads.lazyDataNodes, base.lazyDataNodes + 2);
+    EXPECT_GE(loads.arcs.dataArcs(), 3u);
+}
+
+TEST(PagedMemState, StoredWordIsLiveNotLazy)
+{
+    const std::string prologue = R"(
+        li $9, 1073741824
+        li $4, 7
+)";
+    const DpgStats base =
+        model(prologue + "  halt\n", PredictorKind::LastValue);
+    const DpgStats rt = model(prologue + R"(
+        sw $4, 0($9)
+        ld $5, 0($9)
+        halt
+)",
+                              PredictorKind::LastValue);
+    // The load consumes the stored (live) value: no new D node.
+    EXPECT_EQ(rt.lazyDataNodes, base.lazyDataNodes);
+}
+
+TEST(PagedMemState, WordGranularityIsEightBytes)
+{
+    // Offsets 0 and 8 are distinct words (addr >> 3): two lazy nodes.
+    const std::string prologue = "  li $9, 1073741824\n";
+    const DpgStats base =
+        model(prologue + "  halt\n", PredictorKind::LastValue);
+    const DpgStats two = model(prologue + R"(
+        ld $4, 0($9)
+        ld $5, 8($9)
+        halt
+)",
+                               PredictorKind::LastValue);
+    EXPECT_EQ(two.lazyDataNodes, base.lazyDataNodes + 2);
+}
+
+} // namespace
+} // namespace ppm

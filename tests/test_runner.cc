@@ -295,6 +295,49 @@ TEST(ExperimentEngine, ResultsComeBackInSubmissionOrder)
         EXPECT_EQ(outcomes[i].stats.workload, names[i]);
 }
 
+// Regression for the capture-release bookkeeping: with one distinct
+// capture key per job (here, distinct instruction budgets), the old
+// per-key hash map could rehash while workers held references into
+// it. The vector-of-groups layout must hand every worker a stable
+// index no matter how many keys the batch creates — results must
+// still be bit-identical to the serial reference and come back in
+// submission order.
+TEST(ExperimentEngine, ManyDistinctCaptureKeysStayStable)
+{
+    EngineOptions opts;
+    opts.threads = 4;
+    opts.replay = true;
+    ExperimentEngine engine(opts);
+
+    const Workload &w = findWorkload("compress");
+    constexpr std::size_t kJobs = 32;
+    std::vector<ExperimentJob> jobs;
+    std::vector<ExperimentConfig> configs;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        ExperimentConfig config =
+            cellConfig(PredictorKind::LastValue);
+        config.maxInstrs = 2000 + 97 * i;  // Distinct capture key.
+        configs.push_back(config);
+        jobs.push_back(engine.makeJob(w, config));
+    }
+
+    const auto outcomes = engine.run(jobs);
+    ASSERT_EQ(outcomes.size(), kJobs);
+    // Every key was its own group: no capture sharing anywhere.
+    for (std::size_t i = 0; i < kJobs; ++i)
+        EXPECT_FALSE(outcomes[i].timing.captureShared)
+            << "job " << i;
+    // Spot-check full fingerprints at the ends and middle; budgets in
+    // between must at least be honored in submission order.
+    for (const std::size_t i : {std::size_t{0}, kJobs / 2, kJobs - 1})
+        EXPECT_EQ(fingerprint(outcomes[i].stats),
+                  fingerprint(referenceStats(w, configs[i])))
+            << "job " << i;
+    for (std::size_t i = 0; i < kJobs; ++i)
+        EXPECT_LE(outcomes[i].stats.dynInstrs, configs[i].maxInstrs)
+            << "job " << i;
+}
+
 TEST(ExperimentEngine, PpmThreadsEnvOverride)
 {
     ASSERT_EQ(setenv("PPM_THREADS", "3", 1), 0);
