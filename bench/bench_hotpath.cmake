@@ -1,10 +1,12 @@
 # bench_hotpath: run the analyzer hot-path microbenchmark (reduced
 # budget/reps so tier-1 stays fast) and validate the emitted
-# "ppm-hotpath-v1" JSON. Informational: the test asserts schema and
-# sanity, never absolute throughput — CI machines are too noisy for
-# that. The JSON is uploaded as a CI artifact; the committed
-# BENCH_hotpath.json at the repo root records the curated
-# before/after numbers (full budget, quiet machine). Invoked as
+# "ppm-hotpath-v2" JSON ("ppm-hotpath-v1" records — no "mode" field —
+# are still accepted, so old artifacts keep validating). Informational:
+# the test asserts schema and sanity, never absolute throughput — CI
+# machines are too noisy for that. The JSON is uploaded as a CI
+# artifact; the committed BENCH_hotpath.json at the repo root records
+# the curated before/after numbers (full budget, quiet machine).
+# Invoked as
 #   cmake -DBENCH_BIN=<micro_hotpath> -DOUT=<json path> -P bench_hotpath.cmake
 
 if(NOT BENCH_BIN OR NOT OUT)
@@ -31,7 +33,8 @@ file(READ "${OUT}" doc)
 # string(JSON) fatal-errors on malformed JSON or missing keys, so each
 # GET below is itself a schema assertion.
 string(JSON schema GET "${doc}" schema)
-if(NOT schema STREQUAL "ppm-hotpath-v1")
+if(NOT (schema STREQUAL "ppm-hotpath-v2" OR
+        schema STREQUAL "ppm-hotpath-v1"))
     message(FATAL_ERROR "bench_hotpath: bad schema '${schema}'")
 endif()
 
@@ -57,6 +60,8 @@ if(nscen LESS 2)
 endif()
 
 set(headline_ips "")
+set(sweep_seq_ips "")
+set(sweep_fused_ips "")
 math(EXPR last "${nscen} - 1")
 foreach(i RANGE ${last})
     string(JSON wl GET "${doc}" scenarios ${i} workload)
@@ -64,14 +69,27 @@ foreach(i RANGE ${last})
     string(JSON dyn GET "${doc}" scenarios ${i} dyn_instrs)
     string(JSON sec GET "${doc}" scenarios ${i} best_sec)
     string(JSON ips GET "${doc}" scenarios ${i} instrs_per_sec)
+    # "mode" arrived with v2; old records without it are per-cell
+    # replay rows.
+    string(JSON mode ERROR_VARIABLE mode_err
+           GET "${doc}" scenarios ${i} mode)
+    if(mode_err)
+        set(mode "replay")
+    endif()
     if(dyn LESS 1 OR ips LESS 1)
         message(FATAL_ERROR
                 "bench_hotpath: scenario ${i} (${wl}/${pred}) has "
                 "non-positive dyn_instrs=${dyn} or "
                 "instrs_per_sec=${ips}")
     endif()
-    if(wl STREQUAL head_workload AND pred STREQUAL head_pred)
+    if(wl STREQUAL head_workload AND pred STREQUAL head_pred AND
+       mode STREQUAL "replay")
         set(headline_ips "${ips}")
+    endif()
+    if(mode STREQUAL "sweep-sequential")
+        set(sweep_seq_ips "${ips}")
+    elseif(mode STREQUAL "sweep-fused")
+        set(sweep_fused_ips "${ips}")
     endif()
 endforeach()
 
@@ -81,6 +99,17 @@ if(headline_ips STREQUAL "")
             "missing from scenarios")
 endif()
 
+# v2 emits the fused-sweep A/B pair; both modes must be present.
+if(schema STREQUAL "ppm-hotpath-v2")
+    if(sweep_seq_ips STREQUAL "" OR sweep_fused_ips STREQUAL "")
+        message(FATAL_ERROR
+                "bench_hotpath: v2 report missing fused-sweep A/B "
+                "rows (sequential='${sweep_seq_ips}' "
+                "fused='${sweep_fused_ips}')")
+    endif()
+endif()
+
 message(STATUS
         "bench_hotpath ok: ${nscen} scenarios, headline "
-        "${head_workload}/${head_pred} = ${headline_ips} instrs/sec")
+        "${head_workload}/${head_pred} = ${headline_ips} instrs/sec, "
+        "sweep ${sweep_seq_ips} -> ${sweep_fused_ips} instrs/sec")

@@ -12,6 +12,7 @@ file(REMOVE "${OUT}")
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env PPM_QUICK=1 PPM_THREADS=2
+            PPM_FUSED=1
             "PPM_BENCH_JSON=${OUT}" "PPM_BENCH_LABEL=bench_smoke"
             ${BENCH_BIN}
     RESULT_VARIABLE rv
@@ -68,11 +69,34 @@ if(NOT sims EQUAL 12)
             "(capture sharing broken)")
 endif()
 
-# Capture/replay: quick-mode traces fit the cap, so every cell replays.
+# Capture/replay with fused sweeps: quick-mode traces fit the cap and
+# the 3 predictor cells per workload coalesce into one lane group, so
+# there is exactly one replay *pass* per workload.
 string(JSON replays GET "${doc}" totals replays)
-if(NOT replays EQUAL 36)
+if(NOT replays EQUAL 12)
     message(FATAL_ERROR
-            "bench_smoke: expected 36 replays, got ${replays}")
+            "bench_smoke: expected 12 replay passes, got ${replays}")
+endif()
+
+# shared_stages: per-group costs reported apart from per-lane analyze
+# time (no double counting across lanes).
+string(JSON fgroups GET "${doc}" shared_stages fused_groups)
+string(JSON flanes GET "${doc}" shared_stages fused_lanes)
+string(JSON dispatch GET "${doc}" shared_stages dispatch_s)
+if(NOT fgroups EQUAL 12)
+    message(FATAL_ERROR
+            "bench_smoke: expected 12 fused groups, got ${fgroups}")
+endif()
+if(NOT flanes EQUAL 36)
+    message(FATAL_ERROR
+            "bench_smoke: expected 36 fused lanes, got ${flanes}")
+endif()
+if(dispatch LESS 0)
+    message(FATAL_ERROR "bench_smoke: negative dispatch_s")
+endif()
+string(JSON row0_fused GET "${doc}" runs 0 fused)
+if(NOT (row0_fused STREQUAL "ON" OR row0_fused STREQUAL "true"))
+    message(FATAL_ERROR "bench_smoke: runs[0] not marked fused")
 endif()
 
 string(JSON instrs GET "${doc}" totals dyn_instrs)

@@ -29,9 +29,19 @@ if(OBS)
                 "PPM_METRICS=${WORK_DIR}/metrics.json")
 endif()
 
+# With -DFUSED=OFF the driver runs the sequential one-pass-per-cell
+# engine path (PPM_FUSED=0); fused is the default. Either way the CSVs
+# must stay byte-identical — lane multiplexing may never perturb model
+# output.
+set(fused_env "")
+if(DEFINED FUSED AND NOT FUSED)
+    set(fused_env "PPM_FUSED=0")
+endif()
+
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env PPM_QUICK=1
-            "PPM_CSV_DIR=${WORK_DIR}" ${obs_env} ${BENCH_BIN}
+            "PPM_CSV_DIR=${WORK_DIR}" ${obs_env} ${fused_env}
+            ${BENCH_BIN}
     RESULT_VARIABLE rv
     OUTPUT_QUIET)
 if(NOT rv EQUAL 0)

@@ -10,11 +10,21 @@
  * the pending-arc arena, and block dispatch optimize — compare runs
  * via the committed BENCH_hotpath.json trajectory at the repo root.
  *
+ * Scenario modes (the "mode" field, schema ppm-hotpath-v2):
+ *   "replay"           one predictor cell fed from the captured trace
+ *   "sweep-sequential" the full predictor-bank sweep (every value
+ *                      predictor, each lane's bank carrying gshare),
+ *                      one replay pass per cell — the pre-fusion path
+ *   "sweep-fused"      the same sweep through FusedAnalysisSink: one
+ *                      replay pass drives every lane
+ * The two sweep modes run interleaved (A/B) per repetition and their
+ * per-cell model output is checksummed identically.
+ *
  * Environment:
  *   PPM_HOTPATH_INSTRS  dynamic-instruction budget per scenario
  *                       (default 1,000,000)
  *   PPM_HOTPATH_REPS    timed repetitions per scenario (default 5)
- *   PPM_HOTPATH_JSON    output path for the "ppm-hotpath-v1" report
+ *   PPM_HOTPATH_JSON    output path for the "ppm-hotpath-v2" report
  *                       (default: BENCH_hotpath.json in the cwd;
  *                       argv[1] overrides both)
  *
@@ -27,11 +37,13 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "asmr/assembler.hh"
 #include "dpg/dpg_analyzer.hh"
+#include "runner/fused_sink.hh"
 #include "runner/trace_buffer.hh"
 #include "sim/machine.hh"
 #include "sim/profiler.hh"
@@ -53,6 +65,7 @@ struct Scenario
 {
     std::string workload;
     std::string predictor;
+    std::string mode = "replay";
     std::uint64_t dynInstrs = 0;
     unsigned reps = 0;
     double bestSec = 0.0;
@@ -166,6 +179,78 @@ main(int argc, char **argv)
                       << ", " << row.dynInstrs << " instrs)\n";
             rows.push_back(row);
         }
+
+        if (!all_kinds)
+            return;
+
+        // Fused-sweep A/B: the full predictor-bank sweep (every
+        // value-predictor lane, each bank carrying gshare), once with
+        // one replay pass per cell (the pre-fusion engine path) and
+        // once through FusedAnalysisSink where a single pass drives
+        // every lane. Modes alternate within each repetition so
+        // machine drift hits both equally; throughput counts total
+        // analyzed instructions (stream length x lanes) so the two
+        // modes are directly comparable.
+        auto make_sweep = [&](const char *mode) {
+            Scenario row;
+            row.workload = w.name;
+            row.predictor = "all";
+            row.mode = mode;
+            row.dynInstrs = trace->size();
+            row.reps = static_cast<unsigned>(reps);
+            row.bestSec = 1e300;
+            return row;
+        };
+        Scenario seq = make_sweep("sweep-sequential");
+        Scenario fus = make_sweep("sweep-fused");
+        const std::size_t lanes = kinds.size();
+
+        for (std::uint64_t r = 0; r < reps; ++r) {
+            {
+                std::vector<std::unique_ptr<DpgAnalyzer>> cells;
+                for (PredictorKind kind : kinds) {
+                    DpgConfig cfg;
+                    cfg.kind = kind;
+                    cells.push_back(std::make_unique<DpgAnalyzer>(
+                        prog, profile, cfg));
+                }
+                const auto t0 = Clock::now();
+                for (auto &cell : cells)
+                    trace->replay(prog, *cell);
+                seq.bestSec =
+                    std::min(seq.bestSec, secondsSince(t0));
+                for (auto &cell : cells)
+                    checksum ^= cell->takeStats().totalElements();
+            }
+            {
+                FusedAnalysisSink sink;
+                for (PredictorKind kind : kinds) {
+                    DpgConfig cfg;
+                    cfg.kind = kind;
+                    sink.addLane(std::make_unique<DpgAnalyzer>(
+                        prog, profile, cfg));
+                }
+                const auto t0 = Clock::now();
+                trace->replay(prog, sink);
+                fus.bestSec =
+                    std::min(fus.bestSec, secondsSince(t0));
+                for (std::size_t i = 0; i < lanes; ++i)
+                    checksum ^= sink.takeStats(i).totalElements();
+            }
+        }
+        for (Scenario *row : {&seq, &fus}) {
+            row->instrsPerSec =
+                static_cast<double>(row->dynInstrs) *
+                static_cast<double>(lanes) / row->bestSec;
+            rows.push_back(*row);
+        }
+        std::cerr << "  " << w.name << " / all [" << seq.mode
+                  << " vs " << fus.mode << "]: "
+                  << static_cast<std::uint64_t>(seq.instrsPerSec)
+                  << " -> "
+                  << static_cast<std::uint64_t>(fus.instrsPerSec)
+                  << " instrs/sec (sweep speedup "
+                  << (seq.bestSec / fus.bestSec) << "x)\n";
     };
 
     std::cerr << "micro_hotpath: budget " << budget
@@ -179,7 +264,7 @@ main(int argc, char **argv)
                   << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"ppm-hotpath-v1\",\n"
+    out << "{\n  \"schema\": \"ppm-hotpath-v2\",\n"
         << "  \"instr_budget\": " << budget << ",\n"
         << "  \"headline\": {\"workload\": \"" << largest->name
         << "\", \"predictor\": \"context\"},\n"
@@ -188,6 +273,7 @@ main(int argc, char **argv)
         const Scenario &r = rows[i];
         out << "    {\"workload\": \"" << r.workload
             << "\", \"predictor\": \"" << r.predictor
+            << "\", \"mode\": \"" << r.mode
             << "\", \"dyn_instrs\": " << r.dynInstrs
             << ", \"reps\": " << r.reps
             << ", \"best_sec\": " << r.bestSec

@@ -28,7 +28,11 @@ DpgAnalyzer::DpgAnalyzer(const Program &prog, const ExecProfile &profile,
     stats_.kind = config.kind;
     stats_.paths.influenceCount =
         LinearHistogram(config.influenceCap + 1);
-    pendingHist_ = obs::histogram("dpg.pending_arcs_per_value");
+    // Keyed per lane (the bank's output-predictor name): N analyzers
+    // fed by one fused pass must not smear their pending-list or
+    // influence distributions into one process-global series.
+    pendingHist_ = obs::histogram("dpg.pending_arcs_per_value." +
+                                  bank_.outputPredictor().name());
     blockPrefetch_ = bank_.inputPredictor().prefetchProfitable() ||
                      bank_.outputPredictor().prefetchProfitable();
     if (cfg_.verify) {
@@ -404,7 +408,8 @@ DpgAnalyzer::analyzeInstr(const DynInstr &di)
     if (cfg_.trackInfluence) {
         if (nodeClassPropagates(cls)) {
             scratch_.buildFromInputs(infl.data(), n_infl,
-                                     cfg_.influenceCap);
+                                     cfg_.influenceCap,
+                                     &mergeTallies_);
             recordPropagateElement(scratch_.classMask(),
                                    scratch_.size(),
                                    scratch_.maxDepth(),
@@ -502,7 +507,7 @@ DpgAnalyzer::takeStats()
     // are commutative sums, so the merged totals are deterministic
     // regardless of which worker thread ran which analysis.
     if (obs::Registry *reg = obs::registry()) {
-        auto addc = [&](const char *name, std::uint64_t v) {
+        auto addc = [&](const std::string &name, std::uint64_t v) {
             reg->counter(name).add(v);
         };
         const PredictorBank::Tallies &t = bank_.tallies();
@@ -533,6 +538,17 @@ DpgAnalyzer::takeStats()
         addc("dpg.arena_bytes", arena_.memoryBytes());
         addc("dpg.arena_node_high_water", arena_.highWater());
         addc("dpg.pending_spill_values", spillValues_);
+        // Influence-dedup tallies, keyed per lane like the pending
+        // histogram: a fused sweep folds N lanes from one pass and
+        // their distributions must stay separable.
+        const std::string lane =
+            "." + bank_.outputPredictor().name();
+        addc("dpg.influence_unions" + lane, mergeTallies_.unions);
+        addc("dpg.influence_refs_merged" + lane,
+             mergeTallies_.refsMerged);
+        addc("dpg.influence_dup_hits" + lane, mergeTallies_.dupHits);
+        addc("dpg.influence_truncations" + lane,
+             mergeTallies_.truncations);
         if (diff_)
             addc("verify.checks", diff_->checksPerformed());
     }

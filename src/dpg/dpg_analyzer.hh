@@ -198,8 +198,9 @@ class DpgAnalyzer : public TraceSink
     }
 
     /** Inline PendingArc records per live value before arena spill.
-     *  2 covers the overwhelming majority of lists (see the
-     *  dpg.pending_arcs_per_value histogram and DESIGN.md Sec. 9). */
+     *  2 covers the overwhelming majority of lists (see the per-lane
+     *  dpg.pending_arcs_per_value.<pred> histograms and DESIGN.md
+     *  Sec. 9). */
     static constexpr unsigned kPendingInline = 2;
 
   private:
@@ -277,6 +278,10 @@ class DpgAnalyzer : public TraceSink
 
     /** Values whose pending list spilled past the inline buffer. */
     std::uint64_t spillValues_ = 0;
+
+    /** This lane's influence-union dedup telemetry (thread-confined;
+     *  folded into the registry per predictor lane at takeStats). */
+    InfluenceMergeTallies mergeTallies_;
 
     /** Run onBlock's prefetch pipeline (predictors opted in). */
     bool blockPrefetch_ = false;

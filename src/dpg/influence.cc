@@ -85,7 +85,8 @@ InfluenceSet::setGenerate(std::uint64_t gen, GeneratorClass cls)
 
 void
 InfluenceSet::buildFromInputs(const InputInfluence *inputs,
-                              unsigned count, unsigned cap)
+                              unsigned count, unsigned cap,
+                              InfluenceMergeTallies *tallies)
 {
     assert(cap >= 1);
     refs_.clear();
@@ -101,12 +102,17 @@ InfluenceSet::buildFromInputs(const InputInfluence *inputs,
     DedupIndex &dedup = t_dedup;
     dedup.begin(incoming);
 
-    auto merge_ref = [this, &dedup](std::uint64_t gen,
-                                    std::uint32_t depth) {
+    // The dedup *index* is thread-local scratch (re-armed per call),
+    // but its telemetry is per-caller: each analyzer lane passes its
+    // own tallies so fused sweeps keep lanes' distributions apart.
+    std::uint64_t dup_hits = 0;
+    auto merge_ref = [this, &dedup, &dup_hits](std::uint64_t gen,
+                                               std::uint32_t depth) {
         DedupIndex::Slot &s = dedup.probe(gen);
         if (s.epoch == dedup.epoch) {
             GenRef &r = refs_[s.idx];
             r.depth = std::max(r.depth, depth);
+            ++dup_hits;
         } else {
             s.epoch = dedup.epoch;
             s.gen = gen;
@@ -129,6 +135,8 @@ InfluenceSet::buildFromInputs(const InputInfluence *inputs,
         }
     }
 
+    const std::uint64_t merged = refs_.size() + dup_hits;
+
     if (refs_.size() > cap) {
         // Keep the deepest refs: they dominate the distance figures and
         // correspond to the long-lived trees the paper highlights.
@@ -140,6 +148,14 @@ InfluenceSet::buildFromInputs(const InputInfluence *inputs,
                          });
         refs_.resize(cap);
         saturated_ = true;
+        if (tallies)
+            ++tallies->truncations;
+    }
+
+    if (tallies) {
+        ++tallies->unions;
+        tallies->refsMerged += merged;
+        tallies->dupHits += dup_hits;
     }
 }
 

@@ -32,6 +32,21 @@ struct GenRef
 /** Default cap on tracked generates per value. */
 constexpr unsigned kDefaultInfluenceCap = 48;
 
+/**
+ * Union/dedup telemetry of one analyzer's influence merges. Owned by
+ * the analyzer (thread-confined, like PredictorBank::Tallies) and
+ * folded into the metrics registry at takeStats under the lane's
+ * predictor name — a process-global tally would smear the lanes of a
+ * fused sweep together (see runner/fused_sink.hh).
+ */
+struct InfluenceMergeTallies
+{
+    std::uint64_t unions = 0;      ///< buildFromInputs calls.
+    std::uint64_t refsMerged = 0;  ///< Incoming refs examined.
+    std::uint64_t dupHits = 0;     ///< Refs folded into an earlier one.
+    std::uint64_t truncations = 0; ///< Unions trimmed at the cap.
+};
+
 /** One resolved input of a node, for influence union purposes. */
 struct InputInfluence
 {
@@ -73,10 +88,12 @@ class InfluenceSet
      * fresh generates on a generating arc advance by 1 (this node
      * only). Duplicate generates keep their longest distance. When the
      * union exceeds @p cap, the deepest refs are kept and the set is
-     * marked saturated (class mask stays exact).
+     * marked saturated (class mask stays exact). When @p tallies is
+     * non-null the merge's dedup telemetry is accumulated into it.
      */
     void buildFromInputs(const InputInfluence *inputs, unsigned count,
-                         unsigned cap);
+                         unsigned cap,
+                         InfluenceMergeTallies *tallies = nullptr);
 
   private:
     std::vector<GenRef> refs_;

@@ -12,9 +12,10 @@
  * list as values die and reset wholesale between runs. No
  * per-live-value heap allocation survives on the hot path.
  *
- * The obs histogram `dpg.pending_arcs_per_value` records the measured
- * list-length distribution; `dpg.pending_spill_*` counters make the
- * spill rate observable (see DESIGN.md Sec. 9).
+ * The per-lane obs histograms `dpg.pending_arcs_per_value.<pred>`
+ * record the measured list-length distribution per predictor lane;
+ * `dpg.pending_spill_*` counters make the spill rate observable (see
+ * DESIGN.md Sec. 9).
  */
 
 #ifndef PPM_DPG_PENDING_ARENA_HH

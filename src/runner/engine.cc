@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "obs/obs.hh"
+#include "runner/fused_sink.hh"
 #include "runner/stage_report.hh"
 #include "sim/machine.hh"
 #include "support/env.hh"
@@ -62,12 +63,15 @@ ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
                   1024 * 1024;
     replay_ = opts.replay.value_or(envFlag("PPM_REPLAY", true));
     verify_ = opts.verify.value_or(envFlag("PPM_VERIFY", false));
+    fused_ = opts.fused.value_or(envFlag("PPM_FUSED", true));
 
     obsJobs_ = obs::counter("runner.jobs_completed");
     obsBatches_ = obs::counter("runner.batches");
     obsSimulations_ = obs::counter("runner.simulations");
     obsReplays_ = obs::counter("runner.replays");
     obsReplayFallbacks_ = obs::counter("runner.replay_fallbacks");
+    obsFusedGroups_ = obs::counter("runner.fused_groups");
+    obsFusedLanes_ = obs::counter("runner.fused_lanes");
     obsWorkerBusyUs_ = obs::counter("runner.worker_busy_us");
     if (obs::Gauge *g = obs::gauge("runner.threads"))
         g->set(static_cast<std::int64_t>(threads_));
@@ -122,34 +126,39 @@ ExperimentEngine::workloadMatrix(
     return jobs;
 }
 
+RunCache::CaptureRef
+ExperimentEngine::captureFor(const ExperimentJob &job)
+{
+    const Program &prog = *job.program;
+    return cache_.capture(keyOf(job), [&]() -> CaptureResult {
+        obs::Span span("simulate", "runner");
+        if (obsSimulations_)
+            obsSimulations_->add();
+        CaptureResult r;
+        const auto t0 = Clock::now();
+        r.profile = std::make_unique<ExecProfile>(prog.textSize());
+        Machine m(prog, *job.input);
+        if (replay_) {
+            TraceCapture capture(prog, traceByteCap_);
+            TeeSink tee({r.profile.get(), &capture});
+            m.run(&tee, job.config.maxInstrs);
+            r.trace = capture.take();
+        } else {
+            m.run(r.profile.get(), job.config.maxInstrs);
+        }
+        r.dynInstrs = r.profile->total();
+        r.simulateSec = secondsSince(t0);
+        return r;
+    });
+}
+
 ExperimentOutcome
 ExperimentEngine::runJob(const ExperimentJob &job)
 {
     obs::Span job_span("job", "runner");
     const Program &prog = *job.program;
 
-    RunCache::CaptureRef ref =
-        cache_.capture(keyOf(job), [&]() -> CaptureResult {
-            obs::Span span("simulate", "runner");
-            if (obsSimulations_)
-                obsSimulations_->add();
-            CaptureResult r;
-            const auto t0 = Clock::now();
-            r.profile =
-                std::make_unique<ExecProfile>(prog.textSize());
-            Machine m(prog, *job.input);
-            if (replay_) {
-                TraceCapture capture(prog, traceByteCap_);
-                TeeSink tee({r.profile.get(), &capture});
-                m.run(&tee, job.config.maxInstrs);
-                r.trace = capture.take();
-            } else {
-                m.run(r.profile.get(), job.config.maxInstrs);
-            }
-            r.dynInstrs = r.profile->total();
-            r.simulateSec = secondsSince(t0);
-            return r;
-        });
+    RunCache::CaptureRef ref = captureFor(job);
 
     ExperimentOutcome out;
     out.isFloat = job.isFloat;
@@ -182,6 +191,80 @@ ExperimentEngine::runJob(const ExperimentJob &job)
 }
 
 std::vector<ExperimentOutcome>
+ExperimentEngine::runFusedJobs(
+    const std::vector<const ExperimentJob *> &group)
+{
+    obs::Span job_span("fused_job", "runner");
+    const ExperimentJob &lead = *group.front();
+    const Program &prog = *lead.program;
+
+    // All lanes share one CaptureKey, so any member can run the
+    // capture; a cache hit here (a previous batch captured this key)
+    // must not skip any lane — each still gets its own analyzer.
+    RunCache::CaptureRef ref = captureFor(lead);
+
+    FusedAnalysisSink sink;
+    for (const ExperimentJob *job : group) {
+        DpgConfig dpg = job->config.dpg;
+        dpg.verify |= verify_;
+        sink.addLane(std::make_unique<DpgAnalyzer>(
+            prog, *ref.result->profile, dpg));
+    }
+
+    const auto t1 = Clock::now();
+    bool replayed = false;
+    if (ref.result->trace) {
+        obs::Span span("fused_replay", "runner");
+        ref.result->trace->replay(prog, sink);
+        replayed = true;
+        if (obsReplays_)
+            obsReplays_->add();
+    } else {
+        // Capture overflowed its byte cap (or replay is off): one
+        // re-simulation still feeds every lane — the fallback stays
+        // fused, staging blocks inside the sink.
+        obs::Span span("fused_resim", "runner");
+        Machine m(prog, *lead.input);
+        m.run(&sink, lead.config.maxInstrs);
+        if (obsReplayFallbacks_ && replay_)
+            obsReplayFallbacks_->add();
+    }
+    const double passSec = secondsSince(t1);
+
+    double laneSum = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i)
+        laneSum += sink.laneSeconds(i);
+
+    std::vector<ExperimentOutcome> outs(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        ExperimentOutcome &out = outs[i];
+        out.isFloat = group[i]->isFloat;
+        out.stats = sink.takeStats(i);
+        out.timing.assembleSec = group[i]->assembleSec;
+        out.timing.simulateSec = ref.result->simulateSec;
+        // Lane 0 stands for the cell that would have run the capture;
+        // the rest are sharers, mirroring the sequential accounting.
+        out.timing.captureShared = i == 0 ? ref.hit : true;
+        out.timing.dynInstrs = ref.result->dynInstrs;
+        out.timing.replayed = replayed;
+        out.timing.analyzeSec = sink.laneSeconds(i);
+        out.timing.fused = true;
+        out.timing.fusedLanes = static_cast<unsigned>(group.size());
+        out.timing.laneIndex = static_cast<unsigned>(i);
+        if (i == 0) {
+            out.timing.dispatchSec =
+                passSec > laneSum ? passSec - laneSum : 0.0;
+        }
+    }
+
+    if (obsFusedGroups_)
+        obsFusedGroups_->add();
+    if (obsFusedLanes_)
+        obsFusedLanes_->add(group.size());
+    return outs;
+}
+
+std::vector<ExperimentOutcome>
 ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 {
     const auto t0 = Clock::now();
@@ -191,37 +274,63 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
     std::vector<ExperimentOutcome> results(jobs.size());
     std::vector<std::exception_ptr> errors(jobs.size());
 
-    // Captures are released as soon as their last cell finishes, so
+    // Work items. Fused mode coalesces every set of cells sharing one
+    // CaptureKey — same (program, input, budget), so the cells differ
+    // only in predictor config — into one item analyzed in a single
+    // pass; different budgets produce different keys and never
+    // coalesce. Sequential mode keeps one item per cell. Lane order
+    // inside an item is submission order, so fused outcomes land in
+    // the same result slots the sequential path fills.
+    struct WorkItem
+    {
+        std::vector<std::size_t> jobIdx;
+    };
+    std::vector<WorkItem> items;
+
+    // Captures are released as soon as their last item finishes, so
     // resident trace memory tracks the in-flight set, not the batch.
     // The per-key refcounts live in a vector sized up front and
-    // indexed per job: workers decrement through a stable index, with
-    // no hash lookup — and no possibility of an operator[] insert
-    // rehashing the table — under the lock.
+    // indexed per item: workers decrement through a stable index,
+    // with no hash lookup — and no possibility of an operator[]
+    // insert rehashing the table — under the lock.
     struct CaptureGroup
     {
         CaptureKey key;
         unsigned remaining = 0;
     };
     std::vector<CaptureGroup> groups;
-    std::vector<std::size_t> groupOf(jobs.size());
+    std::vector<std::size_t> groupOf;
     {
         std::unordered_map<CaptureKey, std::size_t, CaptureKeyHash>
             index;
+        std::vector<std::size_t> itemOf; // key group -> fused item
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const CaptureKey key = keyOf(jobs[i]);
             const auto [it, inserted] =
                 index.emplace(key, groups.size());
-            if (inserted)
+            if (inserted) {
                 groups.push_back(CaptureGroup{key, 0});
-            groupOf[i] = it->second;
-            ++groups[it->second].remaining;
+                itemOf.push_back(items.size());
+            }
+            if (fused_) {
+                if (inserted) {
+                    items.push_back(WorkItem{});
+                    groupOf.push_back(it->second);
+                    ++groups[it->second].remaining;
+                }
+                items[itemOf[it->second]].jobIdx.push_back(i);
+            } else {
+                items.push_back(WorkItem{{i}});
+                groupOf.push_back(it->second);
+                ++groups[it->second].remaining;
+            }
         }
     }
     std::mutex remaining_mutex;
 
     const unsigned nthreads = static_cast<unsigned>(
         std::max<std::size_t>(
-            1, std::min<std::size_t>(threads_, jobs.size())));
+            1, std::min<std::size_t>(threads_, items.size())));
 
     // Per-worker accumulators, merged in worker-index order after the
     // joins below: metric totals are sums, so the merged values are
@@ -243,16 +352,33 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
+            if (i >= items.size())
                 break;
+            const WorkItem &item = items[i];
             const auto jt0 = Clock::now();
             try {
-                results[i] = runJob(jobs[i]);
+                if (item.jobIdx.size() == 1) {
+                    const std::size_t j = item.jobIdx.front();
+                    results[j] = runJob(jobs[j]);
+                } else {
+                    std::vector<const ExperimentJob *> group;
+                    group.reserve(item.jobIdx.size());
+                    for (std::size_t j : item.jobIdx)
+                        group.push_back(&jobs[j]);
+                    std::vector<ExperimentOutcome> outs =
+                        runFusedJobs(group);
+                    for (std::size_t k = 0; k < item.jobIdx.size();
+                         ++k)
+                        results[item.jobIdx[k]] = std::move(outs[k]);
+                }
             } catch (...) {
-                errors[i] = std::current_exception();
+                // A fused pass fails as a unit: every lane's cell
+                // reports the same exception.
+                for (std::size_t j : item.jobIdx)
+                    errors[j] = std::current_exception();
             }
             local.busySec += secondsSince(jt0);
-            ++local.jobs;
+            local.jobs += item.jobIdx.size();
             CaptureGroup &group = groups[groupOf[i]];
             std::lock_guard<std::mutex> lock(remaining_mutex);
             if (--group.remaining == 0)

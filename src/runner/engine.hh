@@ -17,13 +17,24 @@
  *      — falling back to a second simulation only when the trace
  *      outgrew its byte cap.
  *
+ * Fused sweeps (default; see fused_sink.hh and DESIGN.md Sec. 10):
+ * cells sharing one CaptureKey — same (program, input, instruction
+ * budget), differing only in predictor configuration — coalesce into
+ * a single work item analyzed in ONE pass: the stream is decoded (or
+ * re-simulated, when the capture overflowed) once and each block is
+ * dispatched to every lane. Cells with different budgets never
+ * coalesce because their CaptureKeys differ. PPM_FUSED=0 restores
+ * one-pass-per-cell scheduling for bisection.
+ *
  * Each cell's analysis is bit-identical to the serial two-pass
- * runModel() path because the simulator is deterministic and the
- * captured stream is exact (asserted in tests/test_runner.cc).
+ * runModel() path because the simulator is deterministic, the
+ * captured stream is exact, and fused lanes are fully independent
+ * (asserted in tests/test_runner.cc and tests/test_fused.cc).
  *
  * Environment knobs (resolved at engine construction):
  *   PPM_THREADS       worker count (default: hardware concurrency)
  *   PPM_TRACE_MEM_MB  per-capture byte cap (default 256 MiB)
+ *   PPM_FUSED=0       disable fused sweeps (one pass per cell)
  *   PPM_REPLAY=0      disable capture/replay (always two-pass) —
  *                     the baseline for speedup measurements
  *   PPM_VERIFY=1      run every cell with differential verification:
@@ -72,6 +83,24 @@ struct StageTiming
     /** The capture was reused from the cache (another cell ran it). */
     bool captureShared = false;
 
+    /** This cell ran as one lane of a fused multi-cell pass. */
+    bool fused = false;
+
+    /** Lane count of the fused pass (0 when not fused). */
+    unsigned fusedLanes = 0;
+
+    /** This cell's lane index within the fused pass. */
+    unsigned laneIndex = 0;
+
+    /**
+     * Shared decode/staging cost of the fused pass (pass wall minus
+     * the per-lane analyze times), attributed once, on lane 0. For
+     * fused cells analyzeSec is the lane's own dispatch time only, so
+     * summing analyzeSec across lanes never double-counts the shared
+     * stream production (see stage_report.cc's shared_stages).
+     */
+    double dispatchSec = 0.0;
+
     std::uint64_t dynInstrs = 0;
 };
 
@@ -102,6 +131,7 @@ struct EngineOptions
     std::uint64_t traceByteCap = 0;
     std::optional<bool> replay;
     std::optional<bool> verify;
+    std::optional<bool> fused;
 };
 
 class ExperimentEngine
@@ -140,6 +170,7 @@ class ExperimentEngine
     unsigned threads() const { return threads_; }
     bool replayEnabled() const { return replay_; }
     bool verifyEnabled() const { return verify_; }
+    bool fusedEnabled() const { return fused_; }
     std::uint64_t traceByteCap() const { return traceByteCap_; }
 
     /** One entry per completed cell, in completion batches. */
@@ -163,11 +194,23 @@ class ExperimentEngine
   private:
     ExperimentOutcome runJob(const ExperimentJob &job);
 
+    /** Get-or-run the pass-1 capture for @p job's CaptureKey. */
+    RunCache::CaptureRef captureFor(const ExperimentJob &job);
+
+    /**
+     * Run a coalesced group of jobs — same CaptureKey, different
+     * predictor configs — through one FusedAnalysisSink pass.
+     * Outcomes are returned in @p group order.
+     */
+    std::vector<ExperimentOutcome>
+    runFusedJobs(const std::vector<const ExperimentJob *> &group);
+
     RunCache cache_;
     unsigned threads_ = 1;
     std::uint64_t traceByteCap_ = 0;
     bool replay_ = true;
     bool verify_ = false;
+    bool fused_ = true;
     bool reportAtExit_ = false;
 
     /** Metric handles; null when observability is off (obs/obs.hh). */
@@ -176,6 +219,8 @@ class ExperimentEngine
     obs::Counter *obsSimulations_ = nullptr;
     obs::Counter *obsReplays_ = nullptr;
     obs::Counter *obsReplayFallbacks_ = nullptr;
+    obs::Counter *obsFusedGroups_ = nullptr;
+    obs::Counter *obsFusedLanes_ = nullptr;
     obs::Counter *obsWorkerBusyUs_ = nullptr;
 
     mutable std::mutex historyMutex_;

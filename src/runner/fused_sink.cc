@@ -1,0 +1,81 @@
+#include "runner/fused_sink.hh"
+
+#include <chrono>
+
+namespace ppm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+FusedAnalysisSink::FusedAnalysisSink()
+{
+    staged_.reserve(kStageBlock);
+}
+
+FusedAnalysisSink::~FusedAnalysisSink() = default;
+
+std::size_t
+FusedAnalysisSink::addLane(std::unique_ptr<DpgAnalyzer> analyzer)
+{
+    lanes_.push_back(Lane{std::move(analyzer), 0.0});
+    return lanes_.size() - 1;
+}
+
+void
+FusedAnalysisSink::dispatch(std::span<const DynInstr> block)
+{
+    // Two clock reads per lane per 256-instruction block (< 0.1 % of
+    // a lane's analyze cost) buy exact per-lane stage attribution.
+    for (Lane &lane : lanes_) {
+        const auto t0 = Clock::now();
+        lane.analyzer->onBlock(block);
+        lane.seconds += secondsSince(t0);
+    }
+}
+
+void
+FusedAnalysisSink::onInstr(const DynInstr &di)
+{
+    staged_.push_back(di);
+    if (staged_.size() >= kStageBlock) {
+        dispatch(std::span<const DynInstr>(staged_));
+        staged_.clear();
+    }
+}
+
+void
+FusedAnalysisSink::onBlock(std::span<const DynInstr> block)
+{
+    // Mixed delivery keeps program order: drain any staged singles
+    // before the producer's block goes out.
+    if (!staged_.empty()) {
+        dispatch(std::span<const DynInstr>(staged_));
+        staged_.clear();
+    }
+    dispatch(block);
+}
+
+void
+FusedAnalysisSink::onRunEnd()
+{
+    if (!staged_.empty()) {
+        dispatch(std::span<const DynInstr>(staged_));
+        staged_.clear();
+    }
+    for (Lane &lane : lanes_) {
+        const auto t0 = Clock::now();
+        lane.analyzer->onRunEnd();
+        lane.seconds += secondsSince(t0);
+    }
+}
+
+} // namespace ppm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fused sweep sink: one trace pass drives every predictor cell.
+ *
+ * A figure sweep is a matrix of (workload, predictor) cells whose
+ * rows share the identical deterministic instruction stream — only
+ * the predictor configuration differs. FusedAnalysisSink multiplexes
+ * that stream across N independent DpgAnalyzer lanes so the stream is
+ * produced (replay decode, or a fallback re-simulation) exactly once
+ * per row instead of once per cell. Each 256-instruction block is
+ * staged once and dispatched to every lane in submission order;
+ * per-lane prefersBlocks()/prefetch gating is preserved because each
+ * lane's own onBlock decides whether to run its prefetch pipeline.
+ *
+ * Lanes are fully independent — separate PredictorBank, value tables,
+ * pending-arc arenas, influence scratch — so interleaving blocks
+ * between lanes on one thread cannot perturb any lane's output; every
+ * cell stays byte-identical to the sequential path (pinned by
+ * tests/test_fused.cc and the golden and cross-path suites).
+ */
+
+#ifndef PPM_RUNNER_FUSED_SINK_HH
+#define PPM_RUNNER_FUSED_SINK_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dpg/dpg_analyzer.hh"
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** Multiplexing TraceSink owning N independent analyzer lanes. */
+class FusedAnalysisSink : public TraceSink
+{
+  public:
+    /**
+     * Instructions per staged block on the onInstr (re-simulation
+     * fallback) path. Matches CapturedTrace::kReplayBlock so both
+     * producers hand lanes the same lookahead window.
+     */
+    static constexpr std::size_t kStageBlock = 256;
+
+    FusedAnalysisSink();
+    ~FusedAnalysisSink() override;
+
+    /** Append a lane; returns its index. Lanes cannot be removed. */
+    std::size_t addLane(std::unique_ptr<DpgAnalyzer> analyzer);
+
+    std::size_t laneCount() const { return lanes_.size(); }
+
+    DpgAnalyzer &lane(std::size_t i) { return *lanes_[i].analyzer; }
+
+    /**
+     * Wall seconds spent inside lane @p i's onBlock/onRunEnd calls —
+     * the lane's own analyze cost, excluding the shared decode/staging
+     * work (which the caller attributes once; see StageTiming).
+     */
+    double laneSeconds(std::size_t i) const
+    {
+        return lanes_[i].seconds;
+    }
+
+    /** Finalize lane @p i and take its statistics. */
+    DpgStats takeStats(std::size_t i)
+    {
+        return lanes_[i].analyzer->takeStats();
+    }
+
+    /**
+     * Simulator path: Machine::run emits one instruction at a time,
+     * so the sink stages its own kStageBlock-sized batches before
+     * dispatching to the lanes.
+     */
+    void onInstr(const DynInstr &di) override;
+
+    /** Replay path: dispatch the producer's block to every lane. */
+    void onBlock(std::span<const DynInstr> block) override;
+
+    /**
+     * Always batch: even when no lane runs a prefetch pipeline the
+     * staging cost is paid once for N lanes, so blocks win for the
+     * sink as a whole.
+     */
+    bool prefersBlocks() const override { return true; }
+
+    /** Flush any staged partial block, then end every lane's run. */
+    void onRunEnd() override;
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<DpgAnalyzer> analyzer;
+        double seconds = 0.0;
+    };
+
+    /** Timed per-lane fan-out of one block. */
+    void dispatch(std::span<const DynInstr> block);
+
+    std::vector<Lane> lanes_;
+
+    /** Staging buffer for the onInstr fallback path. */
+    std::vector<DynInstr> staged_;
+};
+
+} // namespace ppm
+
+#endif // PPM_RUNNER_FUSED_SINK_HH

@@ -18,11 +18,14 @@ struct Totals
     double assembleSec = 0.0;
     double simulateSec = 0.0;
     double analyzeSec = 0.0;
+    double dispatchSec = 0.0;
     std::uint64_t dynInstrs = 0;
     std::uint64_t runs = 0;
     std::uint64_t simulations = 0;
     std::uint64_t replays = 0;
     std::uint64_t captureHits = 0;
+    std::uint64_t fusedGroups = 0;
+    std::uint64_t fusedLanes = 0;
 };
 
 Totals
@@ -42,8 +45,20 @@ accumulate(const std::vector<ExperimentEngine::TimedRun> &runs)
             ++t.simulations;
             t.simulateSec += run.timing.simulateSec;
         }
-        if (run.timing.replayed)
+        // Shared stages of a fused pass are attributed to lane 0
+        // only, so every per-group cost is counted exactly once even
+        // though all lanes carry replayed/fused flags.
+        if (run.timing.fused) {
+            t.fusedLanes += 1;
+            if (run.timing.laneIndex == 0) {
+                ++t.fusedGroups;
+                t.dispatchSec += run.timing.dispatchSec;
+                if (run.timing.replayed)
+                    ++t.replays;
+            }
+        } else if (run.timing.replayed) {
             ++t.replays;
+        }
     }
     return t;
 }
@@ -93,9 +108,22 @@ writeBenchJson(std::ostream &os, const ExperimentEngine &engine)
            << ",\"dyn_instrs\":" << run.timing.dynInstrs
            << ",\"replayed\":" << boolStr(run.timing.replayed)
            << ",\"capture_shared\":"
-           << boolStr(run.timing.captureShared) << "}";
+           << boolStr(run.timing.captureShared)
+           << ",\"fused\":" << boolStr(run.timing.fused)
+           << ",\"lanes\":" << run.timing.fusedLanes
+           << ",\"lane\":" << run.timing.laneIndex << "}";
     }
     os << "]";
+
+    // Costs paid once per fused group (stream production), reported
+    // apart from the per-lane analyze times above so that summing
+    // analyze_s over runs plus shared_stages never double-counts.
+    os << ",\"shared_stages\":{"
+       << "\"simulate_s\":" << t.simulateSec
+       << ",\"dispatch_s\":" << t.dispatchSec
+       << ",\"fused_groups\":" << t.fusedGroups
+       << ",\"fused_lanes\":" << t.fusedLanes
+       << ",\"replay_passes\":" << t.replays << "}";
 
     os << ",\"totals\":{"
        << "\"runs\":" << t.runs
@@ -105,6 +133,7 @@ writeBenchJson(std::ostream &os, const ExperimentEngine &engine)
        << ",\"assemble_s\":" << t.assembleSec
        << ",\"simulate_s\":" << t.simulateSec
        << ",\"analyze_s\":" << t.analyzeSec
+       << ",\"dispatch_s\":" << t.dispatchSec
        << ",\"dyn_instrs\":" << t.dynInstrs
        << ",\"instrs_per_s\":"
        << (wall > 0.0 ? double(t.dynInstrs) / wall : 0.0) << "}";
@@ -122,7 +151,12 @@ printStageSummary(std::ostream &os, const ExperimentEngine &engine)
     os << "[ppm] " << t.runs << " runs on " << engine.threads()
        << " thread(s): " << t.simulations << " simulation(s), "
        << t.replays << " replay(s), " << t.captureHits
-       << " capture reuse(s)\n"
+       << " capture reuse(s)";
+    if (t.fusedGroups > 0) {
+        os << ", " << t.fusedLanes << " lanes fused into "
+           << t.fusedGroups << " pass(es)";
+    }
+    os << "\n"
        << "[ppm] stage wall: assemble "
        << formatDouble(t.assembleSec, 2) << "s, simulate "
        << formatDouble(t.simulateSec, 2) << "s, analyze "

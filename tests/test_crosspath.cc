@@ -1,10 +1,11 @@
 /**
  * @file
  * Cross-path differential test: the serial two-pass reference, the
- * single-thread trace-replay engine, and the multi-thread
- * cache-shared replay engine must all produce byte-identical figure
- * CSV text for every workload. Any scheduling, capture, or replay
- * divergence shows up as a text diff.
+ * single-thread trace-replay engine, the multi-thread cache-shared
+ * replay engine, and the fused single-pass sweep engine (one stream
+ * pass driving every predictor lane) must all produce byte-identical
+ * figure CSV text for every workload. Any scheduling, capture,
+ * replay, or lane-multiplexing divergence shows up as a text diff.
  */
 
 #include <gtest/gtest.h>
@@ -74,13 +75,14 @@ serialCsv()
     return out.str();
 }
 
-/** Paths (b)/(c): the replay engine with a given thread count. */
+/** Paths (b)-(e): the replay engine, sequential or fused. */
 std::string
-engineCsv(unsigned threads)
+engineCsv(unsigned threads, bool fused)
 {
     EngineOptions opts;
     opts.threads = threads;
     opts.replay = true;
+    opts.fused = fused;
     ExperimentEngine engine(opts);
 
     ExperimentConfig base;
@@ -106,8 +108,10 @@ engineCsv(unsigned threads)
 TEST(CrossPath, AllPathsProduceByteIdenticalFigureCsv)
 {
     const std::string serial = serialCsv();
-    const std::string replay1 = engineCsv(/*threads=*/1);
-    const std::string replay4 = engineCsv(/*threads=*/4);
+    const std::string replay1 = engineCsv(/*threads=*/1, false);
+    const std::string replay4 = engineCsv(/*threads=*/4, false);
+    const std::string fused1 = engineCsv(/*threads=*/1, true);
+    const std::string fused4 = engineCsv(/*threads=*/4, true);
 
     // Sanity: one header plus 12 workloads x 3 predictors of rows.
     const auto rows = static_cast<std::size_t>(
@@ -118,6 +122,10 @@ TEST(CrossPath, AllPathsProduceByteIdenticalFigureCsv)
         << "serial two-pass vs single-thread trace replay diverged";
     EXPECT_EQ(serial, replay4)
         << "serial two-pass vs 4-thread cache-shared replay diverged";
+    EXPECT_EQ(serial, fused1)
+        << "serial two-pass vs single-thread fused sweep diverged";
+    EXPECT_EQ(serial, fused4)
+        << "serial two-pass vs 4-thread fused sweep diverged";
 }
 
 } // namespace

@@ -254,6 +254,10 @@ TEST(ExperimentEngine, CaptureSharedAcrossPredictorConfigs)
     EngineOptions opts;
     opts.threads = 1;  // Serialize so hit accounting is exact.
     opts.replay = true;
+    // Sequential scheduling: this test pins the per-cell cache hit
+    // accounting. The fused path's one-lookup-per-group accounting is
+    // pinned in tests/test_fused.cc.
+    opts.fused = false;
     ExperimentEngine engine(opts);
 
     const auto outcomes = engine.run(engine.workloadMatrix(

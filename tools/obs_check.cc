@@ -215,24 +215,42 @@ checkConsistency(const std::map<std::string, std::uint64_t> &spans,
                           std::to_string(b) + ")");
     };
 
+    // Fused sweeps change the unit of work: N coalesced cells (lanes)
+    // run as one pass, so stream-level spans and counters scale with
+    // passes while jobs_completed still counts cells. A sequential
+    // cell is a pass of its own.
     const std::uint64_t jobs =
         counterOr0(counters, "runner.jobs_completed");
+    const std::uint64_t fusedGroups =
+        counterOr0(counters, "runner.fused_groups");
+    const std::uint64_t fusedLanes =
+        counterOr0(counters, "runner.fused_lanes");
+    const std::uint64_t passes = jobs - fusedLanes + fusedGroups;
     check(jobs > 0, "consistency: no jobs recorded");
-    expectEq("span(job) == runner.jobs_completed",
-             counterOr0(spans, "job"), jobs);
-    expectEq("span(analyze) == runner.jobs_completed",
-             counterOr0(spans, "analyze"), jobs);
+    check(fusedLanes <= jobs,
+          "consistency: fused lanes exceed jobs_completed");
+    expectEq("span(job) + fused lanes == runner.jobs_completed",
+             counterOr0(spans, "job") + fusedLanes, jobs);
+    expectEq("span(fused_job) == runner.fused_groups",
+             counterOr0(spans, "fused_job"), fusedGroups);
+    expectEq("span(analyze) + fused lanes == runner.jobs_completed",
+             counterOr0(spans, "analyze") + fusedLanes, jobs);
     expectEq("span(simulate) == runner.simulations",
              counterOr0(spans, "simulate"),
              counterOr0(counters, "runner.simulations"));
-    expectEq("capture hits + misses == runner.jobs_completed",
+    expectEq("capture hits + misses == work passes",
              counterOr0(counters, "cache.capture_hits") +
                  counterOr0(counters, "cache.capture_misses"),
-             jobs);
-    expectEq("replays + fallbacks == runner.jobs_completed",
-             counterOr0(counters, "runner.replays") +
-                 counterOr0(counters, "runner.replay_fallbacks"),
-             jobs);
+             passes);
+    // With PPM_REPLAY=0 neither counter moves (re-simulation is the
+    // chosen mode, not a fallback), so zero activity is the one legal
+    // shortfall; any nonzero total must cover every pass.
+    const std::uint64_t replayActivity =
+        counterOr0(counters, "runner.replays") +
+        counterOr0(counters, "runner.replay_fallbacks");
+    if (replayActivity != 0)
+        expectEq("replays + fallbacks == work passes", replayActivity,
+                 passes);
 
     for (const char *role : {"output", "input", "branch"}) {
         const std::string base = std::string("pred.") + role;
