@@ -1,0 +1,536 @@
+#include "verify/families.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/rng.hh"
+#include "verify/progen.hh"
+
+namespace ppm::verify {
+
+namespace {
+
+/**
+ * Register conventions shared by every template (progen's, extended):
+ * $2/$3 address scratch, $4..$15 data, $16/$17/$18 loop counters,
+ * $20..$28 family state (chase pointers, interpreter ip, LFSR),
+ * $29 stack pointer (call-tree only), $31 link register.
+ */
+
+/** One seeded ALU op over the data registers $8..$15. */
+void
+emitDataOp(std::ostringstream &os, Rng &rng)
+{
+    static const char *kOps[] = {"add", "sub", "xor", "or",
+                                 "and", "mul", "slt", "sne"};
+    const unsigned rd = 8 + rng.nextBelow(8);
+    const unsigned rs1 = 8 + rng.nextBelow(8);
+    switch (rng.nextBelow(3)) {
+      case 0:
+        os << "        addi $" << rd << ", $" << rs1 << ", "
+           << rng.nextRange(-64, 63) << "\n";
+        break;
+      case 1:
+        os << "        " << (rng.chancePercent(50) ? "srl" : "sll")
+           << " $" << rd << ", $" << rs1 << ", "
+           << 1 + rng.nextBelow(15) << "\n";
+        break;
+      default:
+        os << "        " << kOps[rng.nextBelow(8)] << " $" << rd
+           << ", $" << rs1 << ", $" << (8 + rng.nextBelow(8))
+           << "\n";
+        break;
+    }
+}
+
+/** Data-register warm-up so day-one values differ per seed. */
+void
+emitRegInit(std::ostringstream &os, Rng &rng)
+{
+    for (unsigned r = 8; r < 16; ++r) {
+        os << "        li $" << r << ", "
+           << static_cast<std::int64_t>(rng.nextSkewed(20)) << "\n";
+    }
+}
+
+/** Odd 64-bit mixing constants (splitmix64 / Lehmer lineage). */
+constexpr std::int64_t kMixers[] = {
+    -7046029254386353131LL,   // 0x9e3779b97f4a7c15
+    -4658895280553007687LL,   // 0xbf58476d1ce4e5b9
+    -7723592293110705685LL,   // 0x94d049bb133111eb
+    2862933555777941757LL,
+    6364136223846793005LL,
+    -2401053088876216593LL,   // 0xdeadbeefcafef00f-ish odd
+};
+
+} // namespace
+
+std::string
+genPointerChase(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    const unsigned words = 64u << rng.nextBelow(3);     // 64/128/256
+    const unsigned stride = 1 + 2 * static_cast<unsigned>(
+                                    rng.nextBelow(words / 2)); // odd
+    const unsigned iters =
+        1500 + static_cast<unsigned>(rng.nextBelow(3500));
+    const bool twoChains = rng.chancePercent(50);
+    const unsigned extraOps =
+        static_cast<unsigned>(rng.nextBelow(4));
+
+    os << "        .data\n";
+    os << "nodes:  .space " << words << "\n";
+    os << "        .text\n";
+    os << "main:\n";
+    emitRegInit(os, rng);
+
+    // Build a single ring: next[i] = (i + stride) mod words, stride
+    // odd and words a power of two, so the walk visits every node.
+    os << "        li $4, 0\n";
+    os << "        li $5, " << words << "\n";
+    os << "build:\n";
+    os << "        sll  $2, $4, 3\n";
+    os << "        la   $3, nodes\n";
+    os << "        addu $2, $2, $3\n";
+    os << "        addi $6, $4, " << stride << "\n";
+    os << "        andi $6, $6, " << (words - 1) << "\n";
+    os << "        sll  $7, $6, 3\n";
+    os << "        addu $7, $7, $3\n";
+    os << "        st   $7, 0($2)\n";
+    os << "        addi $4, $4, 1\n";
+    os << "        bne  $4, $5, build\n";
+
+    // Walk: each load's value is the next load's address — the
+    // pass-through chain the pointer-chasing class is named for.
+    os << "        la   $20, nodes\n";
+    if (twoChains) {
+        const unsigned start =
+            static_cast<unsigned>(rng.nextBelow(words));
+        os << "        la   $21, nodes\n";
+        os << "        addi $21, $21, " << (8 * start) << "\n";
+    }
+    os << "        li   $16, " << iters << "\n";
+    os << "walk:\n";
+    os << "        ld   $20, 0($20)\n";
+    os << "        add  $8, $8, $20\n";
+    if (twoChains) {
+        os << "        ld   $21, 0($21)\n";
+        os << "        xor  $9, $9, $21\n";
+    }
+    for (unsigned i = 0; i < extraOps; ++i)
+        emitDataOp(os, rng);
+    os << "        addi $16, $16, -1\n";
+    os << "        bnez $16, walk\n";
+    os << "        halt\n";
+    return os.str();
+}
+
+std::string
+genHashChurn(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    const unsigned buckets = 256u << rng.nextBelow(3); // 256/512/1024
+    const unsigned iters =
+        1200 + static_cast<unsigned>(rng.nextBelow(2400));
+    const unsigned shift =
+        29 + static_cast<unsigned>(rng.nextBelow(17));
+    const std::int64_t mult = kMixers[rng.nextBelow(6)];
+    const std::int64_t mix = kMixers[rng.nextBelow(6)];
+    const std::int64_t inc =
+        1 + 2 * static_cast<std::int64_t>(rng.nextBelow(1u << 20));
+    const bool deletes = rng.chancePercent(60);
+    const unsigned delPeriod = 4u << rng.nextBelow(3); // 4/8/16
+    const bool doubleHash = rng.chancePercent(40);
+
+    os << "        .data\n";
+    os << "table:  .space " << buckets << "\n";
+    os << "        .text\n";
+    os << "main:\n";
+    emitRegInit(os, rng);
+    os << "        li $4, "
+       << static_cast<std::int64_t>(seed | 1) << "\n";
+    os << "        li $16, " << iters << "\n";
+    os << "loop:\n";
+    // LCG key stream, then a multiplicative hash into the table.
+    os << "        li   $5, " << mult << "\n";
+    os << "        mul  $4, $4, $5\n";
+    os << "        addi $4, $4, " << (inc & 0x7ff) << "\n";
+    os << "        li   $6, " << mix << "\n";
+    os << "        mul  $7, $4, $6\n";
+    os << "        srl  $7, $7, " << shift << "\n";
+    os << "        andi $7, $7, " << (buckets - 1) << "\n";
+    os << "        sll  $2, $7, 3\n";
+    os << "        la   $3, table\n";
+    os << "        addu $2, $2, $3\n";
+    os << "        ld   $8, 0($2)\n";
+    os << "        beqz $8, ins\n";
+    os << "        add  $8, $8, $4\n";
+    os << "        st   $8, 0($2)\n";
+    os << "        j    upd\n";
+    os << "ins:\n";
+    os << "        st   $4, 0($2)\n";
+    os << "upd:\n";
+    if (doubleHash) {
+        // Second, differently-mixed probe: read-modify-write.
+        os << "        srl  $9, $4, " << (shift / 2) << "\n";
+        os << "        andi $9, $9, " << (buckets - 1) << "\n";
+        os << "        sll  $2, $9, 3\n";
+        os << "        addu $2, $2, $3\n";
+        os << "        ld   $10, 0($2)\n";
+        os << "        xor  $10, $10, $4\n";
+        os << "        st   $10, 0($2)\n";
+    }
+    if (deletes) {
+        // Periodic tombstoning keeps the occupancy churning.
+        os << "        andi $11, $16, " << (delPeriod - 1) << "\n";
+        os << "        bnez $11, nodel\n";
+        os << "        st   $0, 0($2)\n";
+        os << "nodel:\n";
+    }
+    os << "        addi $16, $16, -1\n";
+    os << "        bnez $16, loop\n";
+    os << "        halt\n";
+    return os.str();
+}
+
+std::string
+genInterpDispatch(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    const unsigned handlers =
+        4 + static_cast<unsigned>(rng.nextBelow(7));   // 4..10
+    const unsigned proglen =
+        16 + static_cast<unsigned>(rng.nextBelow(33)); // 16..48
+    const unsigned passes =
+        20 + static_cast<unsigned>(rng.nextBelow(61)); // 20..80
+
+    // Bytecode drawn up front so the .data section precedes .text.
+    std::vector<unsigned> code(proglen);
+    for (unsigned &op : code)
+        op = static_cast<unsigned>(rng.nextBelow(handlers));
+
+    os << "        .data\n";
+    os << "handlers: .word ";
+    for (unsigned h = 0; h < handlers; ++h)
+        os << (h ? ", " : "") << "h" << h;
+    os << "\n";
+    os << "bytecode: .word ";
+    for (unsigned i = 0; i < proglen; ++i)
+        os << (i ? ", " : "") << code[i];
+    os << "\n";
+    os << "        .text\n";
+    os << "main:\n";
+    emitRegInit(os, rng);
+    os << "        li   $20, 0\n";
+    os << "        li   $16, " << passes << "\n";
+    os << "        la   $21, bytecode\n";
+    os << "        la   $22, handlers\n";
+    os << "loop:\n";
+    // Fetch the opcode, load the handler address, dispatch through
+    // the register-indirect jump — the classic interpreter shape.
+    os << "        sll  $2, $20, 3\n";
+    os << "        addu $2, $2, $21\n";
+    os << "        ld   $5, 0($2)\n";
+    os << "        sll  $2, $5, 3\n";
+    os << "        addu $2, $2, $22\n";
+    os << "        ld   $6, 0($2)\n";
+    os << "        jr   $6\n";
+    os << "back:\n";
+    os << "        addi $20, $20, 1\n";
+    os << "        li   $7, " << proglen << "\n";
+    os << "        bne  $20, $7, loop\n";
+    os << "        li   $20, 0\n";
+    os << "        addi $16, $16, -1\n";
+    os << "        bnez $16, loop\n";
+    os << "        halt\n";
+    for (unsigned h = 0; h < handlers; ++h) {
+        os << "h" << h << ":\n";
+        const unsigned ops =
+            1 + static_cast<unsigned>(rng.nextBelow(4));
+        for (unsigned i = 0; i < ops; ++i)
+            emitDataOp(os, rng);
+        os << "        j    back\n";
+    }
+    return os.str();
+}
+
+std::string
+genCallTree(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    // Either a full binary recursion (small depth) or a
+    // data-dependent one whose right child fires on an accumulator
+    // bit (deeper, sparser tree). The argument strictly decreases,
+    // so termination is structural.
+    const bool conditional = rng.chancePercent(50);
+    const unsigned depth =
+        conditional ? 8 + static_cast<unsigned>(rng.nextBelow(5))
+                    : 6 + static_cast<unsigned>(rng.nextBelow(4));
+    const unsigned mask = conditional ? (rng.chancePercent(50) ? 1 : 3)
+                                      : 0;
+    const unsigned bodyOps =
+        1 + static_cast<unsigned>(rng.nextBelow(4));
+    const unsigned leafOps =
+        1 + static_cast<unsigned>(rng.nextBelow(3));
+
+    os << "        .data\n";
+    os << "stack:  .space 64\n";
+    os << "        .text\n";
+    os << "main:\n";
+    emitRegInit(os, rng);
+    os << "        la   $29, stack\n";
+    os << "        addi $29, $29, " << (8 * 64) << "\n";
+    os << "        li   $4, " << depth << "\n";
+    os << "        jal  rec\n";
+    os << "        halt\n";
+    os << "rec:\n";
+    os << "        addi $29, $29, -24\n";
+    os << "        st   $31, 0($29)\n";
+    os << "        st   $4, 8($29)\n";
+    os << "        blez $4, leaf\n";
+    os << "        addi $4, $4, -1\n";
+    os << "        jal  rec\n";
+    os << "        ld   $4, 8($29)\n";
+    for (unsigned i = 0; i < bodyOps; ++i)
+        emitDataOp(os, rng);
+    if (conditional) {
+        os << "        andi $5, $8, " << mask << "\n";
+        os << "        bnez $5, leaf\n";
+    }
+    os << "        addi $4, $4, -1\n";
+    os << "        jal  rec\n";
+    os << "leaf:\n";
+    for (unsigned i = 0; i < leafOps; ++i)
+        emitDataOp(os, rng);
+    os << "        ld   $31, 0($29)\n";
+    os << "        addi $29, $29, 24\n";
+    os << "        ret\n";
+    return os.str();
+}
+
+std::string
+genStreamStride(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    const unsigned words = 128u << rng.nextBelow(3); // 128/256/512
+    const unsigned passes =
+        2 + static_cast<unsigned>(rng.nextBelow(4)); // 2..5
+    const std::int64_t fill = kMixers[rng.nextBelow(6)];
+
+    os << "        .data\n";
+    os << "arra:   .space " << words << "\n";
+    os << "arrb:   .space " << words << "\n";
+    os << "        .text\n";
+    os << "main:\n";
+    emitRegInit(os, rng);
+
+    // Init pass: a[i] = i * fill (cheap LCG-ish content).
+    os << "        li   $4, 0\n";
+    os << "        li   $5, " << words << "\n";
+    os << "        li   $6, " << fill << "\n";
+    os << "        la   $3, arra\n";
+    os << "init:\n";
+    os << "        mul  $7, $4, $6\n";
+    os << "        sll  $2, $4, 3\n";
+    os << "        addu $2, $2, $3\n";
+    os << "        st   $7, 0($2)\n";
+    os << "        addi $4, $4, 1\n";
+    os << "        bne  $4, $5, init\n";
+
+    // Strided sweeps: idx = (idx + stride) & (words-1), one full
+    // cycle per pass (stride odd -> full period).
+    for (unsigned p = 0; p < passes; ++p) {
+        const unsigned stride = 1 + 2 * static_cast<unsigned>(
+                                        rng.nextBelow(words / 2));
+        os << "        li   $4, 0\n";
+        os << "        li   $16, " << words << "\n";
+        os << "sweep" << p << ":\n";
+        os << "        addi $4, $4, " << stride << "\n";
+        os << "        andi $4, $4, " << (words - 1) << "\n";
+        os << "        sll  $2, $4, 3\n";
+        os << "        addu $2, $2, $3\n";
+        os << "        ld   $8, 0($2)\n";
+        switch (rng.nextBelow(3)) {
+          case 0: os << "        add  $9, $9, $8\n"; break;
+          case 1: os << "        xor  $10, $10, $8\n"; break;
+          default: os << "        sub  $11, $8, $11\n"; break;
+        }
+        os << "        addi $16, $16, -1\n";
+        os << "        bnez $16, sweep" << p << "\n";
+    }
+
+    // Copy kernel: b[i] = a[i] * c — unit-stride load/store pairs.
+    const std::int64_t scale =
+        1 + static_cast<std::int64_t>(rng.nextBelow(1000));
+    os << "        li   $4, 0\n";
+    os << "        li   $5, " << words << "\n";
+    os << "        li   $6, " << scale << "\n";
+    os << "        la   $12, arrb\n";
+    os << "copy:\n";
+    os << "        sll  $2, $4, 3\n";
+    os << "        addu $13, $2, $3\n";
+    os << "        ld   $7, 0($13)\n";
+    os << "        mul  $7, $7, $6\n";
+    os << "        addu $13, $2, $12\n";
+    os << "        st   $7, 0($13)\n";
+    os << "        addi $4, $4, 1\n";
+    os << "        bne  $4, $5, copy\n";
+    os << "        halt\n";
+    return os.str();
+}
+
+std::string
+genBranchCorr(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream os;
+
+    const unsigned iters =
+        1000 + static_cast<unsigned>(rng.nextBelow(3000));
+    const unsigned blocks =
+        2 + static_cast<unsigned>(rng.nextBelow(4)); // 2..5
+    const std::int64_t taps = kMixers[rng.nextBelow(6)];
+
+    os << "        .data\n";
+    os << "sink:   .space 8\n";
+    os << "        .text\n";
+    os << "main:\n";
+    emitRegInit(os, rng);
+    os << "        li   $20, "
+       << static_cast<std::int64_t>((seed * 2 + 1) & 0xffffffff)
+       << "\n";
+    os << "        li   $16, " << iters << "\n";
+    os << "loop:\n";
+    // First block always tests bit 0 and remembers it in $24 so later
+    // blocks can correlate on it.
+    os << "        andi $24, $20, 1\n";
+    os << "        beqz $24, b0f\n";
+    os << "        addi $8, $8, 3\n";
+    os << "        j    b0e\n";
+    os << "b0f:\n";
+    os << "        addi $8, $8, 1\n";
+    os << "b0e:\n";
+    for (unsigned b = 1; b < blocks; ++b) {
+        switch (rng.nextBelow(4)) {
+          case 0: {
+            // Branch on a higher LFSR bit.
+            const unsigned bit =
+                1 + static_cast<unsigned>(rng.nextBelow(12));
+            os << "        srl  $5, $20, " << bit << "\n";
+            os << "        andi $5, $5, 1\n";
+            os << "        beqz $5, c" << b << "\n";
+            emitDataOp(os, rng);
+            os << "c" << b << ":\n";
+            break;
+          }
+          case 1: {
+            // Perfectly periodic: taken every 2^k-th iteration.
+            const unsigned period = 2u << rng.nextBelow(3); // 2/4/8
+            os << "        andi $5, $16, " << (period - 1) << "\n";
+            os << "        bnez $5, c" << b << "\n";
+            emitDataOp(os, rng);
+            os << "c" << b << ":\n";
+            break;
+          }
+          case 2: {
+            // Correlated with the block-0 outcome bit in $24.
+            os << "        srl  $5, $20, "
+               << (1 + rng.nextBelow(6)) << "\n";
+            os << "        andi $5, $5, 1\n";
+            os << "        xor  $5, $5, $24\n";
+            os << "        beqz $5, c" << b << "\n";
+            emitDataOp(os, rng);
+            os << "c" << b << ":\n";
+            break;
+          }
+          default: {
+            // Threshold on an accumulator (slowly drifting outcome).
+            os << "        slti $5, $8, "
+               << rng.nextRange(-512, 512) << "\n";
+            os << "        bnez $5, c" << b << "\n";
+            emitDataOp(os, rng);
+            os << "c" << b << ":\n";
+            break;
+          }
+        }
+    }
+    // Galois LFSR step on $20 (guarded xor keeps it data-dependent).
+    os << "        andi $25, $20, 1\n";
+    os << "        srl  $20, $20, 1\n";
+    os << "        beqz $25, nox\n";
+    os << "        li   $26, " << taps << "\n";
+    os << "        xor  $20, $20, $26\n";
+    os << "nox:\n";
+    os << "        addi $16, $16, -1\n";
+    os << "        bnez $16, loop\n";
+    os << "        la   $2, sink\n";
+    os << "        st   $8, 0($2)\n";
+    os << "        halt\n";
+    return os.str();
+}
+
+const std::vector<ScenarioFamily> &
+allFamilies()
+{
+    static const std::vector<ScenarioFamily> families = {
+        {"pointer-chase",
+         "linked ring walks: loads feed the next load's address",
+         genPointerChase, 200'000},
+        {"hash-churn",
+         "multiplicative-hash table insert/accumulate/delete churn",
+         genHashChurn, 200'000},
+        {"interp-dispatch",
+         "bytecode loop dispatching through a jump table (jr)",
+         genInterpDispatch, 300'000},
+        {"call-tree",
+         "bounded recursion over an explicit stack (jal/ret trees)",
+         genCallTree, 600'000},
+        {"stream-stride",
+         "strided array sweeps and a scaled copy kernel",
+         genStreamStride, 200'000},
+        {"branch-corr",
+         "LFSR-driven chains of correlated/periodic branches",
+         genBranchCorr, 600'000},
+        {"progen-mix",
+         "generic structured random programs (verify/progen)",
+         [](std::uint64_t seed) { return generateProgram(seed); },
+         kProgenInstrBound},
+    };
+    return families;
+}
+
+const ScenarioFamily &
+findFamily(std::string_view name)
+{
+    for (const ScenarioFamily &f : allFamilies()) {
+        if (f.name == name)
+            return f;
+    }
+    throw std::out_of_range("unknown scenario family '" +
+                            std::string(name) + "' (known: " +
+                            familyNames() + ")");
+}
+
+std::string
+familyNames()
+{
+    std::string out;
+    for (const ScenarioFamily &f : allFamilies()) {
+        if (!out.empty())
+            out += ",";
+        out += f.name;
+    }
+    return out;
+}
+
+} // namespace ppm::verify

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Scenario-family registry for the workload fuzzing farm.
+ *
+ * Each family is a seeded, parameterized program template modeled on a
+ * structural class known to stress branch/value predictability
+ * (pointer chasing, hash-table churn, interpreter dispatch, bounded
+ * recursion, streaming strides, correlated branch chains — see
+ * "Workload Characterization for Branch Predictability" in PAPERS.md),
+ * plus the generic progen mix. Every generator:
+ *
+ *  - draws only from support/rng.hh, so the same (family, seed) emits
+ *    byte-identical source on every platform and stdlib;
+ *  - emits valid YISA assembly (pinned by tests/test_families.cc);
+ *  - halts within the family's structural instrBound, because every
+ *    loop has a bounded trip count and every recursion a strictly
+ *    decreasing argument.
+ *
+ * The fuzz farm (verify/fuzz_farm.hh, `ppm fuzz`) sweeps seed ranges
+ * through these templates under full differential verification and
+ * records a predictability fingerprint per program.
+ */
+
+#ifndef PPM_VERIFY_FAMILIES_HH
+#define PPM_VERIFY_FAMILIES_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::verify {
+
+/** One seeded program-template family. */
+struct ScenarioFamily
+{
+    /** Short kebab-case name ("pointer-chase"). */
+    std::string name;
+
+    /** One-line description for `ppm fuzz --list`. */
+    std::string description;
+
+    /** Same seed -> byte-identical YISA source. */
+    std::function<std::string(std::uint64_t seed)> generate;
+
+    /**
+     * Upper bound on the dynamic instruction count of any program the
+     * template can emit (structural worst case, with headroom).
+     */
+    std::uint64_t instrBound = 0;
+};
+
+/** All registered families, in fixed presentation order. */
+const std::vector<ScenarioFamily> &allFamilies();
+
+/** Look up a family by name; throws std::out_of_range when missing. */
+const ScenarioFamily &findFamily(std::string_view name);
+
+/** Comma-separated family names (CLI help / error messages). */
+std::string familyNames();
+
+// Per-family generators (exposed for targeted tests).
+std::string genPointerChase(std::uint64_t seed);
+std::string genHashChurn(std::uint64_t seed);
+std::string genInterpDispatch(std::uint64_t seed);
+std::string genCallTree(std::uint64_t seed);
+std::string genStreamStride(std::uint64_t seed);
+std::string genBranchCorr(std::uint64_t seed);
+
+} // namespace ppm::verify
+
+#endif // PPM_VERIFY_FAMILIES_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Predictability fingerprints: one compact, canonical JSON object per
+ * analyzed program, summarizing what the DPG model said about it —
+ * per-predictor output/branch accuracy, generation/propagation/
+ * termination shares, and the arc-class mix. The fuzz farm (`ppm
+ * fuzz`) accumulates fingerprints into a corpus document; the external
+ * trace importer (`ppm import`) emits the same schema, so generated
+ * programs, hand-written workloads, and real traces are comparable
+ * row-for-row.
+ *
+ * Canonical form: fixed key order, integers verbatim, ratios printed
+ * with printf("%.4f") — byte-identical for identical DpgStats on every
+ * platform (asserted across all four execution paths by
+ * tests/test_fuzz_crosspath.cc).
+ *
+ * Schemas:
+ *   ppm-fingerprint-v1   one program
+ *   ppm-fuzz-corpus-v1   {"schema","programs":[fingerprint...]}
+ */
+
+#ifndef PPM_VERIFY_FINGERPRINT_HH
+#define PPM_VERIFY_FINGERPRINT_HH
+
+#include <string>
+#include <vector>
+
+#include "dpg/dpg_analyzer.hh"
+
+namespace ppm {
+class JsonValue;
+} // namespace ppm
+
+namespace ppm::verify {
+
+/**
+ * Render the fingerprint of one program. @p source names the intake
+ * path and program ("family:hash-churn", "trace:gcc.trace",
+ * "workload:compress"); @p seed is 0 for non-generated programs.
+ * @p runs must hold one DpgStats per predictor, all from the same
+ * program + input, in the order they should appear.
+ */
+std::string fingerprintJson(const std::string &source,
+                            std::uint64_t seed,
+                            const std::vector<DpgStats> &runs);
+
+/**
+ * Validate one parsed ppm-fingerprint-v1 object. Returns one message
+ * per violation (empty = valid): missing/mistyped keys, percentages
+ * outside [0,100], gen+prop+term exceeding 100, negative counts,
+ * malformed arc-mix shape.
+ */
+std::vector<std::string> validateFingerprint(const JsonValue &fp);
+
+/**
+ * Validate a whole ppm-fuzz-corpus-v1 document (schema header plus
+ * every contained fingerprint; messages are prefixed with the
+ * offending program index).
+ */
+std::vector<std::string> validateCorpus(const JsonValue &doc);
+
+/** Wrap fingerprints into a ppm-fuzz-corpus-v1 document. */
+std::string corpusJson(const std::vector<std::string> &fingerprints);
+
+} // namespace ppm::verify
+
+#endif // PPM_VERIFY_FINGERPRINT_HH

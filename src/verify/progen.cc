@@ -52,19 +52,24 @@ emitAluOp(std::ostringstream &os, Rng &rng)
 
 /** Emit a bounded memory access into the scratch array. */
 void
-emitMemOp(std::ostringstream &os, Rng &rng, unsigned mem_words)
+emitMemOp(std::ostringstream &os, Rng &rng,
+          const ProgenOptions &opts)
 {
     const unsigned rv = 4 + rng.nextBelow(12);
     const unsigned ra = 4 + rng.nextBelow(12);
-    os << "        andi $2, $" << ra << ", " << (mem_words - 1)
+    os << "        andi $2, $" << ra << ", " << (opts.memWords - 1)
        << "\n";
     os << "        sll  $2, $2, 3\n";
     os << "        la   $3, scratch\n";
     os << "        addu $2, $2, $3\n";
-    if (rng.chancePercent(50))
+    if (rng.chancePercent(50)) {
         os << "        st $" << rv << ", 0($2)\n";
-    else
+        // Edge mode: read the freshly stored word straight back.
+        if (opts.storeBeforeLoad)
+            os << "        ld $" << rv << ", 0($2)\n";
+    } else {
         os << "        ld $" << rv << ", 0($2)\n";
+    }
 }
 
 /** One random body op: ALU, or memory when enabled. */
@@ -73,9 +78,25 @@ emitBodyOp(std::ostringstream &os, Rng &rng,
            const ProgenOptions &opts)
 {
     if (opts.memOps && rng.chancePercent(25))
-        emitMemOp(os, rng, opts.memWords);
+        emitMemOp(os, rng, opts);
     else
         emitAluOp(os, rng);
+}
+
+/**
+ * Body-op count for a block or subroutine: uniform in
+ * [minBodyOps, maxBodyOps]. With the default minBodyOps = 1 this
+ * consumes the draw stream identically to the original
+ * 1 + nextBelow(maxBodyOps), so default-option programs are
+ * byte-for-byte unchanged (pinned by the progen determinism golden).
+ */
+unsigned
+drawBodyOps(Rng &rng, const ProgenOptions &opts)
+{
+    const unsigned lo =
+        opts.minBodyOps < opts.maxBodyOps ? opts.minBodyOps
+                                          : opts.maxBodyOps;
+    return lo + rng.nextBelow(opts.maxBodyOps - lo + 1);
 }
 
 } // namespace
@@ -101,11 +122,18 @@ generateProgram(std::uint64_t seed, const ProgenOptions &opts)
 
     const unsigned blocks = 1 + rng.nextBelow(opts.maxBlocks);
     for (unsigned b = 0; b < blocks; ++b) {
-        const unsigned outer_iters = 2 + rng.nextBelow(60);
+        // The loops are do-while shaped (body, decrement, backward
+        // bnez), so a zero trip count needs a pre-test guard branch;
+        // the guard is only emitted in zero-iteration edge mode.
+        const unsigned outer_iters = opts.zeroIterLoops
+                                         ? rng.nextBelow(62)
+                                         : 2 + rng.nextBelow(60);
         os << "        li $16, " << outer_iters << "\n";
+        if (opts.zeroIterLoops)
+            os << "        blez $16, oend" << b << "\n";
         os << "outer" << b << ":\n";
 
-        const unsigned body_ops = 1 + rng.nextBelow(opts.maxBodyOps);
+        const unsigned body_ops = drawBodyOps(rng, opts);
         for (unsigned i = 0; i < body_ops; ++i)
             emitBodyOp(os, rng, opts);
 
@@ -124,28 +152,50 @@ generateProgram(std::uint64_t seed, const ProgenOptions &opts)
         }
 
         // Optional bounded inner loop, with an optional third-level
-        // innermost loop nested inside it.
-        if (opts.nestedLoops && rng.chancePercent(50)) {
-            const unsigned inner_iters = 1 + rng.nextBelow(12);
-            os << "        li $17, " << inner_iters << "\n";
-            os << "inner" << b << ":\n";
-            for (unsigned i = 0; i < 1 + rng.nextBelow(4); ++i)
-                emitBodyOp(os, rng, opts);
-            if (rng.chancePercent(35)) {
-                const unsigned deep_iters = 1 + rng.nextBelow(6);
-                os << "        li $18, " << deep_iters << "\n";
-                os << "deep" << b << ":\n";
-                for (unsigned i = 0; i < 1 + rng.nextBelow(3); ++i)
-                    emitAluOp(os, rng);
-                os << "        addi $18, $18, -1\n";
-                os << "        bnez $18, deep" << b << "\n";
+        // innermost loop nested inside it. The probability draws
+        // always happen when nested loops are enabled, so forcing
+        // the nest in edge mode leaves the rest of the draw stream
+        // where the same seed without forcing would put it.
+        if (opts.nestedLoops) {
+            const bool want_inner = rng.chancePercent(50);
+            if (want_inner || opts.forceMaxNesting) {
+                const unsigned inner_iters =
+                    opts.zeroIterLoops ? rng.nextBelow(13)
+                                       : 1 + rng.nextBelow(12);
+                os << "        li $17, " << inner_iters << "\n";
+                if (opts.zeroIterLoops)
+                    os << "        blez $17, iend" << b << "\n";
+                os << "inner" << b << ":\n";
+                for (unsigned i = 0; i < 1 + rng.nextBelow(4); ++i)
+                    emitBodyOp(os, rng, opts);
+                const bool want_deep = rng.chancePercent(35);
+                if (want_deep || opts.forceMaxNesting) {
+                    const unsigned deep_iters =
+                        opts.zeroIterLoops ? rng.nextBelow(7)
+                                           : 1 + rng.nextBelow(6);
+                    os << "        li $18, " << deep_iters << "\n";
+                    if (opts.zeroIterLoops)
+                        os << "        blez $18, dend" << b << "\n";
+                    os << "deep" << b << ":\n";
+                    for (unsigned i = 0; i < 1 + rng.nextBelow(3);
+                         ++i)
+                        emitAluOp(os, rng);
+                    os << "        addi $18, $18, -1\n";
+                    os << "        bnez $18, deep" << b << "\n";
+                    if (opts.zeroIterLoops)
+                        os << "dend" << b << ":\n";
+                }
+                os << "        addi $17, $17, -1\n";
+                os << "        bnez $17, inner" << b << "\n";
+                if (opts.zeroIterLoops)
+                    os << "iend" << b << ":\n";
             }
-            os << "        addi $17, $17, -1\n";
-            os << "        bnez $17, inner" << b << "\n";
         }
 
         os << "        addi $16, $16, -1\n";
         os << "        bnez $16, outer" << b << "\n";
+        if (opts.zeroIterLoops)
+            os << "oend" << b << ":\n";
     }
     os << "        halt\n";
 
@@ -154,8 +204,19 @@ generateProgram(std::uint64_t seed, const ProgenOptions &opts)
     // of dynamic instructions.
     for (unsigned f = 0; f < nfuncs; ++f) {
         os << "func" << f << ":\n";
-        for (unsigned i = 0; i < 1 + rng.nextBelow(5); ++i)
-            emitBodyOp(os, rng, opts);
+        // minBodyOps == 0 permits a bare `ret` (empty-body edge).
+        // The default path keeps the draw inside the loop condition —
+        // re-drawn per iteration, exactly as before the edge knob
+        // existed — so default-option output stays byte-identical
+        // (pinned by the progen determinism golden).
+        if (opts.minBodyOps == 0) {
+            const unsigned fops = rng.nextBelow(6);
+            for (unsigned i = 0; i < fops; ++i)
+                emitBodyOp(os, rng, opts);
+        } else {
+            for (unsigned i = 0; i < 1 + rng.nextBelow(5); ++i)
+                emitBodyOp(os, rng, opts);
+        }
         os << "        ret\n";
     }
     return os.str();

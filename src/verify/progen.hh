@@ -28,8 +28,17 @@ struct ProgenOptions
     /** Top-level loop blocks (uniform in [1, maxBlocks]). */
     unsigned maxBlocks = 4;
 
-    /** Straight-line ops per block body (uniform in [1, maxBodyOps]). */
+    /** Straight-line ops per block body (uniform in [minBodyOps,
+     *  maxBodyOps]). */
     unsigned maxBodyOps = 10;
+
+    /**
+     * Lower bound on block-body ops. 0 permits empty loop bodies —
+     * and empty leaf-subroutine bodies (a bare `ret`) — the
+     * label-dense degenerate shapes that stress the assembler and
+     * the analyzer's node bookkeeping.
+     */
+    unsigned minBodyOps = 1;
 
     /** Emit bounded loads/stores into the scratch array. */
     bool memOps = true;
@@ -43,6 +52,28 @@ struct ProgenOptions
 
     /** Scratch array size in 64-bit words (accesses are masked). */
     unsigned memWords = 64;
+
+    /**
+     * Loops may draw a zero trip count; each loop gains a pre-test
+     * guard branch so a zero draw skips the body entirely (the loops
+     * are otherwise do-while shaped and must run at least once).
+     */
+    bool zeroIterLoops = false;
+
+    /**
+     * Force the full three-level loop nest in every block instead of
+     * drawing it probabilistically — the maximum-nesting-depth edge
+     * case. The probability draws still happen, so the rest of the
+     * program is unchanged relative to the same seed without it.
+     */
+    bool forceMaxNesting = false;
+
+    /**
+     * Every scratch store is immediately re-read through the same
+     * address — the store-before-load pattern that pins down
+     * write->read arc bookkeeping on fresh memory words.
+     */
+    bool storeBeforeLoad = false;
 };
 
 /**

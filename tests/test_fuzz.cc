@@ -66,5 +66,114 @@ TEST_P(FuzzTest, AssembleRunModel)
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range<std::uint64_t>(1, 25));
 
+/**
+ * Edge-shape generation: run one (options, seed) cell through the
+ * whole stack — assemble, bounded execution, invariant audit — the
+ * same contract as the default-shape fuzz above.
+ */
+void
+checkEdgeProgram(std::uint64_t seed,
+                 const verify::ProgenOptions &options)
+{
+    const std::string source =
+        verify::generateProgram(seed, options);
+    // Same (seed, options) -> same source, for edge knobs too.
+    ASSERT_EQ(source, verify::generateProgram(seed, options));
+
+    Program prog;
+    ASSERT_NO_THROW(prog = assemble(source, "fuzz-edge")) << source;
+    Machine m(prog);
+    ASSERT_EQ(m.run(nullptr, verify::kProgenInstrBound),
+              StopReason::Halted);
+
+    ExperimentConfig config;
+    const DpgStats stats = runModel(prog, {}, config);
+    ASSERT_EQ(stats.dynInstrs, m.instrCount());
+    const auto violations = verify::InvariantChecker::audit(
+        stats, /*trackInfluence=*/true);
+    ASSERT_TRUE(violations.empty())
+        << ::testing::PrintToString(violations);
+}
+
+class FuzzEdgeTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/** Loops drawing zero trip counts (pre-test guards skip the body). */
+TEST_P(FuzzEdgeTest, ZeroIterationLoops)
+{
+    verify::ProgenOptions options;
+    options.zeroIterLoops = true;
+    checkEdgeProgram(GetParam(), options);
+}
+
+/** Empty loop bodies and bare-`ret` subroutines. */
+TEST_P(FuzzEdgeTest, EmptyBodies)
+{
+    verify::ProgenOptions options;
+    options.minBodyOps = 0;
+    options.maxBodyOps = 0;
+    checkEdgeProgram(GetParam(), options);
+}
+
+/** Maximum nesting depth forced in every block. */
+TEST_P(FuzzEdgeTest, MaxNestingDepth)
+{
+    verify::ProgenOptions options;
+    options.forceMaxNesting = true;
+    const std::string source =
+        verify::generateProgram(GetParam(), options);
+    // Block 0 always exists, so the full nest must appear.
+    EXPECT_NE(source.find("inner0:"), std::string::npos);
+    EXPECT_NE(source.find("deep0:"), std::string::npos);
+    checkEdgeProgram(GetParam(), options);
+}
+
+/** Every store immediately re-read (store-before-load pattern). */
+TEST_P(FuzzEdgeTest, StoreBeforeLoad)
+{
+    verify::ProgenOptions options;
+    options.storeBeforeLoad = true;
+    checkEdgeProgram(GetParam(), options);
+}
+
+/** Everything at once: the most degenerate shape progen can emit. */
+TEST_P(FuzzEdgeTest, AllEdgeKnobsCombined)
+{
+    verify::ProgenOptions options;
+    options.zeroIterLoops = true;
+    options.minBodyOps = 0;
+    options.maxBodyOps = 2;
+    options.forceMaxNesting = true;
+    options.storeBeforeLoad = true;
+    checkEdgeProgram(GetParam(), options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEdgeTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/** The store-before-load pattern actually appears in the output. */
+TEST(FuzzEdge, StoreBeforeLoadEmitsPairs)
+{
+    verify::ProgenOptions options;
+    options.storeBeforeLoad = true;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 8 && !found; ++seed) {
+        const std::string source =
+            verify::generateProgram(seed, options);
+        std::size_t pos = source.find("        st $");
+        while (pos != std::string::npos) {
+            const std::size_t next = source.find('\n', pos);
+            if (source.compare(next + 1, 11, "        ld ") == 0) {
+                found = true;
+                break;
+            }
+            pos = source.find("        st $", next);
+        }
+    }
+    EXPECT_TRUE(found)
+        << "no store was followed by its read-back load";
+}
+
 } // namespace
 } // namespace ppm

@@ -13,6 +13,15 @@
  *                                          analysis and dump every
  *                                          metric (--json for the
  *                                          "ppm-metrics-v1" document)
+ *     ppm fuzz [opts]                      sweep seeded scenario
+ *                                          families through the model
+ *                                          under verification and emit
+ *                                          a fingerprint corpus
+ *                                          (--list for the families)
+ *     ppm import <file.trace>              analyze an external branch
+ *                                          trace (CBP/ChampSim-style
+ *                                          text records) and emit its
+ *                                          fingerprint
  *
  * Common options:
  *     --max N            dynamic instruction budget (default 4000000)
@@ -44,11 +53,17 @@
 #include "isa/disasm.hh"
 #include "report/figure_report.hh"
 #include "report/json_emitter.hh"
+#include "runner/trace_import.hh"
 #include "sim/machine.hh"
 #include "sim/trace_file.hh"
 #include "support/cli_args.hh"
+#include "support/mini_json.hh"
 #include "support/string_utils.hh"
 #include "support/table_printer.hh"
+#include "verify/families.hh"
+#include "verify/fingerprint.hh"
+#include "verify/fuzz_farm.hh"
+#include "verify/invariant_checker.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -71,7 +86,10 @@ usage(const std::string &message = "")
         "          [--seed S] [--report overall,paths,...]\n"
         "  ppm workloads\n"
         "  ppm metrics [workload | file.s] [--json]\n"
-        "          [--predictor last|stride|context] [--max N]\n";
+        "          [--predictor last|stride|context] [--max N]\n"
+        "  ppm fuzz [--families a,b,...] [--seeds LO-HI] [--slice]\n"
+        "          [--no-verify] [--out corpus.json] [--list]\n"
+        "  ppm import <file.trace> [--verify] [--out fp.json]\n";
     std::exit(2);
 }
 
@@ -435,6 +453,135 @@ cmdMetrics(const CliArgs &args)
     return 0;
 }
 
+/** Parse `--seeds LO-HI` (or `--seeds N` for 1..N). */
+void
+parseSeedRange(const std::string &spec, std::uint64_t &lo,
+               std::uint64_t &hi)
+{
+    const auto dash = spec.find('-');
+    try {
+        if (dash == std::string::npos) {
+            lo = 1;
+            hi = std::stoull(spec);
+        } else {
+            lo = std::stoull(spec.substr(0, dash));
+            hi = std::stoull(spec.substr(dash + 1));
+        }
+    } catch (const std::exception &) {
+        usage("bad --seeds '" + spec + "' (want N or LO-HI)");
+    }
+    if (lo > hi)
+        usage("bad --seeds '" + spec + "' (LO exceeds HI)");
+}
+
+/** Emit @p document to --out when given, stdout otherwise. */
+void
+writeDocument(const CliArgs &args, const std::string &document)
+{
+    if (const auto out = args.option("out")) {
+        std::ofstream f(*out);
+        if (!f)
+            usage("cannot write " + *out);
+        f << document;
+    } else {
+        std::cout << document;
+    }
+}
+
+int
+cmdFuzz(const CliArgs &args)
+{
+    if (args.flag("list")) {
+        TablePrinter table("Scenario families");
+        table.addRow({"name", "instr bound", "description"});
+        for (const verify::ScenarioFamily &f :
+             verify::allFamilies()) {
+            table.addRow({f.name, formatCount(f.instrBound),
+                          f.description});
+        }
+        table.print(std::cout);
+        return 0;
+    }
+
+    verify::FuzzOptions fopts;
+    if (const auto fams = args.option("families")) {
+        for (const auto piece : splitAndTrim(*fams, ','))
+            if (!piece.empty())
+                fopts.families.emplace_back(piece);
+    }
+    if (const auto seeds = args.option("seeds"))
+        parseSeedRange(*seeds, fopts.seedLo, fopts.seedHi);
+    fopts.slice = args.flag("slice");
+    fopts.verify = !args.flag("no-verify");
+
+    const verify::FuzzResult result =
+        verify::runFuzzFarm(fopts, &std::cerr);
+
+    // The corpus must validate against its own schema before anyone
+    // gets to read it.
+    const auto errors = verify::validateCorpus(parseJson(result.corpus));
+    for (const std::string &e : errors)
+        std::cerr << "corpus schema violation: " << e << "\n";
+    if (!errors.empty())
+        return 1;
+
+    writeDocument(args, result.corpus);
+    std::cerr << "fuzz: " << result.programs << " programs, "
+              << result.fingerprints.size() << " fingerprints, "
+              << result.failures.size() << " failures, "
+              << formatCount(result.dynInstrs)
+              << " dynamic instructions\n";
+    return result.failures.empty() ? 0 : 1;
+}
+
+int
+cmdImport(const CliArgs &args)
+{
+    if (args.positionals().size() != 2)
+        usage("import needs a trace file");
+    const std::string &path = args.positionals()[1];
+    std::ifstream in(path);
+    if (!in)
+        usage("cannot read " + path);
+    const ImportedTrace trace = parseBranchTrace(in, path);
+
+    // Pass 1 over the imported stream, then the model per predictor —
+    // the same two-pass discipline as a simulated program.
+    ExecProfile profile(trace.program.textSize());
+    replayImported(trace, profile);
+
+    std::vector<DpgStats> runs;
+    for (PredictorKind kind : kAllPredictorKinds) {
+        DpgConfig cfg;
+        cfg.kind = kind;
+        cfg.verify = args.flag("verify");
+        DpgAnalyzer analyzer(trace.program, profile, cfg);
+        replayImported(trace, analyzer);
+        DpgStats stats = analyzer.takeStats();
+        const auto violations =
+            verify::InvariantChecker::audit(stats, cfg.trackInfluence);
+        for (const std::string &v : violations)
+            std::cerr << "invariant violation: " << v << "\n";
+        if (!violations.empty())
+            return 1;
+        runs.push_back(std::move(stats));
+    }
+
+    const std::string fp =
+        verify::fingerprintJson("trace:" + path, 0, runs);
+    const auto errors = verify::validateFingerprint(parseJson(fp));
+    for (const std::string &e : errors)
+        std::cerr << "fingerprint schema violation: " << e << "\n";
+    if (!errors.empty())
+        return 1;
+
+    writeDocument(args, fp + "\n");
+    std::cerr << "import: " << formatCount(trace.stream.size())
+              << " branch records, " << trace.staticBranches()
+              << " static branches\n";
+    return 0;
+}
+
 int
 cmdWorkloads()
 {
@@ -458,7 +605,8 @@ main(int argc, char **argv)
     const CliArgs args(argc, argv,
                        {"max", "predictor", "seed", "input",
                         "input-file", "report", "window",
-                        "save-trace", "trace-file"});
+                        "save-trace", "trace-file", "families",
+                        "seeds", "out"});
     if (args.positionals().empty())
         usage();
 
@@ -478,6 +626,10 @@ main(int argc, char **argv)
             return cmdWorkloads();
         if (cmd == "metrics")
             return cmdMetrics(args);
+        if (cmd == "fuzz")
+            return cmdFuzz(args);
+        if (cmd == "import")
+            return cmdImport(args);
         usage("unknown command '" + cmd + "'");
     } catch (const AsmError &e) {
         std::cerr << "assembly error: " << e.what() << "\n";
