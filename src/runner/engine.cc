@@ -1,12 +1,10 @@
 #include "runner/engine.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <thread>
-#include <unordered_map>
 
 #include "obs/obs.hh"
 #include "runner/fused_sink.hh"
@@ -33,8 +31,7 @@ defaultThreads()
     return hw == 0 ? 1 : hw;
 }
 
-constexpr std::uint64_t kDefaultTraceCapBytes =
-    256ULL * 1024 * 1024;
+constexpr std::uint64_t kDefaultTraceCapMb = 256;
 
 CaptureKey
 keyOf(const ExperimentJob &job)
@@ -45,25 +42,157 @@ keyOf(const ExperimentJob &job)
 
 } // namespace
 
-ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
+namespace detail {
+
+/** Shared state of one submitted request. */
+struct RequestState
+{
+    ExperimentJob job;
+    std::uint64_t id = 0;
+    RequestStatus status = RequestStatus::Pending;
+    ExperimentOutcome outcome;
+    std::exception_ptr error;
+
+    /**
+     * False for requests admitted through the run() shim, which
+     * records its batch's history itself, in submission order.
+     */
+    bool recordHistory = true;
+
+    Clock::time_point submitTime{};
+    Clock::time_point claimTime{};
+
+    /** Issuing engine; requests never outlive it. */
+    ExperimentEngine *engine = nullptr;
+};
+
+} // namespace detail
+
+using detail::RequestState;
+
+EngineOptions
+EngineOptions::fromEnv()
+{
+    return EngineOptions{}.withEnvFallback();
+}
+
+EngineOptions
+EngineOptions::withEnvFallback() const
 {
     // Env parsing throws EnvError on malformed values (PPM_THREADS=abc
-    // must abort loudly, not silently run with a default).
-    threads_ = opts.threads > 0
-                   ? opts.threads
-                   : static_cast<unsigned>(
-                         envUint("PPM_THREADS", defaultThreads(),
-                                 /*min=*/1));
-    traceByteCap_ =
-        opts.traceByteCap > 0
-            ? opts.traceByteCap
-            : envUint("PPM_TRACE_MEM_MB",
-                      kDefaultTraceCapBytes / (1024 * 1024),
-                      /*min=*/1) *
-                  1024 * 1024;
-    replay_ = opts.replay.value_or(envFlag("PPM_REPLAY", true));
-    verify_ = opts.verify.value_or(envFlag("PPM_VERIFY", false));
-    fused_ = opts.fused.value_or(envFlag("PPM_FUSED", true));
+    // must abort loudly, not silently run with a default). Explicit
+    // fields skip the parse entirely, so an override also shields a
+    // malformed variable.
+    EngineOptions o = *this;
+    if (o.threads == 0) {
+        o.threads = static_cast<unsigned>(
+            envUint("PPM_THREADS", defaultThreads(), /*min=*/1));
+    }
+    if (o.traceByteCap == 0) {
+        o.traceByteCap = envUint("PPM_TRACE_MEM_MB",
+                                 kDefaultTraceCapMb, /*min=*/1) *
+                         1024 * 1024;
+    }
+    if (!o.replay.has_value())
+        o.replay = envFlag("PPM_REPLAY", true);
+    if (!o.verify.has_value())
+        o.verify = envFlag("PPM_VERIFY", false);
+    if (!o.fused.has_value())
+        o.fused = envFlag("PPM_FUSED", true);
+    return o;
+}
+
+// --- RequestHandle ---------------------------------------------------
+
+std::uint64_t
+RequestHandle::id() const
+{
+    return state_ ? state_->id : 0;
+}
+
+RequestStatus
+RequestHandle::status() const
+{
+    if (!state_)
+        return RequestStatus::Cancelled;
+    std::lock_guard<std::mutex> lock(state_->engine->queueMutex_);
+    return state_->status;
+}
+
+ExperimentOutcome
+RequestHandle::wait()
+{
+    ExperimentEngine &engine = *state_->engine;
+    std::unique_lock<std::mutex> lock(engine.queueMutex_);
+    engine.doneCv_.wait(lock, [&] {
+        return state_->status != RequestStatus::Pending &&
+               state_->status != RequestStatus::Running;
+    });
+    if (state_->status == RequestStatus::Cancelled)
+        throw RequestCancelled();
+    if (state_->status == RequestStatus::Failed)
+        std::rethrow_exception(state_->error);
+    return std::move(state_->outcome);
+}
+
+bool
+RequestHandle::cancel()
+{
+    ExperimentEngine &engine = *state_->engine;
+    bool zero = false;
+    CaptureKey key;
+    {
+        std::lock_guard<std::mutex> lock(engine.queueMutex_);
+        if (state_->status != RequestStatus::Pending)
+            return false;
+        auto it = std::find(engine.pending_.begin(),
+                            engine.pending_.end(), state_);
+        if (it == engine.pending_.end())
+            return false;
+        engine.pending_.erase(it);
+        state_->status = RequestStatus::Cancelled;
+        key = keyOf(state_->job);
+        auto live = engine.liveKeys_.find(key);
+        if (live != engine.liveKeys_.end() &&
+            --live->second == 0) {
+            engine.liveKeys_.erase(live);
+            zero = true;
+        }
+        if (--engine.inflight_ == 0) {
+            std::lock_guard<std::mutex> hlock(engine.historyMutex_);
+            engine.totalWallSec_ +=
+                secondsSince(engine.activeStart_);
+            engine.windowBusySec_ = 0.0;
+        }
+        if (engine.obsQueueDepth_) {
+            engine.obsQueueDepth_->set(
+                static_cast<std::int64_t>(engine.pending_.size()));
+        }
+        if (engine.obsInflight_) {
+            engine.obsInflight_->set(
+                static_cast<std::int64_t>(engine.inflight_));
+        }
+        if (engine.obsCancelled_)
+            engine.obsCancelled_->add();
+    }
+    if (zero)
+        engine.cache_.release(key);
+    engine.doneCv_.notify_all();
+    return true;
+}
+
+// --- ExperimentEngine ------------------------------------------------
+
+ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
+{
+    const EngineOptions resolved = opts.withEnvFallback();
+    threads_ = resolved.threads;
+    traceByteCap_ = resolved.traceByteCap;
+    replay_ = *resolved.replay;
+    verify_ = *resolved.verify;
+    fused_ = *resolved.fused;
+    if (resolved.captureRetentionBytes > 0)
+        cache_.setRetentionBytes(resolved.captureRetentionBytes);
 
     obsJobs_ = obs::counter("runner.jobs_completed");
     obsBatches_ = obs::counter("runner.batches");
@@ -73,12 +202,25 @@ ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
     obsFusedGroups_ = obs::counter("runner.fused_groups");
     obsFusedLanes_ = obs::counter("runner.fused_lanes");
     obsWorkerBusyUs_ = obs::counter("runner.worker_busy_us");
+    obsCancelled_ = obs::counter("runner.requests_cancelled");
+    obsQueueDepth_ = obs::gauge("runner.queue_depth");
+    obsInflight_ = obs::gauge("runner.inflight");
+    obsHitRate_ = obs::gauge("runner.cache_hit_rate");
+    obsQueueUs_ = obs::histogram("runner.request_queue_us");
+    obsLatencyUs_ = obs::histogram("runner.request_latency_us");
     if (obs::Gauge *g = obs::gauge("runner.threads"))
         g->set(static_cast<std::int64_t>(threads_));
 }
 
 ExperimentEngine::~ExperimentEngine()
 {
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    pool_.clear(); // jthread joins; workers drain pending first.
+
     if (!reportAtExit_)
         return;
     const char *path = std::getenv("PPM_BENCH_JSON");
@@ -199,8 +341,8 @@ ExperimentEngine::runFusedJobs(
     const Program &prog = *lead.program;
 
     // All lanes share one CaptureKey, so any member can run the
-    // capture; a cache hit here (a previous batch captured this key)
-    // must not skip any lane — each still gets its own analyzer.
+    // capture; a cache hit here (a previous request captured this
+    // key) must not skip any lane — each still gets its own analyzer.
     RunCache::CaptureRef ref = captureFor(lead);
 
     FusedAnalysisSink sink;
@@ -264,168 +406,281 @@ ExperimentEngine::runFusedJobs(
     return outs;
 }
 
+// --- request queue ---------------------------------------------------
+
+void
+ExperimentEngine::ensureWorkersLocked()
+{
+    if (poolStarted_)
+        return;
+    poolStarted_ = true;
+    pool_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+        pool_.emplace_back(&ExperimentEngine::workerLoop, this, t);
+}
+
+ExperimentEngine::StatePtr
+ExperimentEngine::enqueueLocked(ExperimentJob job, bool recordHistory)
+{
+    auto state = std::make_shared<RequestState>();
+    state->job = std::move(job);
+    state->id = nextRequestId_++;
+    state->recordHistory = recordHistory;
+    state->submitTime = Clock::now();
+    state->engine = this;
+    if (inflight_++ == 0)
+        activeStart_ = state->submitTime;
+    ++liveKeys_[keyOf(state->job)];
+    pending_.push_back(state);
+    if (obsQueueDepth_) {
+        obsQueueDepth_->set(
+            static_cast<std::int64_t>(pending_.size()));
+    }
+    if (obsInflight_)
+        obsInflight_->set(static_cast<std::int64_t>(inflight_));
+    return state;
+}
+
+RequestHandle
+ExperimentEngine::submit(ExperimentRequest request)
+{
+    StatePtr state;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        ensureWorkersLocked();
+        state = enqueueLocked(std::move(request.job),
+                              /*recordHistory=*/true);
+    }
+    workCv_.notify_one();
+    return RequestHandle(state);
+}
+
+std::vector<RequestHandle>
+ExperimentEngine::submitAll(const std::vector<ExperimentJob> &jobs)
+{
+    return submitAllInternal(jobs, /*recordHistory=*/true);
+}
+
+std::vector<RequestHandle>
+ExperimentEngine::submitAllInternal(
+    const std::vector<ExperimentJob> &jobs, bool recordHistory)
+{
+    std::vector<RequestHandle> handles;
+    handles.reserve(jobs.size());
+    {
+        // One critical section for the whole batch: every job is
+        // pending before any worker can claim, so same-key cells
+        // coalesce exactly as the old batch engine grouped them.
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (!jobs.empty())
+            ensureWorkersLocked();
+        for (const ExperimentJob &job : jobs) {
+            handles.push_back(
+                RequestHandle(enqueueLocked(job, recordHistory)));
+        }
+    }
+    workCv_.notify_all();
+    return handles;
+}
+
+std::vector<ExperimentEngine::StatePtr>
+ExperimentEngine::claimLocked()
+{
+    std::vector<StatePtr> group;
+    group.push_back(pending_.front());
+    pending_.pop_front();
+    if (fused_) {
+        // The coalescing window: every still-pending request with the
+        // lead's CaptureKey joins this pass, in submission order.
+        const CaptureKey key = keyOf(group.front()->job);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (keyOf((*it)->job) == key) {
+                group.push_back(*it);
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    const auto now = Clock::now();
+    for (const StatePtr &state : group) {
+        state->status = RequestStatus::Running;
+        state->claimTime = now;
+    }
+    if (obsQueueDepth_) {
+        obsQueueDepth_->set(
+            static_cast<std::int64_t>(pending_.size()));
+    }
+    return group;
+}
+
+void
+ExperimentEngine::runClaimed(const std::vector<StatePtr> &group)
+{
+    const auto t0 = Clock::now();
+    std::vector<ExperimentOutcome> outs;
+    std::exception_ptr error;
+    try {
+        if (group.size() == 1) {
+            outs.push_back(runJob(group.front()->job));
+        } else {
+            std::vector<const ExperimentJob *> jobs;
+            jobs.reserve(group.size());
+            for (const StatePtr &state : group)
+                jobs.push_back(&state->job);
+            outs = runFusedJobs(jobs);
+        }
+    } catch (...) {
+        // A fused pass fails as a unit: every lane's cell reports the
+        // same exception.
+        error = std::current_exception();
+    }
+    const double busySec = secondsSince(t0);
+    const auto doneAt = Clock::now();
+
+    std::vector<TimedRun> historyRows;
+    bool zero = false;
+    CaptureKey key = keyOf(group.front()->job);
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            RequestState &state = *group[i];
+            if (error) {
+                state.error = error;
+                state.status = RequestStatus::Failed;
+            } else {
+                state.outcome = std::move(outs[i]);
+                state.outcome.timing.queueSec =
+                    std::chrono::duration<double>(state.claimTime -
+                                                  state.submitTime)
+                        .count();
+                state.status = RequestStatus::Done;
+                if (state.recordHistory) {
+                    historyRows.push_back(
+                        TimedRun{state.outcome.stats.workload,
+                                 state.outcome.stats.kind,
+                                 state.outcome.timing});
+                }
+            }
+            if (obsQueueUs_) {
+                obsQueueUs_->observe(static_cast<std::uint64_t>(
+                    std::chrono::duration<double, std::micro>(
+                        state.claimTime - state.submitTime)
+                        .count()));
+            }
+            if (obsLatencyUs_) {
+                obsLatencyUs_->observe(static_cast<std::uint64_t>(
+                    std::chrono::duration<double, std::micro>(
+                        doneAt - state.submitTime)
+                        .count()));
+            }
+        }
+        auto live = liveKeys_.find(key);
+        if (live != liveKeys_.end()) {
+            live->second -= static_cast<unsigned>(group.size());
+            if (live->second == 0) {
+                liveKeys_.erase(live);
+                zero = true;
+            }
+        }
+        windowBusySec_ += busySec;
+        inflight_ -= static_cast<unsigned>(group.size());
+        if (obsInflight_)
+            obsInflight_->set(static_cast<std::int64_t>(inflight_));
+        if (inflight_ == 0) {
+            const double wall = secondsSince(activeStart_);
+            if (obs::Gauge *g =
+                    obs::gauge("runner.utilization_pct")) {
+                if (wall > 0.0) {
+                    g->set(static_cast<std::int64_t>(
+                        100.0 * windowBusySec_ /
+                        (wall * threads_)));
+                }
+            }
+            std::lock_guard<std::mutex> hlock(historyMutex_);
+            totalWallSec_ += wall;
+            windowBusySec_ = 0.0;
+        }
+    }
+    if (zero)
+        cache_.release(key);
+
+    if (!historyRows.empty()) {
+        std::lock_guard<std::mutex> hlock(historyMutex_);
+        for (TimedRun &row : historyRows)
+            history_.push_back(std::move(row));
+    }
+
+    if (obsJobs_)
+        obsJobs_->add(group.size());
+    if (obsWorkerBusyUs_) {
+        obsWorkerBusyUs_->add(
+            static_cast<std::uint64_t>(busySec * 1e6));
+    }
+    if (obsHitRate_) {
+        const RunCache::Counters c = cache_.counters();
+        const std::uint64_t lookups = c.captureHits + c.captureMisses;
+        if (lookups > 0) {
+            obsHitRate_->set(static_cast<std::int64_t>(
+                100 * c.captureHits / lookups));
+        }
+    }
+    doneCv_.notify_all();
+}
+
+void
+ExperimentEngine::workerLoop(unsigned wi)
+{
+    if (obs::tracer()) {
+        obs::tracer()->setThreadName("worker-" +
+                                     std::to_string(wi));
+    }
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [&] { return stopping_ || !pending_.empty(); });
+        if (pending_.empty()) {
+            if (stopping_)
+                return; // Drained: every admitted request resolved.
+            continue;
+        }
+        const std::vector<StatePtr> group = claimLocked();
+        lock.unlock();
+        runClaimed(group);
+        lock.lock();
+    }
+}
+
 std::vector<ExperimentOutcome>
 ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 {
-    const auto t0 = Clock::now();
+    std::vector<ExperimentOutcome> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
     obs::Span batch_span("run_batch", "runner");
     if (obsBatches_)
         obsBatches_->add();
-    std::vector<ExperimentOutcome> results(jobs.size());
-    std::vector<std::exception_ptr> errors(jobs.size());
 
-    // Work items. Fused mode coalesces every set of cells sharing one
-    // CaptureKey — same (program, input, budget), so the cells differ
-    // only in predictor config — into one item analyzed in a single
-    // pass; different budgets produce different keys and never
-    // coalesce. Sequential mode keeps one item per cell. Lane order
-    // inside an item is submission order, so fused outcomes land in
-    // the same result slots the sequential path fills.
-    struct WorkItem
-    {
-        std::vector<std::size_t> jobIdx;
-    };
-    std::vector<WorkItem> items;
+    std::vector<RequestHandle> handles =
+        submitAllInternal(jobs, /*recordHistory=*/false);
 
-    // Captures are released as soon as their last item finishes, so
-    // resident trace memory tracks the in-flight set, not the batch.
-    // The per-key refcounts live in a vector sized up front and
-    // indexed per item: workers decrement through a stable index,
-    // with no hash lookup — and no possibility of an operator[]
-    // insert rehashing the table — under the lock.
-    struct CaptureGroup
-    {
-        CaptureKey key;
-        unsigned remaining = 0;
-    };
-    std::vector<CaptureGroup> groups;
-    std::vector<std::size_t> groupOf;
-    {
-        std::unordered_map<CaptureKey, std::size_t, CaptureKeyHash>
-            index;
-        std::vector<std::size_t> itemOf; // key group -> fused item
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            const CaptureKey key = keyOf(jobs[i]);
-            const auto [it, inserted] =
-                index.emplace(key, groups.size());
-            if (inserted) {
-                groups.push_back(CaptureGroup{key, 0});
-                itemOf.push_back(items.size());
-            }
-            if (fused_) {
-                if (inserted) {
-                    items.push_back(WorkItem{});
-                    groupOf.push_back(it->second);
-                    ++groups[it->second].remaining;
-                }
-                items[itemOf[it->second]].jobIdx.push_back(i);
-            } else {
-                items.push_back(WorkItem{{i}});
-                groupOf.push_back(it->second);
-                ++groups[it->second].remaining;
-            }
+    // Wait in submission order; the first failure (in that order) is
+    // rethrown only after every cell of the batch has drained.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        try {
+            results[i] = handles[i].wait();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
         }
     }
-    std::mutex remaining_mutex;
-
-    const unsigned nthreads = static_cast<unsigned>(
-        std::max<std::size_t>(
-            1, std::min<std::size_t>(threads_, items.size())));
-
-    // Per-worker accumulators, merged in worker-index order after the
-    // joins below: metric totals are sums, so the merged values are
-    // deterministic regardless of how jobs landed on workers.
-    struct WorkerLocal
-    {
-        std::uint64_t jobs = 0;
-        double busySec = 0.0;
-    };
-    std::vector<WorkerLocal> locals(nthreads);
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&](unsigned wi, bool own_thread) {
-        if (own_thread && obs::tracer()) {
-            obs::tracer()->setThreadName("worker-" +
-                                         std::to_string(wi));
-        }
-        WorkerLocal &local = locals[wi];
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= items.size())
-                break;
-            const WorkItem &item = items[i];
-            const auto jt0 = Clock::now();
-            try {
-                if (item.jobIdx.size() == 1) {
-                    const std::size_t j = item.jobIdx.front();
-                    results[j] = runJob(jobs[j]);
-                } else {
-                    std::vector<const ExperimentJob *> group;
-                    group.reserve(item.jobIdx.size());
-                    for (std::size_t j : item.jobIdx)
-                        group.push_back(&jobs[j]);
-                    std::vector<ExperimentOutcome> outs =
-                        runFusedJobs(group);
-                    for (std::size_t k = 0; k < item.jobIdx.size();
-                         ++k)
-                        results[item.jobIdx[k]] = std::move(outs[k]);
-                }
-            } catch (...) {
-                // A fused pass fails as a unit: every lane's cell
-                // reports the same exception.
-                for (std::size_t j : item.jobIdx)
-                    errors[j] = std::current_exception();
-            }
-            local.busySec += secondsSince(jt0);
-            local.jobs += item.jobIdx.size();
-            CaptureGroup &group = groups[groupOf[i]];
-            std::lock_guard<std::mutex> lock(remaining_mutex);
-            if (--group.remaining == 0)
-                cache_.release(group.key);
-        }
-    };
-
-    if (nthreads <= 1) {
-        worker(0, /*own_thread=*/false);
-    } else {
-        std::vector<std::jthread> pool;
-        pool.reserve(nthreads);
-        for (unsigned t = 0; t < nthreads; ++t)
-            pool.emplace_back(worker, t, /*own_thread=*/true);
-        // jthread joins on destruction.
-        pool.clear();
-    }
-
-    // Join point: fold the per-worker accumulators into the global
-    // metrics, in index order.
-    const double wall = secondsSince(t0);
-    double busy = 0.0;
-    std::uint64_t done = 0;
-    for (const WorkerLocal &local : locals) {
-        busy += local.busySec;
-        done += local.jobs;
-    }
-    if (obsJobs_)
-        obsJobs_->add(done);
-    if (obsWorkerBusyUs_)
-        obsWorkerBusyUs_->add(
-            static_cast<std::uint64_t>(busy * 1e6));
-    if (obs::Gauge *g = obs::gauge("runner.utilization_pct")) {
-        if (wall > 0.0) {
-            g->set(static_cast<std::int64_t>(
-                100.0 * busy / (wall * nthreads)));
-        }
-    }
-
-    for (const std::exception_ptr &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
-    }
+    if (first)
+        std::rethrow_exception(first);
 
     {
         std::lock_guard<std::mutex> lock(historyMutex_);
-        totalWallSec_ += wall;
         for (const ExperimentOutcome &out : results) {
             history_.push_back(TimedRun{out.stats.workload,
                                         out.stats.kind,
@@ -433,6 +688,20 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
         }
     }
     return results;
+}
+
+unsigned
+ExperimentEngine::inflight() const
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    return inflight_;
+}
+
+std::size_t
+ExperimentEngine::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    return pending_.size();
 }
 
 std::vector<ExperimentEngine::TimedRun>

@@ -1,37 +1,60 @@
 /**
  * @file
- * The parallel experiment engine.
+ * The request-oriented parallel experiment engine.
  *
- * An experiment is a matrix of (program, input, ExperimentConfig)
- * cells — e.g. 12 workloads × 3 predictors for a figure binary. The
- * engine fans the cells out across a pool of worker threads and
- * returns results in submission order, so output is deterministic
- * regardless of scheduling. Per cell it:
+ * An experiment cell is one (program, input, ExperimentConfig)
+ * triple — e.g. one of the 12 workloads × 3 predictors of a figure
+ * binary, or one request a serve daemon admitted. The engine owns a
+ * persistent pool of worker threads fed from a pending queue:
+ *
+ *   submit(ExperimentRequest)  -> RequestHandle   admit one cell
+ *   submitAll(jobs)            -> handles         admit atomically
+ *   RequestHandle::wait()      -> ExperimentOutcome (blocks)
+ *   RequestHandle::cancel()                        unqueue if pending
+ *
+ * run(jobs) remains as a submit-all-then-wait shim with the original
+ * batch semantics (outcomes in submission order, first submission-
+ * order exception rethrown after the batch drains), so every existing
+ * caller keeps working unchanged.
+ *
+ * Per cell the engine:
  *
  *   1. assembles the program once per process (RunCache),
  *   2. simulates once per (program, input, budget), capturing the
  *      dynamic stream in memory while profiling (TraceCapture behind
  *      a TeeSink),
- *   3. replays the captured stream into the DpgAnalyzer — for this
- *      cell and for every other predictor config sharing the capture
- *      — falling back to a second simulation only when the trace
- *      outgrew its byte cap.
+ *   3. replays the captured stream into the DpgAnalyzer — falling
+ *      back to a second simulation only when the trace outgrew its
+ *      byte cap.
  *
- * Fused sweeps (default; see fused_sink.hh and DESIGN.md Sec. 10):
- * cells sharing one CaptureKey — same (program, input, instruction
- * budget), differing only in predictor configuration — coalesce into
- * a single work item analyzed in ONE pass: the stream is decoded (or
- * re-simulated, when the capture overflowed) once and each block is
- * dispatched to every lane. Cells with different budgets never
- * coalesce because their CaptureKeys differ. PPM_FUSED=0 restores
- * one-pass-per-cell scheduling for bisection.
+ * Fused sweeps (default; see fused_sink.hh and DESIGN.md Sec. 10/11):
+ * when a worker claims the front of the pending queue it also claims
+ * every other *pending* request sharing the same CaptureKey — same
+ * (program, input, instruction budget), differing only in predictor
+ * configuration — and analyzes the whole group in ONE pass: the
+ * stream is decoded (or re-simulated, when the capture overflowed)
+ * once and each block is dispatched to every lane. The coalescing
+ * window is therefore the pending queue at claim time: a batch
+ * enqueued atomically by run()/submitAll() coalesces exactly as the
+ * old batch engine did, while a serve daemon's requests coalesce
+ * opportunistically with whatever is still queued. Cells with
+ * different budgets never coalesce because their CaptureKeys differ.
+ * PPM_FUSED=0 restores one-pass-per-cell scheduling for bisection.
  *
  * Each cell's analysis is bit-identical to the serial two-pass
  * runModel() path because the simulator is deterministic, the
  * captured stream is exact, and fused lanes are fully independent
- * (asserted in tests/test_runner.cc and tests/test_fused.cc).
+ * (asserted in tests/test_runner.cc, tests/test_fused.cc and
+ * tests/test_engine_api.cc).
  *
- * Environment knobs (resolved at engine construction):
+ * Captures are reference-counted across in-flight requests and
+ * released when the last request needing one completes; with
+ * EngineOptions::captureRetentionBytes > 0 the RunCache keeps
+ * released captures in a bounded LRU instead (the serve daemon's
+ * cross-request memoization tier).
+ *
+ * Environment knobs (resolved at engine construction; see
+ * EngineOptions::fromEnv()):
  *   PPM_THREADS       worker count (default: hardware concurrency)
  *   PPM_TRACE_MEM_MB  per-capture byte cap (default 256 MiB)
  *   PPM_FUSED=0       disable fused sweeps (one pass per cell)
@@ -56,11 +79,17 @@
 #ifndef PPM_RUNNER_ENGINE_HH
 #define PPM_RUNNER_ENGINE_HH
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/experiment.hh"
@@ -102,6 +131,9 @@ struct StageTiming
     double dispatchSec = 0.0;
 
     std::uint64_t dynInstrs = 0;
+
+    /** Seconds the request waited in the pending queue. */
+    double queueSec = 0.0;
 };
 
 /** One experiment cell. */
@@ -114,6 +146,12 @@ struct ExperimentJob
 
     /** Assembly cost, when the job's creator assembled the program. */
     double assembleSec = 0.0;
+};
+
+/** One admission into the engine: a cell plus request metadata. */
+struct ExperimentRequest
+{
+    ExperimentJob job;
 };
 
 /** One cell's result. */
@@ -132,6 +170,98 @@ struct EngineOptions
     std::optional<bool> replay;
     std::optional<bool> verify;
     std::optional<bool> fused;
+
+    /**
+     * When > 0, released captures stay cached in an LRU bounded to
+     * roughly this many bytes of trace memory — the serve daemon's
+     * cross-request memoization tier (RunCache::setRetentionBytes).
+     * 0 (default) releases captures eagerly, batch-engine style.
+     */
+    std::uint64_t captureRetentionBytes = 0;
+
+    /**
+     * Every knob resolved from the environment (PPM_THREADS,
+     * PPM_TRACE_MEM_MB, PPM_REPLAY, PPM_VERIFY, PPM_FUSED), with the
+     * documented defaults for unset variables. The single resolution
+     * path shared by the engine constructor, the CLI, the serve
+     * daemon, and tests — a malformed value throws EnvError naming
+     * the variable.
+     */
+    static EngineOptions fromEnv();
+
+    /**
+     * This options value with every unset field (0 / nullopt) filled
+     * from the environment. Explicit fields win; their env variables
+     * are then not even parsed, so an override also shields a
+     * malformed variable.
+     */
+    EngineOptions withEnvFallback() const;
+};
+
+/** Terminal state of a submitted request. */
+enum class RequestStatus
+{
+    Pending,   ///< Queued; no worker has claimed it yet.
+    Running,   ///< Claimed by a worker (possibly as a fused lane).
+    Done,      ///< Completed; outcome available.
+    Failed,    ///< Completed with an exception (wait() rethrows).
+    Cancelled, ///< Unqueued by cancel() before any worker claimed it.
+};
+
+/** wait() on a request that was cancelled before running. */
+class RequestCancelled : public std::runtime_error
+{
+  public:
+    RequestCancelled()
+        : std::runtime_error("experiment request cancelled")
+    {
+    }
+};
+
+namespace detail {
+struct RequestState;
+} // namespace detail
+
+class ExperimentEngine;
+
+/**
+ * Caller's end of one submitted request. Handles are cheap shared
+ * references; they must not outlive the engine that issued them.
+ */
+class RequestHandle
+{
+  public:
+    RequestHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** Engine-unique, monotonically increasing admission id. */
+    std::uint64_t id() const;
+
+    RequestStatus status() const;
+
+    /**
+     * Block until the request reaches a terminal state, then move the
+     * outcome out (single-shot). Rethrows the cell's exception on
+     * Failed; throws RequestCancelled on Cancelled.
+     */
+    ExperimentOutcome wait();
+
+    /**
+     * Unqueue the request if no worker claimed it yet. Returns true
+     * when the request was cancelled (wait() will throw
+     * RequestCancelled), false when it already ran or is running.
+     */
+    bool cancel();
+
+  private:
+    friend class ExperimentEngine;
+    explicit RequestHandle(std::shared_ptr<detail::RequestState> s)
+        : state_(std::move(s))
+    {
+    }
+
+    std::shared_ptr<detail::RequestState> state_;
 };
 
 class ExperimentEngine
@@ -144,9 +274,27 @@ class ExperimentEngine
     ExperimentEngine &operator=(const ExperimentEngine &) = delete;
 
     /**
-     * Run every job, in parallel, returning outcomes in submission
-     * order. The first job exception (again in submission order) is
-     * rethrown after all workers drain.
+     * Admit one request into the pending queue and return its handle.
+     * Workers claim continuously; the request may coalesce into a
+     * fused pass with other pending requests sharing its CaptureKey.
+     */
+    RequestHandle submit(ExperimentRequest request);
+
+    /**
+     * Admit every job atomically — all enter the pending queue before
+     * any worker can claim one, so cells sharing a CaptureKey are
+     * guaranteed to coalesce exactly as one batch (the run() shim's
+     * grouping guarantee). Handles are in @p jobs order.
+     */
+    std::vector<RequestHandle>
+    submitAll(const std::vector<ExperimentJob> &jobs);
+
+    /**
+     * Batch shim over submitAll(): run every job, returning outcomes
+     * in submission order. The first job exception (again in
+     * submission order) is rethrown after the whole batch drains.
+     * An empty batch returns an empty vector without touching the
+     * pool.
      */
     std::vector<ExperimentOutcome>
     run(const std::vector<ExperimentJob> &jobs);
@@ -173,6 +321,12 @@ class ExperimentEngine
     bool fusedEnabled() const { return fused_; }
     std::uint64_t traceByteCap() const { return traceByteCap_; }
 
+    /** Requests admitted and not yet terminal (pending + running). */
+    unsigned inflight() const;
+
+    /** Requests queued and not yet claimed by a worker. */
+    std::size_t queueDepth() const;
+
     /** One entry per completed cell, in completion batches. */
     struct TimedRun
     {
@@ -181,7 +335,7 @@ class ExperimentEngine
         StageTiming timing;
     };
 
-    /** Timing history of every run() call plus their total wall time. */
+    /** Timing history of every completed cell plus total active wall. */
     std::vector<TimedRun> history() const;
     double totalWallSec() const;
 
@@ -192,6 +346,9 @@ class ExperimentEngine
     static ExperimentEngine &shared();
 
   private:
+    friend class RequestHandle;
+    using StatePtr = std::shared_ptr<detail::RequestState>;
+
     ExperimentOutcome runJob(const ExperimentJob &job);
 
     /** Get-or-run the pass-1 capture for @p job's CaptureKey. */
@@ -204,6 +361,29 @@ class ExperimentEngine
      */
     std::vector<ExperimentOutcome>
     runFusedJobs(const std::vector<const ExperimentJob *> &group);
+
+    /** Enqueue one request; queueMutex_ must be held. */
+    StatePtr enqueueLocked(ExperimentJob job, bool recordHistory);
+
+    /** Spawn the worker pool on first use; queueMutex_ must be held. */
+    void ensureWorkersLocked();
+
+    /**
+     * Pop the front request plus — in fused mode — every other
+     * pending request sharing its CaptureKey (the coalescing
+     * window); queueMutex_ must be held.
+     */
+    std::vector<StatePtr> claimLocked();
+
+    /** Execute one claimed group and publish its terminal states. */
+    void runClaimed(const std::vector<StatePtr> &group);
+
+    void workerLoop(unsigned wi);
+
+    /** submitAll with control over history recording (run() shim). */
+    std::vector<RequestHandle>
+    submitAllInternal(const std::vector<ExperimentJob> &jobs,
+                      bool recordHistory);
 
     RunCache cache_;
     unsigned threads_ = 1;
@@ -222,6 +402,36 @@ class ExperimentEngine
     obs::Counter *obsFusedGroups_ = nullptr;
     obs::Counter *obsFusedLanes_ = nullptr;
     obs::Counter *obsWorkerBusyUs_ = nullptr;
+    obs::Counter *obsCancelled_ = nullptr;
+    obs::Gauge *obsQueueDepth_ = nullptr;
+    obs::Gauge *obsInflight_ = nullptr;
+    obs::Gauge *obsHitRate_ = nullptr;
+    obs::Histogram *obsQueueUs_ = nullptr;
+    obs::Histogram *obsLatencyUs_ = nullptr;
+
+    // --- request queue and worker pool -----------------------------
+    mutable std::mutex queueMutex_;
+    std::condition_variable workCv_; ///< Workers: work or stop.
+    std::condition_variable doneCv_; ///< Waiters: a request finished.
+    std::deque<StatePtr> pending_;
+    std::vector<std::jthread> pool_;
+    bool poolStarted_ = false;
+    bool stopping_ = false;
+    std::uint64_t nextRequestId_ = 1;
+    unsigned inflight_ = 0;
+
+    /**
+     * In-flight requests per CaptureKey: the capture is released (or
+     * retired into the retention LRU) when the count reaches zero.
+     */
+    std::unordered_map<CaptureKey, unsigned, CaptureKeyHash> liveKeys_;
+
+    /**
+     * Active-window wall accounting: the clock runs while at least
+     * one request is in flight, so overlapping requests count once.
+     */
+    std::chrono::steady_clock::time_point activeStart_{};
+    double windowBusySec_ = 0.0;
 
     mutable std::mutex historyMutex_;
     std::vector<TimedRun> history_;

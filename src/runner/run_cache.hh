@@ -17,6 +17,13 @@
  * computed exactly once; the other threads block on a shared_future.
  * The engine releases a capture once the last cell needing it has
  * finished, bounding resident trace memory to the in-flight set.
+ *
+ * Retention (the serve daemon's memoization tier): with
+ * setRetentionBytes(N > 0), release() keeps the capture cached
+ * instead of dropping it, in an LRU set bounded to ~N bytes of
+ * trace memory — so identical requests arriving minutes apart still
+ * hit, while the resident set stays bounded. Retention off (the
+ * default) preserves the batch engine's eager-release behavior.
  */
 
 #ifndef PPM_RUNNER_RUN_CACHE_HH
@@ -25,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -95,6 +103,8 @@ class RunCache
         std::uint64_t captureMisses = 0;
         /** Capture hits that had to block on an in-flight compute. */
         std::uint64_t waitersBlocked = 0;
+        /** Retained captures evicted to stay under the byte budget. */
+        std::uint64_t captureEvictions = 0;
     };
 
     /** Outcome of a capture lookup. */
@@ -135,8 +145,22 @@ class RunCache
     CaptureRef capture(const CaptureKey &key,
                        const std::function<CaptureResult()> &fn);
 
-    /** Drop the cached capture for @p key (in-flight refs stay valid). */
+    /**
+     * Release the capture for @p key: with retention off (default)
+     * it is dropped immediately; with retention on it moves to the
+     * bounded LRU set (in-flight refs stay valid either way).
+     */
     void release(const CaptureKey &key);
+
+    /**
+     * Keep released captures cached until the retained set exceeds
+     * @p bytes of trace memory (LRU eviction). 0 disables retention
+     * and drops every currently retained capture.
+     */
+    void setRetentionBytes(std::uint64_t bytes);
+
+    /** Approximate bytes held by retained (released) captures. */
+    std::uint64_t retainedBytes() const;
 
     /** Drop everything. */
     void clear();
@@ -157,10 +181,27 @@ class RunCache
     std::string programKey(const std::string &name,
                            std::string_view source) const;
 
+    /** LRU bookkeeping for one retained (released) capture. */
+    struct Retained
+    {
+        std::list<CaptureKey>::iterator lruIt;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Move @p key into the retained LRU set; evict over budget. */
+    void retainLocked(const CaptureKey &key);
+
+    /** Drop every retained capture over the byte budget (oldest first). */
+    void evictLocked();
+
     mutable std::mutex mutex_;
     std::unordered_map<std::string, ProgramEntry> programs_;
     std::unordered_map<CaptureKey, CaptureFuture, CaptureKeyHash>
         captures_;
+    std::uint64_t retentionBytes_ = 0;
+    std::uint64_t retainedBytes_ = 0;
+    std::list<CaptureKey> lru_; ///< Front = least recently used.
+    std::unordered_map<CaptureKey, Retained, CaptureKeyHash> retained_;
     Counters counters_;
     std::function<std::uint64_t(std::string_view)> hashHook_;
 
@@ -171,6 +212,7 @@ class RunCache
     obs::Counter *obsCaptureHits_;
     obs::Counter *obsCaptureMisses_;
     obs::Counter *obsWaitersBlocked_;
+    obs::Counter *obsCaptureEvictions_;
 };
 
 } // namespace ppm

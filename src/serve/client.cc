@@ -1,0 +1,141 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ppm::serve {
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buf_ = std::move(other.buf_);
+    }
+    return *this;
+}
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("client: socket path too long: " +
+                                 path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("client: socket() failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("client: cannot connect to " +
+                                 path + ": " + std::strerror(err));
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("client: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error(
+            "client: cannot connect to 127.0.0.1:" +
+            std::to_string(port) + ": " + std::strerror(err));
+    }
+    return Client(fd);
+}
+
+void
+Client::sendLine(const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(
+                std::string("client: send failed: ") +
+                std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::optional<std::string>
+Client::recvLine(int timeoutMs)
+{
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeoutMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (pr == 0)
+            return std::nullopt; // Timeout with no complete line.
+        char chunk[64 * 1024];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return std::nullopt; // Daemon hung up.
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace ppm::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal blocking client for the `ppm-serve-v1` protocol: connect
+ * to a daemon (Unix path or loopback TCP port), send request lines,
+ * read response lines. Shared by the `ppm client` subcommand, the
+ * serve tests, and the CI smoke script — one socket implementation
+ * instead of three.
+ */
+
+#ifndef PPM_SERVE_CLIENT_HH
+#define PPM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ppm::serve {
+
+/** One connection to a serve daemon. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /**
+     * Connect to a Unix-domain socket at @p path. Throws
+     * std::runtime_error (with errno text) on failure.
+     */
+    static Client connectUnix(const std::string &path);
+
+    /** Connect to 127.0.0.1:@p port. Throws on failure. */
+    static Client connectTcp(std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send one request line (newline appended). Throws
+     * std::runtime_error when the daemon hung up.
+     */
+    void sendLine(const std::string &line);
+
+    /**
+     * Read the next response line, blocking up to @p timeoutMs
+     * (default: wait forever). nullopt = connection closed or
+     * timeout expired with no complete line.
+     */
+    std::optional<std::string> recvLine(int timeoutMs = -1);
+
+    void close();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_CLIENT_HH

@@ -1,0 +1,268 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ppm::serve {
+
+namespace {
+
+/** kind string -> RequestKind; nullopt for unknown strings. */
+std::optional<RequestKind>
+kindFromString(const std::string &s)
+{
+    if (s == "analyze")
+        return RequestKind::Analyze;
+    if (s == "trace")
+        return RequestKind::Trace;
+    if (s == "stats")
+        return RequestKind::Stats;
+    if (s == "ping")
+        return RequestKind::Ping;
+    if (s == "shutdown")
+        return RequestKind::Shutdown;
+    return std::nullopt;
+}
+
+std::optional<PredictorKind>
+predictorFromString(const std::string &s)
+{
+    if (s == "last" || s == "last-value")
+        return PredictorKind::LastValue;
+    if (s == "stride")
+        return PredictorKind::Stride2Delta;
+    if (s == "context")
+        return PredictorKind::Context;
+    return std::nullopt;
+}
+
+/** True when @p v is a number representing a non-negative integer. */
+bool
+isUintNumber(const JsonValue &v)
+{
+    return v.isNumber() && v.number >= 0 &&
+           v.number == std::floor(v.number);
+}
+
+/** Format seconds with fixed precision (canonical, locale-free). */
+std::string
+secStr(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", s);
+    return buf;
+}
+
+const char *
+boolStr(bool b)
+{
+    return b ? "true" : "false";
+}
+
+std::string
+responseHead(const std::string &id, const char *status)
+{
+    std::string out = "{\"schema\":\"";
+    out += kServeSchema;
+    out += "\",\"id\":\"";
+    out += jsonEscape(id);
+    out += "\",\"status\":\"";
+    out += status;
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+validateRequest(const JsonValue &doc)
+{
+    std::vector<std::string> errors;
+    if (!doc.isObject()) {
+        errors.push_back("request is not a JSON object");
+        return errors;
+    }
+
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString())
+        errors.push_back("missing string member \"schema\"");
+    else if (schema->str != kServeSchema)
+        errors.push_back("schema is \"" + schema->str +
+                         "\", expected \"" + kServeSchema + "\"");
+
+    const JsonValue *kindv = doc.find("kind");
+    std::optional<RequestKind> kind;
+    if (!kindv || !kindv->isString()) {
+        errors.push_back("missing string member \"kind\"");
+    } else {
+        kind = kindFromString(kindv->str);
+        if (!kind) {
+            errors.push_back(
+                "unknown kind \"" + kindv->str +
+                "\" (expected analyze|trace|stats|ping|shutdown)");
+        }
+    }
+
+    if (const JsonValue *id = doc.find("id"); id && !id->isString())
+        errors.push_back("\"id\" must be a string");
+    if (const JsonValue *s = doc.find("seed");
+        s && !isUintNumber(*s))
+        errors.push_back("\"seed\" must be a non-negative integer");
+    if (const JsonValue *m = doc.find("max_instrs");
+        m && !isUintNumber(*m)) {
+        errors.push_back(
+            "\"max_instrs\" must be a non-negative integer");
+    }
+    if (const JsonValue *p = doc.find("predictor")) {
+        if (!p->isString() ||
+            (p->str != "all" && !predictorFromString(p->str))) {
+            errors.push_back(
+                "\"predictor\" must be all|last|stride|context");
+        }
+    }
+
+    if (kind == RequestKind::Analyze) {
+        unsigned intakes = 0;
+        for (const char *field : {"workload", "family", "source"}) {
+            const JsonValue *v = doc.find(field);
+            if (!v)
+                continue;
+            if (!v->isString() || v->str.empty()) {
+                errors.push_back(std::string("\"") + field +
+                                 "\" must be a non-empty string");
+            }
+            ++intakes;
+        }
+        if (intakes != 1) {
+            errors.push_back("analyze needs exactly one of "
+                             "\"workload\", \"family\", \"source\"");
+        }
+    } else if (kind == RequestKind::Trace) {
+        const JsonValue *records = doc.find("records");
+        if (!records || !records->isString() ||
+            records->str.empty()) {
+            errors.push_back(
+                "trace needs a non-empty string member \"records\"");
+        }
+    }
+    if (const JsonValue *n = doc.find("name"); n && !n->isString())
+        errors.push_back("\"name\" must be a string");
+
+    return errors;
+}
+
+ServeRequest
+parseRequest(const JsonValue &doc)
+{
+    ServeRequest req;
+    if (const JsonValue *id = doc.find("id"))
+        req.id = id->str;
+    const auto kind = kindFromString(doc.at("kind").str);
+    if (!kind)
+        throw JsonError("unknown request kind");
+    req.kind = *kind;
+    if (const JsonValue *v = doc.find("workload"))
+        req.workload = v->str;
+    if (const JsonValue *v = doc.find("family"))
+        req.family = v->str;
+    if (const JsonValue *v = doc.find("source"))
+        req.source = v->str;
+    if (const JsonValue *v = doc.find("name"))
+        req.name = v->str;
+    if (const JsonValue *v = doc.find("records"))
+        req.records = v->str;
+    if (const JsonValue *v = doc.find("seed"))
+        req.seed = static_cast<std::uint64_t>(v->number);
+    if (const JsonValue *v = doc.find("max_instrs"))
+        req.maxInstrs = static_cast<std::uint64_t>(v->number);
+    if (const JsonValue *v = doc.find("predictor");
+        v && v->str != "all")
+        req.predictor = predictorFromString(v->str);
+    return req;
+}
+
+std::string
+okResponse(const std::string &id, const std::string &fingerprint,
+           const ResponseTiming &timing)
+{
+    std::string out = responseHead(id, "ok");
+    out += ",\"fingerprint\":";
+    out += fingerprint; // Already canonical JSON; embedded verbatim.
+    out += ",\"timing\":{\"queue_sec\":";
+    out += secStr(timing.queueSec);
+    out += ",\"simulate_sec\":";
+    out += secStr(timing.simulateSec);
+    out += ",\"analyze_sec\":";
+    out += secStr(timing.analyzeSec);
+    out += ",\"dyn_instrs\":";
+    out += std::to_string(timing.dynInstrs);
+    out += ",\"capture_shared\":";
+    out += boolStr(timing.captureShared);
+    out += ",\"fused\":";
+    out += boolStr(timing.fused);
+    out += "}}";
+    return out;
+}
+
+std::string
+errorResponse(const std::string &id, const std::string &message)
+{
+    std::string out = responseHead(id, "error");
+    out += ",\"error\":\"";
+    out += jsonEscape(message);
+    out += "\"}";
+    return out;
+}
+
+std::string
+overloadedResponse(const std::string &id, const std::string &message)
+{
+    std::string out = responseHead(id, "overloaded");
+    out += ",\"error\":\"";
+    out += jsonEscape(message);
+    out += "\"}";
+    return out;
+}
+
+std::string
+pongResponse(const std::string &id)
+{
+    return responseHead(id, "ok") + "}";
+}
+
+std::string
+statsResponse(const std::string &id, const std::string &body)
+{
+    std::string out = responseHead(id, "ok");
+    out += ",\"stats\":";
+    out += body;
+    out += "}";
+    return out;
+}
+
+} // namespace ppm::serve

@@ -22,6 +22,16 @@
  *                                          trace (CBP/ChampSim-style
  *                                          text records) and emit its
  *                                          fingerprint
+ *     ppm serve [opts]                     resident analysis daemon
+ *                                          speaking ppm-serve-v1 over
+ *                                          a local socket
+ *     ppm client [opts]                    send requests to a daemon
+ *     ppm --version                        tool + schema versions
+ *
+ * Exit codes (uniform across subcommands):
+ *     0  success
+ *     1  analysis / verification / request failure
+ *     2  usage or environment error (bad flags, malformed PPM_* vars)
  *
  * Common options:
  *     --max N            dynamic instruction budget (default 4000000)
@@ -39,6 +49,7 @@
  *                        critical, json   (default: overall)
  */
 
+#include <csignal>
 #include <fstream>
 #include <memory>
 #include <iostream>
@@ -54,10 +65,14 @@
 #include "report/figure_report.hh"
 #include "report/json_emitter.hh"
 #include "runner/trace_import.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/machine.hh"
 #include "sim/trace_file.hh"
 #include "support/cli_args.hh"
+#include "support/env.hh"
 #include "support/mini_json.hh"
+#include "support/version.hh"
 #include "support/string_utils.hh"
 #include "support/table_printer.hh"
 #include "verify/families.hh"
@@ -89,7 +104,15 @@ usage(const std::string &message = "")
         "          [--predictor last|stride|context] [--max N]\n"
         "  ppm fuzz [--families a,b,...] [--seeds LO-HI] [--slice]\n"
         "          [--no-verify] [--out corpus.json] [--list]\n"
-        "  ppm import <file.trace> [--verify] [--out fp.json]\n";
+        "  ppm import <file.trace> [--verify] [--out fp.json]\n"
+        "  ppm serve (--socket PATH | --port N) [--max-inflight N]\n"
+        "          [--max N] [--cap N] [--retain-mb N]\n"
+        "  ppm client (--socket PATH | --port N) [file.s]\n"
+        "          [--workload W | --family F | --trace-file T]\n"
+        "          [--predictor all|last|stride|context] [--max N]\n"
+        "          [--seed S] [--id ID] [--count N]\n"
+        "          [--stats] [--ping] [--shutdown] [--json REQ]\n"
+        "  ppm --version\n";
     std::exit(2);
 }
 
@@ -582,6 +605,173 @@ cmdImport(const CliArgs &args)
     return 0;
 }
 
+// The active daemon, for the SIGTERM/SIGINT handler. requestStop()
+// is async-signal-safe (one atomic store + one write()).
+serve::Server *g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+cmdServe(const CliArgs &args)
+{
+    serve::ServerOptions opts;
+    if (const auto s = args.option("socket"))
+        opts.unixPath = *s;
+    const bool havePort = args.option("port").has_value();
+    if (const auto p = args.intOption("port"))
+        opts.port = static_cast<std::uint16_t>(*p);
+    if (opts.unixPath.empty() && !havePort)
+        usage("serve needs --socket PATH or --port N");
+    if (const auto m = args.intOption("max-inflight"))
+        opts.maxInflight = static_cast<unsigned>(*m);
+    if (const auto m = args.intOption("max"))
+        opts.defaultMaxInstrs = static_cast<std::uint64_t>(*m);
+    if (const auto m = args.intOption("cap"))
+        opts.maxInstrsCap = static_cast<std::uint64_t>(*m);
+    if (const auto m = args.intOption("retain-mb")) {
+        opts.engine.captureRetentionBytes =
+            static_cast<std::uint64_t>(*m) << 20;
+    }
+
+    serve::Server server(opts);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    if (!opts.unixPath.empty())
+        std::cout << "ppm serve: listening on " << opts.unixPath;
+    else
+        std::cout << "ppm serve: listening on 127.0.0.1:"
+                  << server.port();
+    std::cout << " (threads " << server.engine().threads()
+              << ", max-inflight " << opts.maxInflight << ")"
+              << std::endl;
+
+    server.serveUntilStopped();
+    g_server = nullptr;
+
+    const serve::ServerStats stats = server.stats();
+    std::cerr << "ppm serve: drained — " << stats.connections
+              << " connections, " << stats.served << " served, "
+              << stats.failed << " failed, " << stats.overloaded
+              << " rejected\n";
+    return 0;
+}
+
+/** Build the request line(s) `ppm client` will send. */
+std::vector<std::string>
+clientRequestLines(const CliArgs &args)
+{
+    if (const auto raw = args.option("json"))
+        return {*raw};
+
+    std::string kind;
+    std::string body;
+    if (args.flag("ping")) {
+        kind = "ping";
+    } else if (args.flag("stats")) {
+        kind = "stats";
+    } else if (args.flag("shutdown")) {
+        kind = "shutdown";
+    } else {
+        kind = "analyze";
+        if (const auto w = args.option("workload")) {
+            body += ",\"workload\":\"" + serve::jsonEscape(*w) +
+                    "\"";
+        } else if (const auto f = args.option("family")) {
+            body += ",\"family\":\"" + serve::jsonEscape(*f) + "\"";
+        } else if (const auto t = args.option("trace-file")) {
+            kind = "trace";
+            body += ",\"name\":\"" + serve::jsonEscape(*t) +
+                    "\",\"records\":\"" +
+                    serve::jsonEscape(readFile(*t)) + "\"";
+        } else if (args.positionals().size() > 1) {
+            const std::string &path = args.positionals()[1];
+            body += ",\"name\":\"" + serve::jsonEscape(path) +
+                    "\",\"source\":\"" +
+                    serve::jsonEscape(readFile(path)) + "\"";
+        } else {
+            usage("client needs a request: file.s, --workload, "
+                  "--family, --trace-file, --stats, --ping, "
+                  "--shutdown, or --json");
+        }
+        if (const auto p = args.option("predictor")) {
+            if (*p != "all")
+                parsePredictor(*p); // Reject unknown names early.
+            body += ",\"predictor\":\"" + *p + "\"";
+        }
+        if (const auto m = args.intOption("max"))
+            body += ",\"max_instrs\":" + std::to_string(*m);
+        if (const auto s = args.intOption("seed"))
+            body += ",\"seed\":" + std::to_string(*s);
+    }
+
+    const auto count = args.intOption("count").value_or(1);
+    const std::string baseId = args.option("id").value_or("req");
+    std::vector<std::string> lines;
+    for (std::int64_t i = 0; i < count; ++i) {
+        const std::string id =
+            count == 1 ? baseId : baseId + "-" + std::to_string(i);
+        lines.push_back("{\"schema\":\"ppm-serve-v1\",\"kind\":\"" +
+                        kind + "\",\"id\":\"" +
+                        serve::jsonEscape(id) + "\"" + body + "}");
+    }
+    return lines;
+}
+
+int
+cmdClient(const CliArgs &args)
+{
+    serve::Client client;
+    if (const auto s = args.option("socket"))
+        client = serve::Client::connectUnix(*s);
+    else if (const auto p = args.intOption("port"))
+        client = serve::Client::connectTcp(
+            static_cast<std::uint16_t>(*p));
+    else
+        usage("client needs --socket PATH or --port N");
+
+    const std::vector<std::string> lines = clientRequestLines(args);
+    for (const std::string &line : lines)
+        client.sendLine(line);
+
+    bool allOk = true;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto response = client.recvLine();
+        if (!response) {
+            std::cerr << "client: connection closed after " << i
+                      << " of " << lines.size() << " responses\n";
+            return 1;
+        }
+        std::cout << *response << "\n";
+        try {
+            const JsonValue doc = parseJson(*response);
+            const JsonValue *status = doc.find("status");
+            if (!status || !status->isString() ||
+                status->str != "ok")
+                allOk = false;
+        } catch (const JsonError &) {
+            allOk = false;
+        }
+    }
+    return allOk ? 0 : 1;
+}
+
+int
+cmdVersion()
+{
+    std::cout << "ppm " << kPpmVersion << "\n";
+    for (const char *schema : kPpmSchemas)
+        std::cout << "schema " << schema << "\n";
+    return 0;
+}
+
 int
 cmdWorkloads()
 {
@@ -606,7 +796,12 @@ main(int argc, char **argv)
                        {"max", "predictor", "seed", "input",
                         "input-file", "report", "window",
                         "save-trace", "trace-file", "families",
-                        "seeds", "out"});
+                        "seeds", "out", "socket", "port",
+                        "max-inflight", "cap", "retain-mb",
+                        "workload", "family", "json", "id",
+                        "count"});
+    if (args.flag("version"))
+        return cmdVersion();
     if (args.positionals().empty())
         usage();
 
@@ -630,7 +825,16 @@ main(int argc, char **argv)
             return cmdFuzz(args);
         if (cmd == "import")
             return cmdImport(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "client")
+            return cmdClient(args);
+        if (cmd == "version")
+            return cmdVersion();
         usage("unknown command '" + cmd + "'");
+    } catch (const EnvError &e) {
+        std::cerr << "environment error: " << e.what() << "\n";
+        return 2;
     } catch (const AsmError &e) {
         std::cerr << "assembly error: " << e.what() << "\n";
         return 1;
