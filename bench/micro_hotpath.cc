@@ -17,13 +17,20 @@
  *                      one replay pass per cell — the pre-fusion path
  *   "sweep-fused"      the same sweep through FusedAnalysisSink: one
  *                      replay pass drives every lane
- * The two sweep modes run interleaved (A/B) per repetition and their
+ *   "intra-serial"     one Context cell through the serial analyzer —
+ *                      the A side of the within-run scaling pair
+ *   "intra-pipeline"   the same cell through IntraRunPipeline
+ *                      (PPM_HOTPATH_INTRA_THREADS total threads)
+ * Paired modes run interleaved (A/B) per repetition and their
  * per-cell model output is checksummed identically.
  *
  * Environment:
  *   PPM_HOTPATH_INSTRS  dynamic-instruction budget per scenario
  *                       (default 1,000,000)
  *   PPM_HOTPATH_REPS    timed repetitions per scenario (default 5)
+ *   PPM_HOTPATH_INTRA_THREADS
+ *                       total threads for the intra-pipeline rows
+ *                       (default 4, min 2)
  *   PPM_HOTPATH_JSON    output path for the "ppm-hotpath-v2" report
  *                       (default: BENCH_hotpath.json in the cwd;
  *                       argv[1] overrides both)
@@ -44,6 +51,7 @@
 #include "asmr/assembler.hh"
 #include "dpg/dpg_analyzer.hh"
 #include "runner/fused_sink.hh"
+#include "runner/intra_pipeline.hh"
 #include "runner/trace_buffer.hh"
 #include "sim/machine.hh"
 #include "sim/profiler.hh"
@@ -251,6 +259,57 @@ main(int argc, char **argv)
                   << static_cast<std::uint64_t>(fus.instrsPerSec)
                   << " instrs/sec (sweep speedup "
                   << (seq.bestSec / fus.bestSec) << "x)\n";
+
+        // Intra-run A/B: ONE Context-predictor cell, serial analyzer
+        // vs the staged intra-run pipeline (PPM_HOTPATH_INTRA_THREADS
+        // total threads, default 4). Same trace, modes interleaved
+        // per repetition, identical checksum fold — this is the
+        // within-run scaling row the engine's PPM_INTRA_THREADS knob
+        // buys, as opposed to the across-lane fusion above.
+        const unsigned intraThreads = static_cast<unsigned>(
+            envUint("PPM_HOTPATH_INTRA_THREADS", 4, /*min=*/2));
+        Scenario ser = make_sweep("intra-serial");
+        Scenario par = make_sweep("intra-pipeline");
+        ser.predictor = "context";
+        par.predictor = "context";
+        for (std::uint64_t r = 0; r < reps; ++r) {
+            DpgConfig cfg;
+            cfg.kind = PredictorKind::Context;
+            {
+                DpgAnalyzer analyzer(prog, profile, cfg);
+                const auto t0 = Clock::now();
+                trace->replay(prog, analyzer);
+                ser.bestSec =
+                    std::min(ser.bestSec, secondsSince(t0));
+                checksum ^= analyzer.takeStats().totalElements();
+            }
+            {
+                IntraRunPipeline pipeline(prog, profile, cfg,
+                                          intraThreads);
+                const auto t0 = Clock::now();
+                trace->replay(prog, pipeline);
+                const std::uint64_t elems =
+                    pipeline.takeStats().totalElements();
+                // takeStats() joins the stages, so the clock stops
+                // only after the last worker drains its ring slots.
+                par.bestSec =
+                    std::min(par.bestSec, secondsSince(t0));
+                checksum ^= elems;
+            }
+        }
+        for (Scenario *row : {&ser, &par}) {
+            row->instrsPerSec =
+                static_cast<double>(row->dynInstrs) / row->bestSec;
+            rows.push_back(*row);
+        }
+        std::cerr << "  " << w.name << " / context [" << ser.mode
+                  << " vs " << par.mode << " @" << intraThreads
+                  << "t]: "
+                  << static_cast<std::uint64_t>(ser.instrsPerSec)
+                  << " -> "
+                  << static_cast<std::uint64_t>(par.instrsPerSec)
+                  << " instrs/sec (intra-run speedup "
+                  << (ser.bestSec / par.bestSec) << "x)\n";
     };
 
     std::cerr << "micro_hotpath: budget " << budget

@@ -47,6 +47,55 @@ namespace obs {
 class Histogram;
 } // namespace obs
 
+/**
+ * Per-instruction predictor-outcome annotation, the hand-off between
+ * the intra-run pipeline's predict stage and its bookkeeping stages
+ * (runner/intra_pipeline.hh). Bits 0-2: input slot 0-2 predicted;
+ * bit 3: the output (value or branch) predicted. One byte per dynamic
+ * instruction fully determines every downstream bookkeeping decision,
+ * which is what makes the staged run byte-identical to the serial one.
+ */
+using PredByte = std::uint8_t;
+
+constexpr PredByte
+predInputBit(unsigned slot)
+{
+    return static_cast<PredByte>(1u << slot);
+}
+
+constexpr PredByte kPredOutputBit = 1u << 3;
+
+/**
+ * Which slice of the model one DpgAnalyzer instance maintains.
+ *
+ * The serial analyzer runs every role at once (the default). The
+ * intra-run pipeline instead instantiates one analyzer per stage:
+ *
+ *  - predict: consult + update the PredictorBank (input/output value
+ *    predictors and gshare) in stream order, emitting one PredByte
+ *    per instruction. No value-state tables.
+ *  - graph:   the cross-value dataflow — node/branch/sequence/tree/
+ *    path/unpredictability statistics and influence propagation —
+ *    driven by the annotations, in stream order.
+ *  - arcs:    live-value pending-arc lists and ArcStats, plus lazy
+ *    D-node counting. Shardable: with shardCount > 1 the instance
+ *    only touches registers with reg % shardCount == shard and
+ *    memory words with (addr >> 3) % shardCount == shard, so every
+ *    value's whole lifecycle stays on one shard and the per-shard
+ *    ArcStats sum to exactly the serial totals.
+ */
+struct DpgRole
+{
+    bool predict = true;
+    bool graph = true;
+    bool arcs = true;
+    unsigned shard = 0;
+    unsigned shardCount = 1;
+
+    /** Every role engaged — the serial analyzer. */
+    bool full() const { return predict && graph && arcs; }
+};
+
 /** Analyzer knobs; defaults reproduce the paper's configuration. */
 struct DpgConfig
 {
@@ -94,6 +143,20 @@ struct PathStats
 
     /** Elements whose influence set overflowed the cap. */
     std::uint64_t saturationEvents = 0;
+
+    /** Fold another partial census in (all fields are sums). */
+    void
+    merge(const PathStats &other)
+    {
+        for (std::size_t i = 0; i < perClass.size(); ++i)
+            perClass[i] += other.perClass[i];
+        for (std::size_t i = 0; i < perCombo.size(); ++i)
+            perCombo[i] += other.perCombo[i];
+        influenceCount.merge(other.influenceCount);
+        influenceDistance.merge(other.influenceDistance);
+        propagateElements += other.propagateElements;
+        saturationEvents += other.saturationEvents;
+    }
 };
 
 /** Everything one (workload, predictor) model run produces. */
@@ -142,6 +205,28 @@ struct DpgStats
     {
         return totalNodes() + arcs.total();
     }
+
+    /**
+     * Fold another run-slice's commutative counters in: instruction
+     * and D-node counts, node/arc/branch/path/unpred statistics — all
+     * plain sums, so partial states merge in any order to the same
+     * totals. Stream-order state (sequences, trees, gshareAccuracy)
+     * is NOT merged: the intra-run pipeline keeps those on exactly
+     * one stage, so the graph-role slice already holds the full
+     * values (see runner/intra_pipeline.hh).
+     */
+    void
+    mergePartial(const DpgStats &other)
+    {
+        dynInstrs += other.dynInstrs;
+        lazyDataNodes += other.lazyDataNodes;
+        inputDataNodes += other.inputDataNodes;
+        nodes.merge(other.nodes);
+        arcs.merge(other.arcs);
+        branches.merge(other.branches);
+        paths.merge(other.paths);
+        unpred.merge(other.unpred);
+    }
 };
 
 /** The streaming model implementation. */
@@ -163,7 +248,18 @@ class DpgAnalyzer : public TraceSink
      */
     DpgAnalyzer(const Program &prog, const ExecProfile &profile,
                 PredictorBank bank,
-                const DpgConfig &config = DpgConfig{});
+                const DpgConfig &config = DpgConfig{},
+                const DpgRole &role = DpgRole{});
+
+    /**
+     * Role-restricted analyzer — one stage of the intra-run pipeline
+     * (see DpgRole and runner/intra_pipeline.hh). Differential
+     * verification is only supported on full-role instances; cfg.verify
+     * on a partial role is rejected with std::invalid_argument (the
+     * engine falls back to the serial analyzer under PPM_VERIFY).
+     */
+    DpgAnalyzer(const Program &prog, const ExecProfile &profile,
+                const DpgConfig &config, const DpgRole &role);
 
     ~DpgAnalyzer();
 
@@ -187,6 +283,32 @@ class DpgAnalyzer : public TraceSink
      * The analyzer must not be fed further instructions afterwards.
      */
     DpgStats takeStats();
+
+    /**
+     * Predict-role entry point: run the predictor bank over @p block
+     * in stream order, writing one PredByte per instruction into
+     * @p ann (block.size() bytes). The call sequence into the bank is
+     * exactly the serial analyzer's, so the annotations — and the
+     * bank's final state — are byte-identical to a serial run.
+     */
+    void predictBlock(std::span<const DynInstr> block, PredByte *ann);
+
+    /**
+     * Bookkeeping-role entry point: analyze @p block using the
+     * annotations a predict-role instance produced, engaging only
+     * this instance's roles (graph and/or arcs, shard-filtered).
+     */
+    void analyzeAnnotatedBlock(std::span<const DynInstr> block,
+                               const PredByte *ann);
+
+    const DpgRole &role() const { return role_; }
+
+    /**
+     * Arc-role work items this instance performed (pending-arc
+     * appends + value installs) — the shard-imbalance signal the
+     * pipeline folds into dpg.intra_shard_ops.
+     */
+    std::uint64_t arcOps() const { return arcOps_; }
 
     /** Access to the predictor bank (for tests/ablations). */
     PredictorBank &bank() { return bank_; }
@@ -251,8 +373,22 @@ class DpgAnalyzer : public TraceSink
     /** The per-instruction model step (onInstr/onBlock body). */
     void analyzeInstr(const DynInstr &di);
 
+    /**
+     * The role-parameterized model step. The serial path instantiates
+     * every role at once (analyzeInstr); pipeline stages instantiate
+     * their slice. Predict writes @p ann; the other roles read it.
+     */
+    template <bool Predict, bool Graph, bool Arcs>
+    void analyzeInstrImpl(const DynInstr &di, PredByte &ann);
+
+    /** Does this instance's arc shard own @p in's value? */
+    bool ownsInput(const DynInput &in) const;
+
     /** Warm the lines @p di will touch (block path, far stage). */
     void prefetchShallow(const DynInstr &di);
+
+    /** Predict-role far stage: bank lines only, no value tables. */
+    void prefetchPredictors(const DynInstr &di);
 
     /** Second-stage prefetch (FCM level-2, near stage). */
     void prefetchDeep(const DynInstr &di);
@@ -260,9 +396,13 @@ class DpgAnalyzer : public TraceSink
     const Program &prog_;
     const ExecProfile &profile_;
     DpgConfig cfg_;
+    DpgRole role_;
     PredictorBank bank_;
     DpgStats stats_;
     bool finalized_ = false;
+
+    /** Arc-role work counter (see arcOps()). */
+    std::uint64_t arcOps_ = 0;
 
     /** Differential verification state (non-null iff cfg.verify). */
     std::unique_ptr<verify::DifferentialBank> diff_;

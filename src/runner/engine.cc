@@ -8,6 +8,7 @@
 
 #include "obs/obs.hh"
 #include "runner/fused_sink.hh"
+#include "runner/intra_pipeline.hh"
 #include "runner/stage_report.hh"
 #include "sim/machine.hh"
 #include "support/env.hh"
@@ -87,6 +88,10 @@ EngineOptions::withEnvFallback() const
     if (o.threads == 0) {
         o.threads = static_cast<unsigned>(
             envUint("PPM_THREADS", defaultThreads(), /*min=*/1));
+    }
+    if (o.intraThreads == 0) {
+        o.intraThreads = static_cast<unsigned>(
+            envUint("PPM_INTRA_THREADS", 1, /*min=*/1));
     }
     if (o.traceByteCap == 0) {
         o.traceByteCap = envUint("PPM_TRACE_MEM_MB",
@@ -187,6 +192,7 @@ ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
 {
     const EngineOptions resolved = opts.withEnvFallback();
     threads_ = resolved.threads;
+    intraThreads_ = resolved.intraThreads;
     traceByteCap_ = resolved.traceByteCap;
     replay_ = *resolved.replay;
     verify_ = *resolved.verify;
@@ -313,21 +319,35 @@ ExperimentEngine::runJob(const ExperimentJob &job)
     obs::Span analyze_span("analyze", "runner");
     DpgConfig dpg = job.config.dpg;
     dpg.verify |= verify_;
-    DpgAnalyzer analyzer(prog, *ref.result->profile, dpg);
-    if (ref.result->trace) {
-        ref.result->trace->replay(prog, analyzer);
-        out.timing.replayed = true;
-        if (obsReplays_)
-            obsReplays_->add();
+    // Differential verification audits the full per-instruction state
+    // and therefore keeps the serial analyzer regardless of
+    // PPM_INTRA_THREADS.
+    const bool intra = intraThreads_ > 1 && !dpg.verify;
+    auto feed = [&](TraceSink &sink) {
+        if (ref.result->trace) {
+            ref.result->trace->replay(prog, sink);
+            out.timing.replayed = true;
+            if (obsReplays_)
+                obsReplays_->add();
+        } else {
+            // Capture overflowed its byte cap (or replay is off):
+            // spill fallback, re-simulating the deterministic stream.
+            Machine m(prog, *job.input);
+            m.run(&sink, job.config.maxInstrs);
+            if (obsReplayFallbacks_ && replay_)
+                obsReplayFallbacks_->add();
+        }
+    };
+    if (intra) {
+        IntraRunPipeline pipeline(prog, *ref.result->profile, dpg,
+                                  intraThreads_);
+        feed(pipeline);
+        out.stats = pipeline.takeStats();
     } else {
-        // Capture overflowed its byte cap (or replay is off): spill
-        // fallback, re-simulating the deterministic stream.
-        Machine m(prog, *job.input);
-        m.run(&analyzer, job.config.maxInstrs);
-        if (obsReplayFallbacks_ && replay_)
-            obsReplayFallbacks_->add();
+        DpgAnalyzer analyzer(prog, *ref.result->profile, dpg);
+        feed(analyzer);
+        out.stats = analyzer.takeStats();
     }
-    out.stats = analyzer.takeStats();
     out.timing.analyzeSec = secondsSince(t1);
     return out;
 }
@@ -345,7 +365,7 @@ ExperimentEngine::runFusedJobs(
     // key) must not skip any lane — each still gets its own analyzer.
     RunCache::CaptureRef ref = captureFor(lead);
 
-    FusedAnalysisSink sink;
+    FusedAnalysisSink sink(intraThreads_);
     for (const ExperimentJob *job : group) {
         DpgConfig dpg = job->config.dpg;
         dpg.verify |= verify_;

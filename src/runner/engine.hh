@@ -56,6 +56,13 @@
  * Environment knobs (resolved at engine construction; see
  * EngineOptions::fromEnv()):
  *   PPM_THREADS       worker count (default: hardware concurrency)
+ *   PPM_INTRA_THREADS threads per analysis run (default 1 = serial).
+ *                     > 1 runs each cell through the intra-run
+ *                     pipeline (runner/intra_pipeline.hh) — and lets
+ *                     a fused pass dispatch its lanes in parallel —
+ *                     with byte-identical output; ignored under
+ *                     PPM_VERIFY (differential verification needs
+ *                     the serial analyzer)
  *   PPM_TRACE_MEM_MB  per-capture byte cap (default 256 MiB)
  *   PPM_FUSED=0       disable fused sweeps (one pass per cell)
  *   PPM_REPLAY=0      disable capture/replay (always two-pass) —
@@ -166,6 +173,16 @@ struct ExperimentOutcome
 struct EngineOptions
 {
     unsigned threads = 0;
+
+    /**
+     * Threads devoted to a *single* analysis run (PPM_INTRA_THREADS;
+     * default 1 = the serial analyzer). Values > 1 pipeline each
+     * cell's block dispatch across stages (predict / graph / arc
+     * shards — see runner/intra_pipeline.hh) and let fused passes
+     * dispatch lanes in parallel; output stays byte-identical.
+     */
+    unsigned intraThreads = 0;
+
     std::uint64_t traceByteCap = 0;
     std::optional<bool> replay;
     std::optional<bool> verify;
@@ -316,6 +333,7 @@ class ExperimentEngine
 
     RunCache &cache() { return cache_; }
     unsigned threads() const { return threads_; }
+    unsigned intraThreads() const { return intraThreads_; }
     bool replayEnabled() const { return replay_; }
     bool verifyEnabled() const { return verify_; }
     bool fusedEnabled() const { return fused_; }
@@ -387,6 +405,7 @@ class ExperimentEngine
 
     RunCache cache_;
     unsigned threads_ = 1;
+    unsigned intraThreads_ = 1;
     std::uint64_t traceByteCap_ = 0;
     bool replay_ = true;
     bool verify_ = false;

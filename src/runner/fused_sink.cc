@@ -1,5 +1,6 @@
 #include "runner/fused_sink.hh"
 
+#include <algorithm>
 #include <chrono>
 
 namespace ppm {
@@ -16,12 +17,23 @@ secondsSince(Clock::time_point t0)
 
 } // namespace
 
-FusedAnalysisSink::FusedAnalysisSink()
+FusedAnalysisSink::FusedAnalysisSink(unsigned dispatchThreads)
+    : dispatchThreads_(dispatchThreads == 0 ? 1 : dispatchThreads)
 {
     staged_.reserve(kStageBlock);
 }
 
-FusedAnalysisSink::~FusedAnalysisSink() = default;
+FusedAnalysisSink::~FusedAnalysisSink()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+}
 
 std::size_t
 FusedAnalysisSink::addLane(std::unique_ptr<DpgAnalyzer> analyzer)
@@ -33,12 +45,84 @@ FusedAnalysisSink::addLane(std::unique_ptr<DpgAnalyzer> analyzer)
 void
 FusedAnalysisSink::dispatch(std::span<const DynInstr> block)
 {
+    if (dispatchThreads_ > 1 && lanes_.size() > 1) {
+        dispatchParallel(block);
+        return;
+    }
     // Two clock reads per lane per 256-instruction block (< 0.1 % of
     // a lane's analyze cost) buy exact per-lane stage attribution.
     for (Lane &lane : lanes_) {
         const auto t0 = Clock::now();
         lane.analyzer->onBlock(block);
         lane.seconds += secondsSince(t0);
+    }
+}
+
+void
+FusedAnalysisSink::ensureWorkers()
+{
+    if (!workers_.empty())
+        return;
+    const std::size_t n =
+        std::min<std::size_t>(dispatchThreads_, lanes_.size());
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+FusedAnalysisSink::dispatchParallel(std::span<const DynInstr> block)
+{
+    ensureWorkers();
+    std::unique_lock<std::mutex> lock(m_);
+    current_ = block;
+    lanesDone_ = 0;
+    nextLane_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    workCv_.notify_all();
+    // The barrier per block is what keeps lanes lock-free inside
+    // onBlock: no lane is ever touched by two threads concurrently,
+    // and the next block is not produced until every lane consumed
+    // this one. Waiting for busy_ == 0 (not just the lane count)
+    // closes the straggler window — a worker that woke for this
+    // block but lost every claim still holds the stale span until it
+    // re-enters the wait.
+    doneCv_.wait(lock, [&] {
+        return lanesDone_ == lanes_.size() && busy_ == 0;
+    });
+}
+
+void
+FusedAnalysisSink::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        workCv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        const std::span<const DynInstr> block = current_;
+        ++busy_;
+        lock.unlock();
+        std::size_t processed = 0;
+        for (;;) {
+            const std::size_t i =
+                nextLane_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= lanes_.size())
+                break;
+            Lane &lane = lanes_[i];
+            const auto t0 = Clock::now();
+            lane.analyzer->onBlock(block);
+            lane.seconds += secondsSince(t0);
+            ++processed;
+        }
+        lock.lock();
+        lanesDone_ += processed;
+        --busy_;
+        if (lanesDone_ == lanes_.size() && busy_ == 0)
+            doneCv_.notify_one();
     }
 }
 

@@ -17,13 +17,27 @@
  * between lanes on one thread cannot perturb any lane's output; every
  * cell stays byte-identical to the sequential path (pinned by
  * tests/test_fused.cc and the golden and cross-path suites).
+ *
+ * With dispatchThreads > 1 (the engine passes PPM_INTRA_THREADS) and
+ * more than one lane, the per-block fan-out runs on a small worker
+ * pool instead: workers claim lanes from an atomic cursor and the
+ * dispatching thread waits for the block's lane count to drain before
+ * the next block is produced. Lane independence makes the assignment
+ * of lanes to workers unobservable, so outputs stay byte-identical;
+ * per-lane laneSeconds attribution is preserved because exactly one
+ * worker runs a given lane for a given block.
  */
 
 #ifndef PPM_RUNNER_FUSED_SINK_HH
 #define PPM_RUNNER_FUSED_SINK_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "dpg/dpg_analyzer.hh"
@@ -42,7 +56,12 @@ class FusedAnalysisSink : public TraceSink
      */
     static constexpr std::size_t kStageBlock = 256;
 
-    FusedAnalysisSink();
+    /**
+     * @p dispatchThreads > 1 enables the parallel lane fan-out (the
+     * pool is sized min(dispatchThreads, laneCount) and spawned
+     * lazily, on the first multi-lane dispatch).
+     */
+    explicit FusedAnalysisSink(unsigned dispatchThreads = 1);
     ~FusedAnalysisSink() override;
 
     /** Append a lane; returns its index. Lanes cannot be removed. */
@@ -98,10 +117,31 @@ class FusedAnalysisSink : public TraceSink
     /** Timed per-lane fan-out of one block. */
     void dispatch(std::span<const DynInstr> block);
 
+    /** Worker-pool fan-out (dispatchThreads_ > 1, 2+ lanes). */
+    void dispatchParallel(std::span<const DynInstr> block);
+
+    /** Spawn the lane-dispatch pool once. */
+    void ensureWorkers();
+
+    void workerLoop();
+
     std::vector<Lane> lanes_;
 
     /** Staging buffer for the onInstr fallback path. */
     std::vector<DynInstr> staged_;
+
+    // --- parallel lane dispatch ------------------------------------
+    unsigned dispatchThreads_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable workCv_; ///< Workers: new block or stop.
+    std::condition_variable doneCv_; ///< Dispatcher: block drained.
+    std::span<const DynInstr> current_{};
+    std::uint64_t generation_ = 0; ///< Bumped per dispatched block.
+    std::size_t lanesDone_ = 0;    ///< Lanes finished this block.
+    std::size_t busy_ = 0;         ///< Workers awake for this block.
+    std::atomic<std::size_t> nextLane_{0}; ///< Work-stealing cursor.
+    bool stop_ = false;
 };
 
 } // namespace ppm

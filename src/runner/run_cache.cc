@@ -139,10 +139,18 @@ RunCache::capture(const CaptureKey &key,
         if (it != captures_.end()) {
             ++counters_.captureHits;
             future = it->second;
-            // A hit on a retained capture refreshes its LRU slot.
+            // A hit on a retained capture puts it back in flight:
+            // promote it OUT of the retention tier (not just to the
+            // LRU tail) so a concurrent eviction scan can never pick
+            // an in-flight capture as victim. The releasing caller
+            // re-retains it once the last reference drops, keeping
+            // retainedBytes_ exact across the hit/release cycle.
             auto rt = retained_.find(key);
-            if (rt != retained_.end())
-                lru_.splice(lru_.end(), lru_, rt->second.lruIt);
+            if (rt != retained_.end()) {
+                retainedBytes_ -= rt->second.bytes;
+                lru_.erase(rt->second.lruIt);
+                retained_.erase(rt);
+            }
         } else {
             future = promise.get_future().share();
             captures_.emplace(key, future);
@@ -237,10 +245,15 @@ RunCache::evictLocked()
         const CaptureKey victim = lru_.front();
         lru_.pop_front();
         auto rt = retained_.find(victim);
-        if (rt != retained_.end()) {
-            retainedBytes_ -= rt->second.bytes;
-            retained_.erase(rt);
+        if (rt == retained_.end()) {
+            // Stale LRU entry (the capture went back in flight and
+            // was promoted out of the tier): skip it — erasing
+            // captures_ here would tear down an in-flight capture,
+            // and counting it double-counted capture_evictions.
+            continue;
         }
+        retainedBytes_ -= rt->second.bytes;
+        retained_.erase(rt);
         captures_.erase(victim);
         ++counters_.captureEvictions;
         if (obsCaptureEvictions_)

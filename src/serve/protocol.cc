@@ -255,6 +255,18 @@ pongResponse(const std::string &id)
     return responseHead(id, "ok") + "}";
 }
 
+bool
+responseOk(const std::string &line)
+{
+    try {
+        const JsonValue doc = parseJson(line);
+        const JsonValue *status = doc.find("status");
+        return status && status->isString() && status->str == "ok";
+    } catch (const JsonError &) {
+        return false;
+    }
+}
+
 std::string
 statsResponse(const std::string &id, const std::string &body)
 {

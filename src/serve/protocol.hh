@@ -119,6 +119,14 @@ ServeRequest parseRequest(const JsonValue &doc);
 /** JSON-escape @p s (quotes, backslashes, control bytes). */
 std::string jsonEscape(const std::string &s);
 
+/**
+ * True iff @p line parses as a response object with "status":"ok".
+ * Malformed JSON and error/overloaded statuses are failures — this is
+ * the per-response predicate `ppm client` folds over a `--count N`
+ * batch (any single failure makes the whole batch exit non-zero).
+ */
+bool responseOk(const std::string &line);
+
 /** Timing summary attached to ok analyze/trace responses. */
 struct ResponseTiming
 {

@@ -247,6 +247,13 @@ Server::acceptLoop()
         const int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
+        if (opts_.sendBufBytes > 0) {
+            // Best effort: the kernel clamps to its floor, which is
+            // all the partial-write regression tests need.
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                         &opts_.sendBufBytes,
+                         sizeof(opts_.sendBufBytes));
+        }
         std::lock_guard<std::mutex> lock(connMutex_);
         conns_.push_back(std::make_unique<Conn>());
         Conn &conn = *conns_.back();

@@ -69,6 +69,15 @@ struct ServerOptions
     std::size_t maxLineBytes = 8 * 1024 * 1024;
 
     /**
+     * When non-zero, SO_SNDBUF requested for each accepted
+     * connection. Responses near the maxLineBytes scale then take
+     * many partial send() cycles, which is exactly the regime the
+     * sendLine() completion loop exists for; tests pin it by setting
+     * this to the kernel minimum. 0 keeps the kernel default.
+     */
+    int sendBufBytes = 0;
+
+    /**
      * Engine configuration. A captureRetentionBytes of 0 is replaced
      * with 64 MiB at construction (unlike the batch engine's
      * eager-release default) because retained captures are the

@@ -160,6 +160,49 @@ TEST(EngineApi, CancelUnqueuesPendingRequest)
     EXPECT_EQ(engine.inflight(), 0u);
 }
 
+TEST(EngineApi, CoalescedFollowerReportsOwnQueueInterval)
+{
+    // Queue-window coalescing claims a leader plus every pending
+    // request sharing its CaptureKey at one instant. Each absorbed
+    // follower must report its OWN enqueue→claim interval — not the
+    // leader's — so a follower submitted later shows a strictly
+    // shorter queueSec.
+    EngineOptions opts;
+    opts.threads = 1;
+    opts.fused = true;
+    ExperimentEngine engine(opts);
+    const Workload &w = findWorkload("compress");
+
+    // Pin the single worker so the coalescing window stays open.
+    RequestHandle pin = engine.submit(
+        {engine.makeJob(w, cellConfig(PredictorKind::Context,
+                                      2'000'000))});
+
+    RequestHandle leader = engine.submit(
+        {engine.makeJob(w, cellConfig(PredictorKind::Context))});
+    // A measurable submission gap, far above clock granularity.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    RequestHandle follower = engine.submit(
+        {engine.makeJob(w,
+                        cellConfig(PredictorKind::LastValue))});
+
+    const ExperimentOutcome pinOut = pin.wait();
+    const ExperimentOutcome leadOut = leader.wait();
+    const ExperimentOutcome follOut = follower.wait();
+    (void)pinOut;
+
+    // Same CaptureKey, claimed as one fused group.
+    ASSERT_TRUE(leadOut.timing.fused);
+    ASSERT_TRUE(follOut.timing.fused);
+    EXPECT_EQ(leadOut.timing.fusedLanes, 2u);
+
+    EXPECT_GE(follOut.timing.queueSec, 0.0);
+    // The follower waited at least 50 ms less than the leader; allow
+    // generous scheduling slack on either side.
+    EXPECT_LT(follOut.timing.queueSec + 0.040,
+              leadOut.timing.queueSec);
+}
+
 TEST(EngineApi, ConcurrentSubmittersDedupThroughRunCache)
 {
     // N client threads race identical and distinct CaptureKeys

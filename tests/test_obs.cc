@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -54,6 +55,39 @@ TEST(Metrics, CounterGaugeHistogram)
     EXPECT_EQ(h.bucket(1), 1u);
     EXPECT_EQ(h.bucket(2), 2u);
     EXPECT_EQ(h.bucket(11), 1u);
+}
+
+TEST(Metrics, HistogramZeroAndOneBucketsAndExtremes)
+{
+    // The log2 bucket index is bit_width(v): a 0-valued sample (an
+    // idle request_queue_us, say) must land in bucket 0 — not wrap
+    // into the top bucket via a 64-shift — and 1 is the sole value
+    // of bucket 1, so the zero/one boundary is exact.
+    obs::Histogram h;
+    h.observe(0);
+    h.observe(0);
+    h.observe(1);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.count(), 3u);
+
+    // Power-of-two boundaries: 2^k-1 is the top of bucket k, 2^k the
+    // bottom of bucket k+1.
+    for (unsigned k : {1u, 7u, 31u, 62u}) {
+        obs::Histogram edges;
+        edges.observe((1ULL << k) - 1);
+        edges.observe(1ULL << k);
+        EXPECT_EQ(edges.bucket(k), 1u) << "below 2^" << k;
+        EXPECT_EQ(edges.bucket(k + 1), 1u) << "at 2^" << k;
+    }
+
+    // The extremes of the value range occupy the outermost buckets
+    // (kBuckets = 65: indices 0..64 inclusive).
+    obs::Histogram extremes;
+    extremes.observe(std::numeric_limits<std::uint64_t>::max());
+    extremes.observe(1ULL << 63);
+    EXPECT_EQ(extremes.bucket(obs::Histogram::kBuckets - 1), 2u);
+    EXPECT_EQ(extremes.count(), 2u);
 }
 
 TEST(Metrics, TextDumpIsSortedByName)

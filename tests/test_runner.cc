@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiment.hh"
@@ -519,6 +521,129 @@ TEST(RunCache, HashInputSeparatesStreams)
     EXPECT_NE(hashInput(a), hashInput(b));
     EXPECT_EQ(hashInput(a), hashInput(w.makeInput(1)));
     EXPECT_NE(hashInput({}), hashInput({0}));
+}
+
+TEST(RunCache, RetainedHitPromotesCaptureOutOfRetentionTier)
+{
+    // A hit on a retained capture puts it back in flight: it must
+    // leave the retention tier entirely (bytes, LRU slot, retained
+    // entry), or a concurrent eviction scan can tear down the
+    // in-flight capture — forcing a recompute and double-counting
+    // capture_evictions against undercounted retained bytes.
+    RunCache cache;
+    // Trace-less results carry the 4096-byte bookkeeping overhead
+    // only, so one entry exactly fills the budget and any second
+    // retained entry forces an eviction — fully deterministic.
+    cache.setRetentionBytes(4096);
+    auto compute = [] {
+        CaptureResult r;
+        r.profile = std::make_unique<ExecProfile>(1);
+        return r;
+    };
+    int dummyA = 0;
+    int dummyB = 0; // Never dereferenced: keys carry identity only.
+    const CaptureKey k1{reinterpret_cast<const Program *>(&dummyA), 1,
+                        100};
+    const CaptureKey k2{reinterpret_cast<const Program *>(&dummyB), 2,
+                        100};
+
+    (void)cache.capture(k1, compute); // miss
+    cache.release(k1);
+    EXPECT_EQ(cache.retainedBytes(), 4096u);
+
+    // Back in flight: the retention tier must no longer account it.
+    const RunCache::CaptureRef ref1 = cache.capture(k1, compute);
+    EXPECT_TRUE(ref1.hit);
+    EXPECT_EQ(cache.retainedBytes(), 0u);
+
+    // A second key retires while k1 is in flight; it fits the budget
+    // alone, so nothing may be evicted — before the fix k1 was still
+    // on the LRU and this evicted the in-flight capture.
+    (void)cache.capture(k2, compute); // miss
+    cache.release(k2);
+    EXPECT_EQ(cache.retainedBytes(), 4096u);
+    EXPECT_EQ(cache.counters().captureEvictions, 0u);
+
+    // Still cached: re-requesting k1 must not recompute.
+    const RunCache::CaptureRef ref2 = cache.capture(k1, compute);
+    EXPECT_TRUE(ref2.hit);
+
+    // Final release re-retains k1; now two entries exceed the budget
+    // and exactly one eviction (the older k2) is counted.
+    cache.release(k1);
+    EXPECT_EQ(cache.retainedBytes(), 4096u);
+
+    const RunCache::Counters c = cache.counters();
+    EXPECT_EQ(c.captureMisses, 2u);
+    EXPECT_EQ(c.captureHits, 2u);
+    EXPECT_EQ(c.captureEvictions, 1u);
+}
+
+TEST(RunCache, RetentionAccountingSurvivesConcurrentHammer)
+{
+    // 8 client threads hammer an engine whose retention budget is far
+    // below a single capture, so every release triggers an eviction
+    // scan while other threads hold hits on the same keys. Outcomes
+    // must stay byte-identical and the byte accounting must come back
+    // exact once the engine drains.
+    EngineOptions opts;
+    opts.threads = 4;
+    opts.captureRetentionBytes = 4096;
+    ExperimentEngine engine(opts);
+    const Workload &w = findWorkload("compress");
+
+    constexpr unsigned kClients = 8;
+    constexpr unsigned kRounds = 4;
+    constexpr std::uint64_t budgets[] = {5'000, 10'000, 15'000};
+
+    std::mutex mu;
+    std::vector<std::pair<std::uint64_t, std::string>> fps;
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (unsigned r = 0; r < kRounds; ++r) {
+                const std::uint64_t budget =
+                    budgets[(c + r) % std::size(budgets)];
+                ExperimentConfig config;
+                config.maxInstrs = budget;
+                config.dpg.kind = PredictorKind::Context;
+                RequestHandle h =
+                    engine.submit({engine.makeJob(w, config)});
+                const std::string fp = fingerprint(h.wait().stats);
+                std::lock_guard<std::mutex> lock(mu);
+                fps.emplace_back(budget, fp);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    ASSERT_EQ(fps.size(), kClients * kRounds);
+
+    // Correctness under eviction churn: every outcome matches the
+    // serial reference for its budget.
+    const Program prog = assemble(std::string(w.source), w.name);
+    const auto input = w.makeInput(kDefaultWorkloadSeed);
+    for (const std::uint64_t budget : budgets) {
+        ExperimentConfig config;
+        config.maxInstrs = budget;
+        config.dpg.kind = PredictorKind::Context;
+        const std::string ref =
+            fingerprint(runModel(prog, input, config));
+        for (const auto &[b, fp] : fps) {
+            if (b == budget) {
+                EXPECT_EQ(fp, ref) << "budget=" << budget;
+            }
+        }
+    }
+
+    // Every capture outweighs the 4 KiB budget, so a drained cache
+    // retains nothing — any residue is exactly the double-count /
+    // undercount drift the promote-on-hit fix closes (a u64
+    // underflow would show up as an astronomically large value).
+    EXPECT_EQ(engine.cache().retainedBytes(), 0u);
+    const RunCache::Counters c = engine.cache().counters();
+    EXPECT_LE(c.captureEvictions, c.captureMisses);
+    EXPECT_GE(c.captureEvictions, std::size(budgets));
 }
 
 } // namespace

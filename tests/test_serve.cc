@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "runner/engine.hh"
 #include "serve/client.hh"
@@ -132,6 +137,37 @@ TEST(ServeProtocol, ValidatesRequests)
                      .empty());
 }
 
+TEST(ServeProtocol, ResponseOkAggregatesAcrossCountBatches)
+{
+    // The per-response predicate `ppm client --count N` folds: one
+    // failing response in a batch must flip the whole batch (and the
+    // process exit code) to failure.
+    EXPECT_TRUE(serve::responseOk(serve::pongResponse("r1")));
+    EXPECT_FALSE(
+        serve::responseOk(serve::errorResponse("r2", "boom")));
+    EXPECT_FALSE(serve::responseOk(
+        serve::overloadedResponse("r3", "busy")));
+    EXPECT_FALSE(serve::responseOk("{\"id\":\"r4\"}")); // No status.
+    EXPECT_FALSE(serve::responseOk("not json at all"));
+    EXPECT_FALSE(serve::responseOk(""));
+
+    // 1 failure among N-1 successes: the fold is failure-dominant.
+    std::vector<std::string> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(serve::pongResponse("b" + std::to_string(i)));
+    batch[5] = serve::errorResponse("b5", "unknown workload");
+    bool allOk = true;
+    std::size_t okCount = 0;
+    for (const std::string &line : batch) {
+        if (serve::responseOk(line))
+            ++okCount;
+        else
+            allOk = false;
+    }
+    EXPECT_FALSE(allOk);
+    EXPECT_EQ(okCount, 7u);
+}
+
 TEST(ServeDaemon, ServedFingerprintIsByteIdenticalToBatchPath)
 {
     const std::string path = socketPath("ident");
@@ -170,6 +206,81 @@ TEST(ServeDaemon, ServedFingerprintIsByteIdenticalToBatchPath)
     EXPECT_NE(response->find("\"fingerprint\":" + expected),
               std::string::npos)
         << "served fingerprint differs from the batch path";
+
+    server.requestStop();
+    server.serveUntilStopped();
+}
+
+TEST(ServeDaemon, LargeResponseSurvivesTinySendBuffer)
+{
+    // Partial-write regression: with SO_SNDBUF clamped to the kernel
+    // floor on the server side and a tiny-SO_RCVBUF client draining
+    // slowly, a ~1 MiB response line takes hundreds of short send()
+    // cycles. sendLine() must loop until the frame is complete — a
+    // single-shot ::send() here would truncate the line mid-JSON.
+    ServerOptions opts;
+    opts.port = 0; // TCP loopback: buffer sizes govern the window.
+    opts.engine.threads = 1;
+    opts.sendBufBytes = 1; // Clamped up to the kernel minimum.
+    Server server(opts);
+    server.start();
+    ASSERT_NE(server.port(), 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const int rcvbuf = 1; // Clamped up to the kernel minimum.
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                           sizeof(rcvbuf)),
+              0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // A ping whose id is echoed verbatim makes the response size
+    // (and content) fully deterministic.
+    std::string id;
+    id.reserve(1 << 20);
+    for (std::size_t i = 0; i < (1u << 20); ++i)
+        id += static_cast<char>('a' + i % 26);
+    const std::string request = "{\"schema\":\"ppm-serve-v1\","
+                                "\"kind\":\"ping\",\"id\":\"" +
+                                id + "\"}\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + off,
+                                 request.size() - off, MSG_NOSIGNAL);
+        ASSERT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+
+    // Drain slowly in small chunks so the server's send buffer stays
+    // full and its completion loop actually cycles.
+    std::string line;
+    char chunk[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (line.find('\n') == std::string::npos) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "response incomplete after 60s ("
+            << line.size() << " bytes)";
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        ASSERT_GT(n, 0) << "connection closed mid-response after "
+                        << line.size() << " bytes";
+        line.append(chunk, static_cast<std::size_t>(n));
+        if (line.size() % (64 * 1024) < sizeof chunk)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+    ::close(fd);
+
+    line.erase(line.find('\n'));
+    const JsonValue doc = parseJson(line);
+    EXPECT_EQ(doc.at("status").str, "ok");
+    EXPECT_EQ(doc.at("id").str, id) << "echoed id corrupted";
 
     server.requestStop();
     server.serveUntilStopped();

@@ -750,15 +750,8 @@ cmdClient(const CliArgs &args)
             return 1;
         }
         std::cout << *response << "\n";
-        try {
-            const JsonValue doc = parseJson(*response);
-            const JsonValue *status = doc.find("status");
-            if (!status || !status->isString() ||
-                status->str != "ok")
-                allOk = false;
-        } catch (const JsonError &) {
+        if (!serve::responseOk(*response))
             allOk = false;
-        }
     }
     return allOk ? 0 : 1;
 }

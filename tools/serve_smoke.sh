@@ -77,6 +77,24 @@ BAD=$(grep -L '"status":"ok"' "$WORKDIR"/wl-*.out \
       "$WORKDIR"/fam-*.out "$WORKDIR"/tr-*.out || true)
 [ -z "$BAD" ] || fail "non-ok response in: $BAD"
 
+# --- --count exit-code aggregation -----------------------------------
+# A --count batch exits 0 only when every response is ok; any failing
+# response in the batch (here: every one, an unknown workload) must
+# surface as a non-zero exit even though all N responses printed.
+"$PPM" client --socket "$SOCK" --workload compress --max 60000 \
+    --count 3 --id batch > "$WORKDIR/batch-ok.out" \
+    || fail "all-ok --count batch must exit 0"
+[ "$(grep -c '"status":"ok"' "$WORKDIR/batch-ok.out")" -eq 3 ] \
+    || fail "--count 3 must print 3 ok responses"
+set +e
+"$PPM" client --socket "$SOCK" --workload no-such-workload \
+    --count 2 --id bad > "$WORKDIR/batch-bad.out" 2>&1
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || fail "failing --count batch must exit non-zero"
+[ "$(grep -c '"status":"error"' "$WORKDIR/batch-bad.out")" -eq 2 ] \
+    || fail "failing batch must still print every response"
+
 # --- exported cache hit-rate -----------------------------------------
 STATS=$("$PPM" client --socket "$SOCK" --stats)
 echo "$STATS"
