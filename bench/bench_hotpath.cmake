@@ -33,7 +33,8 @@ file(READ "${OUT}" doc)
 # string(JSON) fatal-errors on malformed JSON or missing keys, so each
 # GET below is itself a schema assertion.
 string(JSON schema GET "${doc}" schema)
-if(NOT (schema STREQUAL "ppm-hotpath-v2" OR
+if(NOT (schema STREQUAL "ppm-hotpath-v3" OR
+        schema STREQUAL "ppm-hotpath-v2" OR
         schema STREQUAL "ppm-hotpath-v1"))
     message(FATAL_ERROR "bench_hotpath: bad schema '${schema}'")
 endif()
@@ -62,6 +63,8 @@ endif()
 set(headline_ips "")
 set(sweep_seq_ips "")
 set(sweep_fused_ips "")
+set(full_ips "")
+set(sampled_ips "")
 math(EXPR last "${nscen} - 1")
 foreach(i RANGE ${last})
     string(JSON wl GET "${doc}" scenarios ${i} workload)
@@ -90,6 +93,10 @@ foreach(i RANGE ${last})
         set(sweep_seq_ips "${ips}")
     elseif(mode STREQUAL "sweep-fused")
         set(sweep_fused_ips "${ips}")
+    elseif(mode STREQUAL "analyze-full")
+        set(full_ips "${ips}")
+    elseif(mode STREQUAL "sampled")
+        set(sampled_ips "${ips}")
     endif()
 endforeach()
 
@@ -99,17 +106,28 @@ if(headline_ips STREQUAL "")
             "missing from scenarios")
 endif()
 
-# v2 emits the fused-sweep A/B pair; both modes must be present.
-if(schema STREQUAL "ppm-hotpath-v2")
+# v2+ emits the fused-sweep A/B pair; both modes must be present.
+if(schema STREQUAL "ppm-hotpath-v2" OR schema STREQUAL "ppm-hotpath-v3")
     if(sweep_seq_ips STREQUAL "" OR sweep_fused_ips STREQUAL "")
         message(FATAL_ERROR
-                "bench_hotpath: v2 report missing fused-sweep A/B "
-                "rows (sequential='${sweep_seq_ips}' "
+                "bench_hotpath: ${schema} report missing fused-sweep "
+                "A/B rows (sequential='${sweep_seq_ips}' "
                 "fused='${sweep_fused_ips}')")
+    endif()
+endif()
+
+# v3 adds the phase-sampling A/B pair (analyze-full vs sampled).
+if(schema STREQUAL "ppm-hotpath-v3")
+    if(full_ips STREQUAL "" OR sampled_ips STREQUAL "")
+        message(FATAL_ERROR
+                "bench_hotpath: v3 report missing sampling A/B rows "
+                "(analyze-full='${full_ips}' "
+                "sampled='${sampled_ips}')")
     endif()
 endif()
 
 message(STATUS
         "bench_hotpath ok: ${nscen} scenarios, headline "
         "${head_workload}/${head_pred} = ${headline_ips} instrs/sec, "
-        "sweep ${sweep_seq_ips} -> ${sweep_fused_ips} instrs/sec")
+        "sweep ${sweep_seq_ips} -> ${sweep_fused_ips} instrs/sec, "
+        "sampling ${full_ips} -> ${sampled_ips} instrs/sec")

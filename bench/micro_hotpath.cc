@@ -10,7 +10,7 @@
  * the pending-arc arena, and block dispatch optimize — compare runs
  * via the committed BENCH_hotpath.json trajectory at the repo root.
  *
- * Scenario modes (the "mode" field, schema ppm-hotpath-v2):
+ * Scenario modes (the "mode" field, schema ppm-hotpath-v3):
  *   "replay"           one predictor cell fed from the captured trace
  *   "sweep-sequential" the full predictor-bank sweep (every value
  *                      predictor, each lane's bank carrying gshare),
@@ -21,6 +21,13 @@
  *                      the A side of the within-run scaling pair
  *   "intra-pipeline"   the same cell through IntraRunPipeline
  *                      (PPM_HOTPATH_INTRA_THREADS total threads)
+ *   "analyze-full"     one Context cell, simulation-fed two-pass
+ *                      analysis of the whole budget — the A side of
+ *                      the phase-sampling pair (no trace capture, so
+ *                      it scales to 100M+ budgets)
+ *   "sampled"          the same cell through the phase-sampled
+ *                      scheduler (runner/sampled_run.hh); throughput
+ *                      counts the full budget the estimate stands for
  * Paired modes run interleaved (A/B) per repetition and their
  * per-cell model output is checksummed identically.
  *
@@ -31,7 +38,15 @@
  *   PPM_HOTPATH_INTRA_THREADS
  *                       total threads for the intra-pipeline rows
  *                       (default 4, min 2)
- *   PPM_HOTPATH_JSON    output path for the "ppm-hotpath-v2" report
+ *   PPM_HOTPATH_SAMPLED_ONLY
+ *                       nonzero: run only the analyze-full/sampled
+ *                       pair (capture-based rows need ~128 B/instr of
+ *                       trace memory, unaffordable at 100M budgets)
+ *   PPM_HOTPATH_SAMPLE_INTERVAL, PPM_HOTPATH_SAMPLE_WARMUP,
+ *   PPM_HOTPATH_SAMPLE_PHASES
+ *                       sampling geometry for the sampled rows
+ *                       (defaults: budget/20, interval/2, 8)
+ *   PPM_HOTPATH_JSON    output path for the "ppm-hotpath-v3" report
  *                       (default: BENCH_hotpath.json in the cwd;
  *                       argv[1] overrides both)
  *
@@ -52,6 +67,7 @@
 #include "dpg/dpg_analyzer.hh"
 #include "runner/fused_sink.hh"
 #include "runner/intra_pipeline.hh"
+#include "runner/sampled_run.hh"
 #include "runner/trace_buffer.hh"
 #include "sim/machine.hh"
 #include "sim/profiler.hh"
@@ -312,10 +328,88 @@ main(int argc, char **argv)
                   << (ser.bestSec / par.bestSec) << "x)\n";
     };
 
+    // Sampling A/B: ONE Context cell on the headline workload,
+    // simulation-fed full two-pass analysis vs the phase-sampled
+    // scheduler at the same budget. Neither side captures a trace, so
+    // this pair (and PPM_HOTPATH_SAMPLED_ONLY=1) is how the 100M-
+    // budget rows in the committed BENCH_hotpath.json are measured.
+    auto run_sampled_pair = [&](const Workload &w) {
+        const Program prog = assemble(std::string(w.source), w.name);
+        const std::vector<Value> input =
+            w.makeInput(kDefaultWorkloadSeed);
+
+        SampleOptions sopts;
+        sopts.intervalLen = envUint("PPM_HOTPATH_SAMPLE_INTERVAL",
+                                    std::max<std::uint64_t>(
+                                        budget / 20, 10'000),
+                                    /*min=*/1);
+        sopts.warmupLen = envUint("PPM_HOTPATH_SAMPLE_WARMUP",
+                                  sopts.intervalLen / 2, /*min=*/0);
+        sopts.maxPhases = static_cast<unsigned>(
+            envUint("PPM_HOTPATH_SAMPLE_PHASES", 8, /*min=*/1));
+
+        Scenario full;
+        full.workload = w.name;
+        full.predictor = "context";
+        full.mode = "analyze-full";
+        full.dynInstrs = budget;
+        full.reps = static_cast<unsigned>(reps);
+        full.bestSec = 1e300;
+        Scenario samp = full;
+        samp.mode = "sampled";
+
+        DpgConfig cfg;
+        cfg.kind = PredictorKind::Context;
+        for (std::uint64_t r = 0; r < reps; ++r) {
+            {
+                const auto t0 = Clock::now();
+                ExecProfile profile(prog.textSize());
+                Machine pass1(prog, input);
+                pass1.run(&profile, budget);
+                DpgAnalyzer analyzer(prog, profile, cfg);
+                Machine pass2(prog, input);
+                pass2.run(&analyzer, budget);
+                full.bestSec =
+                    std::min(full.bestSec, secondsSince(t0));
+                full.dynInstrs = profile.total();
+                checksum ^= analyzer.takeStats().totalElements();
+            }
+            {
+                const auto t0 = Clock::now();
+                const SampledResult result = runSampledAnalysis(
+                    prog, input, budget, {cfg}, sopts,
+                    /*intraThreads=*/1);
+                samp.bestSec =
+                    std::min(samp.bestSec, secondsSince(t0));
+                samp.dynInstrs = result.timing.dynInstrs;
+                checksum ^= result.stats[0].totalElements();
+            }
+        }
+        for (Scenario *row : {&full, &samp}) {
+            row->instrsPerSec =
+                static_cast<double>(row->dynInstrs) / row->bestSec;
+            rows.push_back(*row);
+        }
+        std::cerr << "  " << w.name << " / context [" << full.mode
+                  << " vs " << samp.mode << " @"
+                  << sopts.intervalLen << "," << sopts.warmupLen
+                  << "," << sopts.maxPhases << "]: "
+                  << static_cast<std::uint64_t>(full.instrsPerSec)
+                  << " -> "
+                  << static_cast<std::uint64_t>(samp.instrsPerSec)
+                  << " effective instrs/sec (sampling speedup "
+                  << (full.bestSec / samp.bestSec) << "x)\n";
+    };
+
+    const bool sampledOnly =
+        envUint("PPM_HOTPATH_SAMPLED_ONLY", 0) != 0;
     std::cerr << "micro_hotpath: budget " << budget
               << " instrs, " << reps << " reps\n";
-    run_workload(*largest, /*all_kinds=*/true);
-    run_workload(second, /*all_kinds=*/false);
+    if (!sampledOnly) {
+        run_workload(*largest, /*all_kinds=*/true);
+        run_workload(second, /*all_kinds=*/false);
+    }
+    run_sampled_pair(*largest);
 
     std::ofstream out(out_path);
     if (!out) {
@@ -323,7 +417,7 @@ main(int argc, char **argv)
                   << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"ppm-hotpath-v2\",\n"
+    out << "{\n  \"schema\": \"ppm-hotpath-v3\",\n"
         << "  \"instr_budget\": " << budget << ",\n"
         << "  \"headline\": {\"workload\": \"" << largest->name
         << "\", \"predictor\": \"context\"},\n"

@@ -54,6 +54,17 @@ class ArcStats
 
     void merge(const ArcStats &other);
 
+    /** Multiply every counter by @p k (phase-weighted merges). */
+    void
+    scale(std::uint64_t k)
+    {
+        for (auto &row : counts_)
+            for (std::uint64_t &c : row)
+                c *= k;
+        total_ *= k;
+        dArcs_ *= k;
+    }
+
   private:
     std::array<std::array<std::uint64_t, kNumArcLabels>, kNumArcUses>
         counts_{};

@@ -63,6 +63,16 @@ class BranchStats
 
     void merge(const BranchStats &other);
 
+    /** Multiply every counter by @p k (phase-weighted merges). */
+    void
+    scale(std::uint64_t k)
+    {
+        for (auto &row : counts_)
+            for (std::uint64_t &c : row)
+                c *= k;
+        total_ *= k;
+    }
+
   private:
     std::array<std::array<std::uint64_t, 2>, kNumBranchSigs> counts_{};
     std::uint64_t total_ = 0;

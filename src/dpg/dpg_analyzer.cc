@@ -625,6 +625,26 @@ DpgAnalyzer::predictBlock(std::span<const DynInstr> block,
 }
 
 void
+DpgAnalyzer::warmupBlock(std::span<const DynInstr> block)
+{
+    // Predictor-training only: the bank (and the differential oracle,
+    // when attached) sees the stream in order, but no statistic or
+    // value-table state moves — so the measured stream that follows
+    // starts from warmed tables and clean counters.
+    assert(role_.predict);
+    PredByte ann = 0;
+    for (const DynInstr &di : block)
+        analyzeInstrImpl<true, false, false>(di, ann);
+}
+
+void
+DpgAnalyzer::markWarmupEnd()
+{
+    warmupLookups_ = bank_.branchPredictor().lookups();
+    warmupHits_ = bank_.branchPredictor().hits();
+}
+
+void
 DpgAnalyzer::analyzeAnnotatedBlock(std::span<const DynInstr> block,
                                    const PredByte *ann)
 {
@@ -661,7 +681,12 @@ DpgAnalyzer::takeStats()
     // covers the identical dynamic stream (same program, input, and
     // budget) — the loose check promised in the header. Only the
     // graph role counts dynInstrs, so partial-role instances skip it.
-    assert(!role_.graph || profile_.total() == stats_.dynInstrs);
+    // A sampled analyzer (cfg.partialStream) sees a sub-stream of the
+    // profiled run, so the profile may only exceed the analyzed count.
+    assert(!role_.graph ||
+           (cfg_.partialStream
+                ? profile_.total() >= stats_.dynInstrs
+                : profile_.total() == stats_.dynInstrs));
     finalized_ = true;
 
     for (auto &vi : regs_)
@@ -669,8 +694,21 @@ DpgAnalyzer::takeStats()
     mem_.forEachSlot([this](ValueInfo &vi) { killValue(vi); });
 
     stats_.sequences.finish();
-    stats_.gshareAccuracy = bank_.branchPredictor().accuracy();
-    if (cfg_.verify && profile_.total() != stats_.dynInstrs) {
+    // Post-warmup tallies: identical to the bank totals when no
+    // warmup ran (warmup marks are then zero), so the default path's
+    // accuracy value is unchanged.
+    stats_.gshareLookups =
+        bank_.branchPredictor().lookups() - warmupLookups_;
+    stats_.gshareHits = bank_.branchPredictor().hits() - warmupHits_;
+    stats_.gshareAccuracy =
+        stats_.gshareLookups == 0
+            ? 0.0
+            : static_cast<double>(stats_.gshareHits) /
+                  static_cast<double>(stats_.gshareLookups);
+    const bool profileMismatch =
+        cfg_.partialStream ? profile_.total() < stats_.dynInstrs
+                           : profile_.total() != stats_.dynInstrs;
+    if (cfg_.verify && profileMismatch) {
         // Release-mode version of the assert above: in verify mode a
         // profile/stream mismatch must abort even without NDEBUG.
         throw verify::VerifyError(
@@ -680,8 +718,7 @@ DpgAnalyzer::takeStats()
     }
     if (inv_) {
         inv_->finalize(stats_, cfg_.trackInfluence,
-                       bank_.branchPredictor().lookups(),
-                       bank_.branchPredictor().hits());
+                       stats_.gshareLookups, stats_.gshareHits);
     }
 
     // Fold this run's thread-confined tallies into the process-wide

@@ -114,6 +114,15 @@ struct DpgConfig
      * (see runner/engine.cc). Costs roughly 2-4x analysis time.
      */
     bool verify = false;
+
+    /**
+     * The analyzer will see only a sub-stream of the profiled run (a
+     * sampled representative interval): relax the finalize-time
+     * "profile total == analyzed instructions" consistency check to
+     * ">=". The full-run profile is still the right one to pass —
+     * write-once classification is a whole-run property.
+     */
+    bool partialStream = false;
 };
 
 /** Path-analysis aggregates (paper Figs. 9 and 11). */
@@ -143,6 +152,20 @@ struct PathStats
 
     /** Elements whose influence set overflowed the cap. */
     std::uint64_t saturationEvents = 0;
+
+    /** Multiply every counter by @p k (phase-weighted merges). */
+    void
+    scale(std::uint64_t k)
+    {
+        for (std::uint64_t &c : perClass)
+            c *= k;
+        for (std::uint64_t &c : perCombo)
+            c *= k;
+        influenceCount.scale(k);
+        influenceDistance.scale(k);
+        propagateElements *= k;
+        saturationEvents *= k;
+    }
 
     /** Fold another partial census in (all fields are sums). */
     void
@@ -185,6 +208,16 @@ struct DpgStats
 
     double gshareAccuracy = 0.0;
 
+    /**
+     * Post-warmup gshare lookup/hit counts (set by takeStats; equal
+     * to the bank's totals when no warmup ran). Sampled merges sum
+     * these across representatives and recompute gshareAccuracy from
+     * the sums, so the weighted accuracy is exact rather than an
+     * average of per-interval ratios.
+     */
+    std::uint64_t gshareLookups = 0;
+    std::uint64_t gshareHits = 0;
+
     /** Table-1 node count: dynamic instructions + lazy D nodes. */
     std::uint64_t
     totalNodes() const
@@ -226,6 +259,52 @@ struct DpgStats
         branches.merge(other.branches);
         paths.merge(other.paths);
         unpred.merge(other.unpred);
+    }
+
+    /**
+     * Weight this run-slice by @p k — it stands for k sampled
+     * intervals of the same phase. Every counter (including
+     * sequences, trees, and the gshare lookup/hit tallies) multiplies
+     * by k; gshareAccuracy is a ratio and stays put.
+     */
+    void
+    scaleBy(std::uint64_t k)
+    {
+        dynInstrs *= k;
+        lazyDataNodes *= k;
+        inputDataNodes *= k;
+        nodes.scale(k);
+        arcs.scale(k);
+        branches.scale(k);
+        sequences.scale(k);
+        trees.scale(k);
+        paths.scale(k);
+        unpred.scale(k);
+        gshareLookups *= k;
+        gshareHits *= k;
+    }
+
+    /**
+     * Fold a weighted representative-interval run into this
+     * accumulator (phase-sampled merges, DESIGN.md Sec. 13). Unlike
+     * mergePartial, every statistic merges — including sequences and
+     * trees, which a sampled run scopes to one interval per lane —
+     * and gshareAccuracy is recomputed from the summed lookup/hit
+     * tallies.
+     */
+    void
+    mergeSampled(const DpgStats &other)
+    {
+        mergePartial(other);
+        sequences.merge(other.sequences);
+        trees.merge(other.trees);
+        gshareLookups += other.gshareLookups;
+        gshareHits += other.gshareHits;
+        gshareAccuracy =
+            gshareLookups == 0
+                ? 0.0
+                : static_cast<double>(gshareHits) /
+                      static_cast<double>(gshareLookups);
     }
 };
 
@@ -300,6 +379,23 @@ class DpgAnalyzer : public TraceSink
      */
     void analyzeAnnotatedBlock(std::span<const DynInstr> block,
                                const PredByte *ann);
+
+    /**
+     * Warm-up entry point for sampled runs: feed @p block through the
+     * predictor bank only — tables and gshare train in stream order —
+     * without touching any statistic, value table, or the invariant
+     * checker. Legal on any instance whose role includes predict
+     * (including the full-role serial analyzer, unlike predictBlock).
+     * Follow with markWarmupEnd() before the measured stream.
+     */
+    void warmupBlock(std::span<const DynInstr> block);
+
+    /**
+     * Snapshot the branch-predictor tallies so takeStats() reports
+     * gshareLookups/gshareHits (and gshareAccuracy) over the measured
+     * stream only, excluding warm-up lookups.
+     */
+    void markWarmupEnd();
 
     const DpgRole &role() const { return role_; }
 
@@ -400,6 +496,10 @@ class DpgAnalyzer : public TraceSink
     PredictorBank bank_;
     DpgStats stats_;
     bool finalized_ = false;
+
+    /** Gshare tallies at markWarmupEnd() (0,0 when no warmup ran). */
+    std::uint64_t warmupLookups_ = 0;
+    std::uint64_t warmupHits_ = 0;
 
     /** Arc-role work counter (see arcOps()). */
     std::uint64_t arcOps_ = 0;

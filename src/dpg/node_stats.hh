@@ -67,6 +67,18 @@ class NodeStats
 
     void merge(const NodeStats &other);
 
+    /** Multiply every counter by @p k (phase-weighted merges). */
+    void
+    scale(std::uint64_t k)
+    {
+        for (std::uint64_t &c : byClass_)
+            c *= k;
+        for (auto &row : byClassCat_)
+            for (std::uint64_t &c : row)
+                c *= k;
+        total_ *= k;
+    }
+
   private:
     std::array<std::uint64_t, kNumNodeClasses> byClass_{};
     std::array<std::array<std::uint64_t, kNumOpCategories>,

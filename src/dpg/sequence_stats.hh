@@ -51,6 +51,27 @@ class SequenceStats
     /** All instructions observed. */
     std::uint64_t totalInstructions() const { return total_; }
 
+    /**
+     * Merge a finished accumulator into this one. Both must be
+     * finished: runs never concatenate across the merge (a sampled
+     * interval boundary always breaks a sequence — the documented
+     * sampling artifact, DESIGN.md Sec. 13).
+     */
+    void
+    merge(const SequenceStats &other)
+    {
+        hist_.merge(other.hist_);
+        total_ += other.total_;
+    }
+
+    /** Multiply every counter by @p k (phase-weighted merges). */
+    void
+    scale(std::uint64_t k)
+    {
+        hist_.scale(k);
+        total_ *= k;
+    }
+
   private:
     Log2Histogram hist_;
     std::uint64_t run_ = 0;

@@ -11,7 +11,10 @@ TreeStats::newGenerate(GeneratorClass cls, StaticId pc)
 {
     const std::uint64_t id = trees_.size();
     trees_.push_back(Tree{0, 0, cls, pc});
+    if (!weights_.empty())
+        weights_.push_back(1);
     ++byClass_[static_cast<unsigned>(cls)];
+    ++weightedCount_;
     return id;
 }
 
@@ -49,8 +52,8 @@ Log2Histogram
 TreeStats::longestPathHistogram() const
 {
     Log2Histogram h;
-    for (const auto &t : trees_)
-        h.add(t.longest);
+    for (std::size_t i = 0; i < trees_.size(); ++i)
+        h.add(trees_[i].longest, weightOf(i));
     return h;
 }
 
@@ -58,11 +61,45 @@ Log2Histogram
 TreeStats::aggregatePropagationHistogram() const
 {
     Log2Histogram h;
-    for (const auto &t : trees_) {
-        if (t.size > 0)
-            h.add(t.longest, t.size);
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+        if (trees_[i].size > 0)
+            h.add(trees_[i].longest, trees_[i].size * weightOf(i));
     }
     return h;
+}
+
+void
+TreeStats::scale(std::uint64_t k)
+{
+    if (weights_.empty())
+        weights_.assign(trees_.size(), 1);
+    for (std::uint64_t &w : weights_)
+        w *= k;
+    for (std::uint64_t &c : byClass_)
+        c *= k;
+    weightedCount_ *= k;
+}
+
+void
+TreeStats::merge(const TreeStats &other)
+{
+    const bool weighted =
+        !weights_.empty() || !other.weights_.empty();
+    if (weighted && weights_.empty())
+        weights_.assign(trees_.size(), 1);
+    trees_.insert(trees_.end(), other.trees_.begin(),
+                  other.trees_.end());
+    if (weighted) {
+        if (other.weights_.empty()) {
+            weights_.insert(weights_.end(), other.trees_.size(), 1);
+        } else {
+            weights_.insert(weights_.end(), other.weights_.begin(),
+                            other.weights_.end());
+        }
+    }
+    for (unsigned c = 0; c < kNumGeneratorClasses; ++c)
+        byClass_[c] += other.byClass_[c];
+    weightedCount_ += other.weightedCount_;
 }
 
 std::vector<CriticalSite>
@@ -70,16 +107,18 @@ TreeStats::criticalSites(unsigned top_n) const
 {
     // Aggregate trees by originating static site.
     std::unordered_map<StaticId, CriticalSite> by_pc;
-    for (const auto &t : trees_) {
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+        const Tree &t = trees_[i];
         if (t.pc == kInvalidStatic)
             continue;
+        const std::uint64_t w = weightOf(i);
         auto &site = by_pc[t.pc];
         if (site.generates == 0) {
             site.pc = t.pc;
             site.cls = t.cls;
         }
-        ++site.generates;
-        site.influenced += t.size;
+        site.generates += w;
+        site.influenced += t.size * w;
         site.longest = std::max(site.longest, t.longest);
     }
 

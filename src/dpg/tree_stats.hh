@@ -48,8 +48,8 @@ class TreeStats
      */
     void touch(std::uint64_t gen, std::uint32_t depth);
 
-    /** Total generates seen. */
-    std::uint64_t generateCount() const { return trees_.size(); }
+    /** Total generates seen (weighted under scale()/merge()). */
+    std::uint64_t generateCount() const { return weightedCount_; }
 
     /** Generates per class. */
     std::uint64_t generateCount(GeneratorClass cls) const;
@@ -79,6 +79,17 @@ class TreeStats
      */
     std::vector<CriticalSite> criticalSites(unsigned top_n) const;
 
+    /**
+     * Multiply every tree's weight (and the class counters) by @p k:
+     * the tree population of a phase representative stands for k
+     * intervals' worth of trees. Per-tree weights are materialized
+     * lazily, so unscaled runs — the default path — pay nothing.
+     */
+    void scale(std::uint64_t k);
+
+    /** Append another accumulator's trees, preserving weights. */
+    void merge(const TreeStats &other);
+
   private:
     struct Tree
     {
@@ -88,8 +99,18 @@ class TreeStats
         StaticId pc = kInvalidStatic;
     };
 
+    /** Weight of tree @p i (1 unless scaled/merged). */
+    std::uint64_t
+    weightOf(std::size_t i) const
+    {
+        return weights_.empty() ? 1 : weights_[i];
+    }
+
     std::vector<Tree> trees_;
+    /** Parallel to trees_; empty means "all weight 1". */
+    std::vector<std::uint64_t> weights_;
     std::array<std::uint64_t, kNumGeneratorClasses> byClass_{};
+    std::uint64_t weightedCount_ = 0;
 };
 
 } // namespace ppm

@@ -77,6 +77,15 @@ class UnpredStats
 
     void merge(const UnpredStats &other);
 
+    /** Multiply every counter by @p k (phase-weighted merges). */
+    void
+    scale(std::uint64_t k)
+    {
+        for (std::uint64_t &c : perCombo_)
+            c *= k;
+        total_ *= k;
+    }
+
   private:
     std::array<std::uint64_t, 8> perCombo_{};
     std::uint64_t total_ = 0;

@@ -104,6 +104,8 @@ EngineOptions::withEnvFallback() const
         o.verify = envFlag("PPM_VERIFY", false);
     if (!o.fused.has_value())
         o.fused = envFlag("PPM_FUSED", true);
+    if (!o.sample.has_value())
+        o.sample = SampleOptions::fromEnv();
     return o;
 }
 
@@ -197,6 +199,7 @@ ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
     replay_ = *resolved.replay;
     verify_ = *resolved.verify;
     fused_ = *resolved.fused;
+    sample_ = *resolved.sample;
     if (resolved.captureRetentionBytes > 0)
         cache_.setRetentionBytes(resolved.captureRetentionBytes);
 
@@ -426,6 +429,67 @@ ExperimentEngine::runFusedJobs(
     return outs;
 }
 
+std::vector<ExperimentOutcome>
+ExperimentEngine::runSampledJobs(
+    const std::vector<const ExperimentJob *> &group)
+{
+    obs::Span job_span("sampled_job", "runner");
+    const ExperimentJob &lead = *group.front();
+
+    // No capture: the profiling pass streams into checkpoints and
+    // interval signatures directly, and the measurement pass
+    // re-produces only the sampled sub-streams — buffering the full
+    // budget would defeat 100M-1B scheduling. runClaimed's
+    // unconditional key release is a no-op for never-captured keys.
+    std::vector<DpgConfig> configs;
+    configs.reserve(group.size());
+    for (const ExperimentJob *job : group)
+        configs.push_back(job->config.dpg);
+
+    if (obsSimulations_)
+        obsSimulations_->add();
+    SampledResult res =
+        runSampledAnalysis(*lead.program, *lead.input,
+                           lead.config.maxInstrs, configs, sample_,
+                           intraThreads_);
+
+    std::vector<ExperimentOutcome> outs(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        ExperimentOutcome &out = outs[i];
+        out.isFloat = group[i]->isFloat;
+        out.stats = std::move(res.stats[i]);
+        out.timing.assembleSec = group[i]->assembleSec;
+        out.timing.simulateSec = res.timing.simulateSec;
+        out.timing.captureShared = i != 0;
+        out.timing.dynInstrs = res.timing.dynInstrs;
+        out.timing.analyzeSec = res.laneSeconds[i];
+        out.timing.sampled = true;
+        out.timing.phases = res.timing.phases;
+        out.timing.sampledInstrs = res.timing.sampledInstrs;
+        if (group.size() > 1) {
+            out.timing.fused = true;
+            out.timing.fusedLanes =
+                static_cast<unsigned>(group.size());
+            out.timing.laneIndex = static_cast<unsigned>(i);
+        }
+        if (i == 0) {
+            // Shared per-group costs live on lane 0, mirroring the
+            // fused accounting (see StageTiming::dispatchSec).
+            out.timing.checkpointSec = res.timing.checkpointSec;
+            out.timing.fastForwardSec = res.timing.fastForwardSec;
+            out.timing.dispatchSec = res.timing.dispatchSec;
+        }
+    }
+
+    if (group.size() > 1) {
+        if (obsFusedGroups_)
+            obsFusedGroups_->add();
+        if (obsFusedLanes_)
+            obsFusedLanes_->add(group.size());
+    }
+    return outs;
+}
+
 // --- request queue ---------------------------------------------------
 
 void
@@ -540,8 +604,20 @@ ExperimentEngine::runClaimed(const std::vector<StatePtr> &group)
     const auto t0 = Clock::now();
     std::vector<ExperimentOutcome> outs;
     std::exception_ptr error;
+    // Per-job verify requests (not just PPM_VERIFY) also force the
+    // full path: differential verification needs the whole stream.
+    const bool anyVerify = std::any_of(
+        group.begin(), group.end(), [](const StatePtr &state) {
+            return state->job.config.dpg.verify;
+        });
     try {
-        if (group.size() == 1) {
+        if (samplingEnabled() && !anyVerify) {
+            std::vector<const ExperimentJob *> jobs;
+            jobs.reserve(group.size());
+            for (const StatePtr &state : group)
+                jobs.push_back(&state->job);
+            outs = runSampledJobs(jobs);
+        } else if (group.size() == 1) {
             outs.push_back(runJob(group.front()->job));
         } else {
             std::vector<const ExperimentJob *> jobs;

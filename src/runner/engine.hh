@@ -71,6 +71,13 @@
  *                     oracle predictors in lockstep with pred/ plus
  *                     the DPG invariant audit (see src/verify/,
  *                     TESTING.md); any divergence throws
+ *   PPM_SAMPLE=<interval>,<warmup>,<maxphases>
+ *                     phase-sampled scheduling (see
+ *                     runner/sampled_run.hh and DESIGN.md Sec. 13):
+ *                     profile + checkpoint the full budget once,
+ *                     analyze one weighted representative interval
+ *                     per phase. Off by default; PPM_VERIFY wins
+ *                     (verified cells run unsampled)
  *   PPM_BENCH_JSON    path: the shared engine writes a stage-timing
  *                     JSON report at process exit
  *   PPM_TRACE_JSON    path: hierarchical spans (assemble / simulate /
@@ -102,6 +109,7 @@
 #include "analysis/experiment.hh"
 #include "obs/metrics.hh"
 #include "runner/run_cache.hh"
+#include "runner/sampled_run.hh"
 #include "workloads/workload.hh"
 
 namespace ppm {
@@ -141,6 +149,29 @@ struct StageTiming
 
     /** Seconds the request waited in the pending queue. */
     double queueSec = 0.0;
+
+    // --- phase sampling (PPM_SAMPLE; runner/sampled_run.hh) --------
+
+    /** This cell ran through the phase-sampled scheduler. */
+    bool sampled = false;
+
+    /** Phases the clusterer found (0 when not sampled). */
+    unsigned phases = 0;
+
+    /** Instructions analyzed in pass B (warm-up + representatives). */
+    std::uint64_t sampledInstrs = 0;
+
+    /**
+     * Checkpoint capture (dirty-page copy) seconds of the profiling
+     * pass; like dispatchSec, attributed once, on lane 0.
+     */
+    double checkpointSec = 0.0;
+
+    /**
+     * Pass-B fast-forward seconds (page-delta restores + gap
+     * simulation); attributed once, on lane 0.
+     */
+    double fastForwardSec = 0.0;
 };
 
 /** One experiment cell. */
@@ -195,6 +226,15 @@ struct EngineOptions
      * 0 (default) releases captures eagerly, batch-engine style.
      */
     std::uint64_t captureRetentionBytes = 0;
+
+    /**
+     * Phase-sampling knobs; nullopt defers to PPM_SAMPLE (see
+     * runner/sampled_run.hh). A disabled value (the unset-variable
+     * default) keeps every classic path byte-identical. PPM_VERIFY
+     * wins over sampling: differential verification audits full
+     * per-instruction state, so verified cells run unsampled.
+     */
+    std::optional<SampleOptions> sample;
 
     /**
      * Every knob resolved from the environment (PPM_THREADS,
@@ -339,6 +379,14 @@ class ExperimentEngine
     bool fusedEnabled() const { return fused_; }
     std::uint64_t traceByteCap() const { return traceByteCap_; }
 
+    const SampleOptions &sampleOptions() const { return sample_; }
+
+    /** Sampling is configured and not overridden by PPM_VERIFY. */
+    bool samplingEnabled() const
+    {
+        return sample_.enabled() && !verify_;
+    }
+
     /** Requests admitted and not yet terminal (pending + running). */
     unsigned inflight() const;
 
@@ -380,6 +428,16 @@ class ExperimentEngine
     std::vector<ExperimentOutcome>
     runFusedJobs(const std::vector<const ExperimentJob *> &group);
 
+    /**
+     * Run a claimed group through the phase-sampled scheduler
+     * (samplingEnabled()): no TraceCapture, no RunCache entry — the
+     * profiling pass streams straight into checkpoints and interval
+     * signatures and the measurement pass analyzes representatives
+     * only. Outcomes are returned in @p group order.
+     */
+    std::vector<ExperimentOutcome>
+    runSampledJobs(const std::vector<const ExperimentJob *> &group);
+
     /** Enqueue one request; queueMutex_ must be held. */
     StatePtr enqueueLocked(ExperimentJob job, bool recordHistory);
 
@@ -411,6 +469,7 @@ class ExperimentEngine
     bool verify_ = false;
     bool fused_ = true;
     bool reportAtExit_ = false;
+    SampleOptions sample_{};
 
     /** Metric handles; null when observability is off (obs/obs.hh). */
     obs::Counter *obsJobs_ = nullptr;

@@ -43,6 +43,22 @@ FusedAnalysisSink::addLane(std::unique_ptr<DpgAnalyzer> analyzer)
 }
 
 void
+FusedAnalysisSink::setWarmup(bool on)
+{
+    {
+        // Dispatch is synchronous (the per-block barrier drains every
+        // lane before dispatch returns), so no worker is mid-block
+        // here; the lock still publishes the flag to the pool.
+        std::lock_guard<std::mutex> lock(m_);
+        warmup_ = on;
+    }
+    if (!on) {
+        for (Lane &lane : lanes_)
+            lane.analyzer->markWarmupEnd();
+    }
+}
+
+void
 FusedAnalysisSink::dispatch(std::span<const DynInstr> block)
 {
     if (dispatchThreads_ > 1 && lanes_.size() > 1) {
@@ -53,7 +69,10 @@ FusedAnalysisSink::dispatch(std::span<const DynInstr> block)
     // a lane's analyze cost) buy exact per-lane stage attribution.
     for (Lane &lane : lanes_) {
         const auto t0 = Clock::now();
-        lane.analyzer->onBlock(block);
+        if (warmup_) [[unlikely]]
+            lane.analyzer->warmupBlock(block);
+        else
+            lane.analyzer->onBlock(block);
         lane.seconds += secondsSince(t0);
     }
 }
@@ -104,6 +123,9 @@ FusedAnalysisSink::workerLoop()
             return;
         seen = generation_;
         const std::span<const DynInstr> block = current_;
+        // Copy the mode under the lock: setWarmup only flips between
+        // blocks, but workers must not read the member unlocked.
+        const bool warm = warmup_;
         ++busy_;
         lock.unlock();
         std::size_t processed = 0;
@@ -114,7 +136,10 @@ FusedAnalysisSink::workerLoop()
                 break;
             Lane &lane = lanes_[i];
             const auto t0 = Clock::now();
-            lane.analyzer->onBlock(block);
+            if (warm) [[unlikely]]
+                lane.analyzer->warmupBlock(block);
+            else
+                lane.analyzer->onBlock(block);
             lane.seconds += secondsSince(t0);
             ++processed;
         }

@@ -107,6 +107,16 @@ class FusedAnalysisSink : public TraceSink
     /** Flush any staged partial block, then end every lane's run. */
     void onRunEnd() override;
 
+    /**
+     * Warm-up mode for sampled runs: while on, dispatched blocks go
+     * through each lane's warmupBlock() (predictor training only, no
+     * statistics) instead of onBlock(). Flip only between producer
+     * run() calls — dispatch is synchronous, so no block is in flight
+     * across the transition. Turning warm-up off marks every lane's
+     * warm-up end so gshare accuracy covers the measured stream only.
+     */
+    void setWarmup(bool on);
+
   private:
     struct Lane
     {
@@ -142,6 +152,9 @@ class FusedAnalysisSink : public TraceSink
     std::size_t busy_ = 0;         ///< Workers awake for this block.
     std::atomic<std::size_t> nextLane_{0}; ///< Work-stealing cursor.
     bool stop_ = false;
+
+    /** Warm-up mode flag; workers read it under m_ per generation. */
+    bool warmup_ = false;
 };
 
 } // namespace ppm

@@ -19,8 +19,12 @@ struct Totals
     double simulateSec = 0.0;
     double analyzeSec = 0.0;
     double dispatchSec = 0.0;
+    double checkpointSec = 0.0;
+    double fastForwardSec = 0.0;
     std::uint64_t dynInstrs = 0;
+    std::uint64_t sampledInstrs = 0;
     std::uint64_t runs = 0;
+    std::uint64_t sampledRuns = 0;
     std::uint64_t simulations = 0;
     std::uint64_t replays = 0;
     std::uint64_t captureHits = 0;
@@ -44,6 +48,21 @@ accumulate(const std::vector<ExperimentEngine::TimedRun> &runs)
             // wall cost once, at the cell that actually ran it.
             ++t.simulations;
             t.simulateSec += run.timing.simulateSec;
+        }
+        // Sampled-pass shared stages (checkpoint capture, pass-B
+        // fast-forward) follow the lane-0 attribution discipline, so
+        // summing over runs counts each group cost exactly once.
+        if (run.timing.sampled) {
+            ++t.sampledRuns;
+            t.checkpointSec += run.timing.checkpointSec;
+            t.fastForwardSec += run.timing.fastForwardSec;
+            if (!run.timing.fused || run.timing.laneIndex == 0)
+                t.sampledInstrs += run.timing.sampledInstrs;
+            // A single-cell sampled pass still has a dispatch stage
+            // (pass-B stream production); the fused branch below only
+            // picks it up for multi-lane groups.
+            if (!run.timing.fused)
+                t.dispatchSec += run.timing.dispatchSec;
         }
         // Shared stages of a fused pass are attributed to lane 0
         // only, so every per-group cost is counted exactly once even
@@ -111,7 +130,16 @@ writeBenchJson(std::ostream &os, const ExperimentEngine &engine)
            << boolStr(run.timing.captureShared)
            << ",\"fused\":" << boolStr(run.timing.fused)
            << ",\"lanes\":" << run.timing.fusedLanes
-           << ",\"lane\":" << run.timing.laneIndex << "}";
+           << ",\"lane\":" << run.timing.laneIndex
+           << ",\"sampled\":" << boolStr(run.timing.sampled);
+        if (run.timing.sampled) {
+            os << ",\"phases\":" << run.timing.phases
+               << ",\"sampled_instrs\":" << run.timing.sampledInstrs
+               << ",\"checkpoint_s\":" << run.timing.checkpointSec
+               << ",\"fastforward_s\":"
+               << run.timing.fastForwardSec;
+        }
+        os << "}";
     }
     os << "]";
 
@@ -121,6 +149,8 @@ writeBenchJson(std::ostream &os, const ExperimentEngine &engine)
     os << ",\"shared_stages\":{"
        << "\"simulate_s\":" << t.simulateSec
        << ",\"dispatch_s\":" << t.dispatchSec
+       << ",\"checkpoint_s\":" << t.checkpointSec
+       << ",\"fastforward_s\":" << t.fastForwardSec
        << ",\"fused_groups\":" << t.fusedGroups
        << ",\"fused_lanes\":" << t.fusedLanes
        << ",\"replay_passes\":" << t.replays << "}";
@@ -134,6 +164,10 @@ writeBenchJson(std::ostream &os, const ExperimentEngine &engine)
        << ",\"simulate_s\":" << t.simulateSec
        << ",\"analyze_s\":" << t.analyzeSec
        << ",\"dispatch_s\":" << t.dispatchSec
+       << ",\"checkpoint_s\":" << t.checkpointSec
+       << ",\"fastforward_s\":" << t.fastForwardSec
+       << ",\"sampled_runs\":" << t.sampledRuns
+       << ",\"sampled_instrs\":" << t.sampledInstrs
        << ",\"dyn_instrs\":" << t.dynInstrs
        << ",\"instrs_per_s\":"
        << (wall > 0.0 ? double(t.dynInstrs) / wall : 0.0) << "}";
@@ -156,11 +190,22 @@ printStageSummary(std::ostream &os, const ExperimentEngine &engine)
         os << ", " << t.fusedLanes << " lanes fused into "
            << t.fusedGroups << " pass(es)";
     }
+    if (t.sampledRuns > 0) {
+        os << ", " << t.sampledRuns << " sampled run(s) ("
+           << formatCount(t.sampledInstrs) << " of "
+           << formatCount(t.dynInstrs) << " instrs analyzed)";
+    }
     os << "\n"
        << "[ppm] stage wall: assemble "
        << formatDouble(t.assembleSec, 2) << "s, simulate "
        << formatDouble(t.simulateSec, 2) << "s, analyze "
-       << formatDouble(t.analyzeSec, 2) << "s; total "
+       << formatDouble(t.analyzeSec, 2) << "s";
+    if (t.checkpointSec > 0.0 || t.fastForwardSec > 0.0) {
+        os << ", checkpoint " << formatDouble(t.checkpointSec, 2)
+           << "s, fast-forward "
+           << formatDouble(t.fastForwardSec, 2) << "s";
+    }
+    os << "; total "
        << formatDouble(wall, 2) << "s ("
        << formatCount(static_cast<std::uint64_t>(
               wall > 0.0 ? double(t.dynInstrs) / wall : 0.0))

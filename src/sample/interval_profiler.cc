@@ -1,0 +1,60 @@
+#include "sample/interval_profiler.hh"
+
+#include <cassert>
+
+namespace ppm {
+
+namespace {
+
+/** splitmix64 finalizer — a cheap, well-mixed static-pc hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+IntervalProfiler::IntervalProfiler(std::size_t text_size,
+                                   std::uint64_t interval_len)
+    : intervalLen_(interval_len)
+{
+    assert(interval_len > 0);
+    dimOf_.resize(text_size);
+    for (std::size_t pc = 0; pc < text_size; ++pc)
+        dimOf_[pc] = static_cast<std::uint8_t>(
+            mix64(pc) & (kSigDims - 1));
+}
+
+void
+IntervalProfiler::onInstr(const DynInstr &di)
+{
+    ++counts_[dimOf_[di.pc]];
+    if (++inInterval_ == intervalLen_)
+        flush();
+}
+
+void
+IntervalProfiler::finish()
+{
+    if (inInterval_ > 0)
+        flush();
+}
+
+void
+IntervalProfiler::flush()
+{
+    Interval iv;
+    iv.instrs = inInterval_;
+    const double total = static_cast<double>(inInterval_);
+    for (unsigned d = 0; d < kSigDims; ++d)
+        iv.sig[d] = static_cast<double>(counts_[d]) / total;
+    intervals_.push_back(iv);
+    counts_.fill(0);
+    inInterval_ = 0;
+}
+
+} // namespace ppm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Basic-block-vector interval profiling for phase sampling.
+ *
+ * SimPoint-style sampling (DESIGN.md Sec. 13) needs a cheap per-
+ * interval execution signature over the *full* N-instruction stream.
+ * This sink charges each executed instruction to one of kSigDims
+ * hashed program-counter bins — a fixed-dimension projection of the
+ * classic basic-block vector — and emits one L1-normalized signature
+ * per fixed-size interval. Cost per instruction is one table lookup
+ * and one increment, so the profiling pass runs at raw simulation
+ * speed, orders of magnitude cheaper than DPG analysis.
+ */
+
+#ifndef PPM_SAMPLE_INTERVAL_PROFILER_HH
+#define PPM_SAMPLE_INTERVAL_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace ppm {
+
+/** Per-interval execution signature collector. */
+class IntervalProfiler : public TraceSink
+{
+  public:
+    /** Dimensions of the hashed-pc signature vector. */
+    static constexpr unsigned kSigDims = 32;
+
+    /** One profiled interval. */
+    struct Interval
+    {
+        /** L1-normalized hashed-pc execution signature. */
+        std::array<double, kSigDims> sig{};
+
+        /** Dynamic instructions in the interval (== the configured
+         *  length except for a trailing partial interval). */
+        std::uint64_t instrs = 0;
+    };
+
+    /**
+     * Profile a program of @p text_size static instructions in
+     * intervals of @p interval_len dynamic instructions.
+     */
+    IntervalProfiler(std::size_t text_size,
+                     std::uint64_t interval_len);
+
+    void onInstr(const DynInstr &di) override;
+
+    /**
+     * Flush the trailing partial interval, if any. Call once after
+     * the run ends; idempotent when the stream length was an exact
+     * multiple of the interval length.
+     */
+    void finish();
+
+    /** Completed intervals, in stream order. */
+    const std::vector<Interval> &intervals() const
+    {
+        return intervals_;
+    }
+
+    std::uint64_t intervalLen() const { return intervalLen_; }
+
+  private:
+    void flush();
+
+    /** Signature bin for each static pc (computed once up front). */
+    std::vector<std::uint8_t> dimOf_;
+
+    std::array<std::uint64_t, kSigDims> counts_{};
+    std::uint64_t inInterval_ = 0;
+    std::uint64_t intervalLen_;
+    std::vector<Interval> intervals_;
+};
+
+} // namespace ppm
+
+#endif // PPM_SAMPLE_INTERVAL_PROFILER_HH

@@ -1,0 +1,215 @@
+#include "sample/phase_cluster.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "support/rng.hh"
+
+namespace ppm {
+
+namespace {
+
+using Sig = std::array<double, IntervalProfiler::kSigDims>;
+
+double
+dist2(const Sig &a, const Sig &b)
+{
+    double d = 0.0;
+    for (unsigned i = 0; i < IntervalProfiler::kSigDims; ++i) {
+        const double delta = a[i] - b[i];
+        d += delta * delta;
+    }
+    return d;
+}
+
+/** Uniform double in [0, 1) from the deterministic generator. */
+double
+nextUnit(Rng &rng)
+{
+    return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+/** kmeans++ seeding: spread the k initial centroids apart. */
+std::vector<Sig>
+seedCentroids(const std::vector<const Sig *> &points, unsigned k,
+              Rng &rng)
+{
+    std::vector<Sig> centroids;
+    centroids.reserve(k);
+    centroids.push_back(
+        *points[rng.nextBelow(points.size())]);
+    std::vector<double> best(points.size(),
+                             std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            best[i] = std::min(best[i],
+                               dist2(*points[i], centroids.back()));
+            total += best[i];
+        }
+        std::size_t pick = 0;
+        if (total > 0.0) {
+            double r = nextUnit(rng) * total;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                r -= best[i];
+                if (r <= 0.0) {
+                    pick = i;
+                    break;
+                }
+            }
+        } else {
+            // All remaining points coincide with a centroid; any
+            // choice yields the same clustering.
+            pick = rng.nextBelow(points.size());
+        }
+        centroids.push_back(*points[pick]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+std::uint64_t
+PhasePlan::weightedInstrs() const
+{
+    std::uint64_t total = 0;
+    for (const PhaseRep &rep : reps)
+        total += rep.weight * rep.instrs;
+    return total;
+}
+
+PhasePlan
+clusterPhases(const std::vector<IntervalProfiler::Interval> &intervals,
+              std::uint64_t interval_len, unsigned max_phases,
+              std::uint64_t seed)
+{
+    PhasePlan plan;
+    plan.intervals = intervals.size();
+    if (intervals.empty())
+        return plan;
+    assert(max_phases > 0);
+
+    // Only full intervals are interchangeable; a trailing partial
+    // interval gets its own weight-1 representative below so the
+    // weighted instruction total reproduces the stream length.
+    std::vector<std::size_t> full;
+    std::vector<const Sig *> points;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        if (intervals[i].instrs == interval_len) {
+            full.push_back(i);
+            points.push_back(&intervals[i].sig);
+        }
+    }
+
+    std::vector<PhaseRep> reps;
+    if (!points.empty()) {
+        const unsigned k = static_cast<unsigned>(
+            std::min<std::size_t>(max_phases, points.size()));
+        Rng rng(seed);
+        std::vector<Sig> centroids = seedCentroids(points, k, rng);
+        std::vector<unsigned> assign(points.size(), 0);
+
+        for (unsigned iter = 0; iter < 64; ++iter) {
+            bool changed = iter == 0;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                unsigned bestC = 0;
+                double bestD =
+                    std::numeric_limits<double>::max();
+                for (unsigned c = 0; c < k; ++c) {
+                    const double d =
+                        dist2(*points[i], centroids[c]);
+                    if (d < bestD) {
+                        bestD = d;
+                        bestC = c;
+                    }
+                }
+                if (assign[i] != bestC) {
+                    assign[i] = bestC;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+
+            // Recompute centroids; repair empties by moving them to
+            // the point currently worst-served by its own centroid
+            // (deterministic: lowest index wins ties).
+            std::vector<Sig> sums(k, Sig{});
+            std::vector<std::uint64_t> sizes(k, 0);
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                for (unsigned d = 0;
+                     d < IntervalProfiler::kSigDims; ++d)
+                    sums[assign[i]][d] += (*points[i])[d];
+                ++sizes[assign[i]];
+            }
+            for (unsigned c = 0; c < k; ++c) {
+                if (sizes[c] == 0) {
+                    std::size_t worst = 0;
+                    double worstD = -1.0;
+                    for (std::size_t i = 0; i < points.size();
+                         ++i) {
+                        const double d = dist2(
+                            *points[i], centroids[assign[i]]);
+                        if (d > worstD) {
+                            worstD = d;
+                            worst = i;
+                        }
+                    }
+                    centroids[c] = *points[worst];
+                    continue;
+                }
+                for (unsigned d = 0;
+                     d < IntervalProfiler::kSigDims; ++d)
+                    centroids[c][d] =
+                        sums[c][d] / double(sizes[c]);
+            }
+        }
+
+        // One representative per non-empty cluster: the member
+        // closest to the centroid, weighted by the population.
+        for (unsigned c = 0; c < k; ++c) {
+            std::size_t bestI = points.size();
+            double bestD = std::numeric_limits<double>::max();
+            std::uint64_t members = 0;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (assign[i] != c)
+                    continue;
+                ++members;
+                const double d = dist2(*points[i], centroids[c]);
+                if (d < bestD) {
+                    bestD = d;
+                    bestI = i;
+                }
+            }
+            if (members == 0)
+                continue;
+            PhaseRep rep;
+            rep.interval = full[bestI];
+            rep.weight = members;
+            rep.instrs = intervals[full[bestI]].instrs;
+            reps.push_back(rep);
+            ++plan.phases;
+        }
+    }
+
+    // The trailing partial interval represents only itself.
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        if (intervals[i].instrs != interval_len) {
+            PhaseRep rep;
+            rep.interval = i;
+            rep.weight = 1;
+            rep.instrs = intervals[i].instrs;
+            reps.push_back(rep);
+        }
+    }
+
+    std::sort(reps.begin(), reps.end(),
+              [](const PhaseRep &a, const PhaseRep &b) {
+                  return a.interval < b.interval;
+              });
+    plan.reps = std::move(reps);
+    return plan;
+}
+
+} // namespace ppm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Phase clustering over interval signatures (SimPoint-style).
+ *
+ * Takes the per-interval basic-block-vector signatures the
+ * IntervalProfiler produced, k-means-clusters the full intervals into
+ * at most maxPhases phases, and picks one weighted representative per
+ * phase: the member interval closest to the phase centroid, weighted
+ * by the phase's population. A trailing partial interval (stream
+ * length not a multiple of the interval length) becomes its own
+ * weight-1 representative so the weighted instruction counts sum to
+ * exactly the profiled stream length.
+ *
+ * Everything is deterministic: kmeans++ seeding and empty-cluster
+ * repair draw from the repo's own xoshiro256** Rng with a fixed seed,
+ * ties break toward the lower interval index, and representatives are
+ * returned in ascending interval order (which is also what lets the
+ * checkpoint scheduler replay page deltas exactly once).
+ */
+
+#ifndef PPM_SAMPLE_PHASE_CLUSTER_HH
+#define PPM_SAMPLE_PHASE_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/interval_profiler.hh"
+
+namespace ppm {
+
+/** One representative interval and the population it stands for. */
+struct PhaseRep
+{
+    /** Index into the profiled interval sequence. */
+    std::size_t interval = 0;
+
+    /** Intervals this representative stands for (its merge weight). */
+    std::uint64_t weight = 1;
+
+    /** Dynamic instructions in the representative interval itself. */
+    std::uint64_t instrs = 0;
+};
+
+/** The measurement plan a sampled run executes. */
+struct PhasePlan
+{
+    /** Representatives in ascending interval order. */
+    std::vector<PhaseRep> reps;
+
+    /** Phases found among full intervals (before the partial rep). */
+    unsigned phases = 0;
+
+    /** Total intervals profiled (including a trailing partial). */
+    std::size_t intervals = 0;
+
+    /** Sum over reps of weight * instrs == profiled stream length. */
+    std::uint64_t weightedInstrs() const;
+};
+
+/**
+ * Cluster @p intervals into at most @p max_phases phases and pick
+ * weighted representatives. @p seed feeds the deterministic kmeans++
+ * initialization; callers use the default so identical profiles give
+ * identical plans everywhere.
+ */
+PhasePlan
+clusterPhases(const std::vector<IntervalProfiler::Interval> &intervals,
+              std::uint64_t interval_len, unsigned max_phases,
+              std::uint64_t seed = 0x70686173u /* "phas" */);
+
+} // namespace ppm
+
+#endif // PPM_SAMPLE_PHASE_CLUSTER_HH

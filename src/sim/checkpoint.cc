@@ -1,0 +1,47 @@
+#include "sim/checkpoint.hh"
+
+#include <cassert>
+
+namespace ppm {
+
+void
+CheckpointStore::capture(Machine &machine)
+{
+    Memory &mem = machine.memory();
+    MachineDelta delta;
+    delta.state = machine.saveState();
+    const std::uint64_t pages = mem.dirtyPageCount();
+    delta.pageNos.reserve(pages);
+    delta.words.reserve(pages * Memory::kWordsPerPage);
+    mem.forEachDirtyPage([&](std::uint64_t page_no,
+                             const Value *words) {
+        delta.pageNos.push_back(page_no);
+        delta.words.insert(delta.words.end(), words,
+                           words + Memory::kWordsPerPage);
+    });
+    mem.clearDirty();
+    pageCount_ += delta.pageNos.size();
+    pageBytes_ += delta.words.size() * sizeof(Value);
+    deltas_.push_back(std::move(delta));
+}
+
+void
+CheckpointStore::restoreTo(Machine &machine, std::size_t from,
+                           std::size_t to) const
+{
+    assert(from <= to && to <= deltas_.size());
+    if (to == from)
+        return;
+    Memory &mem = machine.memory();
+    for (std::size_t i = from; i < to; ++i) {
+        const MachineDelta &delta = deltas_[i];
+        for (std::size_t p = 0; p < delta.pageNos.size(); ++p) {
+            mem.writePage(delta.pageNos[p],
+                          delta.words.data() +
+                              p * Memory::kWordsPerPage);
+        }
+    }
+    machine.restoreState(deltas_[to - 1].state);
+}
+
+} // namespace ppm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dirty-page delta checkpoints for the functional simulator.
+ *
+ * A profiling pass runs the machine in fixed-size intervals with
+ * Memory dirty tracking on. At each interval boundary the store
+ * captures one MachineDelta: the non-memory architectural state at
+ * the boundary plus post-images of exactly the memory pages the
+ * interval wrote. Capture cost is O(dirty pages), not O(footprint) —
+ * the copy-on-write discipline the paged table's page structure makes
+ * natural (support/paged_table.hh).
+ *
+ * Restore walks forward: a machine sitting at boundary `from` reaches
+ * boundary `to > from` by applying the page images of deltas
+ * [from, to) in order (later post-images overwrite earlier ones) and
+ * then loading delta to-1's register record. Boundary 0 is a freshly
+ * constructed Machine (same program + input), so a sampling scheduler
+ * that visits representatives in ascending order replays each delta's
+ * pages exactly once across the whole measurement pass.
+ *
+ * Determinism: the simulator is deterministic given (program, input),
+ * so the delta chain is a pure function of the profiled run, and a
+ * restored machine's future execution is bit-identical to the
+ * original run from the same boundary.
+ */
+
+#ifndef PPM_SIM_CHECKPOINT_HH
+#define PPM_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace ppm {
+
+/** One interval boundary: register record + dirty-page post-images. */
+struct MachineDelta
+{
+    /** Architectural state at the boundary (end of the interval). */
+    MachineState state;
+
+    /** Word-page numbers dirtied during the interval, first-touch order. */
+    std::vector<std::uint64_t> pageNos;
+
+    /** Page images, packed pageNos.size() x Memory::kWordsPerPage. */
+    std::vector<Value> words;
+};
+
+/** The delta chain one profiled run produces. */
+class CheckpointStore
+{
+  public:
+    /**
+     * Capture the machine's current dirty set and state as the next
+     * delta, then clear the dirty set (opening the next interval's
+     * epoch). Memory dirty tracking must already be on.
+     */
+    void capture(Machine &machine);
+
+    /** Boundaries captured so far (delta i ends interval i). */
+    std::size_t count() const { return deltas_.size(); }
+
+    const MachineDelta &delta(std::size_t i) const
+    {
+        return deltas_[i];
+    }
+
+    /**
+     * Advance @p machine from boundary @p from to boundary @p to
+     * (from <= to <= count()) without simulating: apply the page
+     * images of deltas [from, to), then delta to-1's register record.
+     * The machine must genuinely be at boundary @p from — a fresh
+     * Machine for from == 0, or left there by an earlier restoreTo().
+     */
+    void restoreTo(Machine &machine, std::size_t from,
+                   std::size_t to) const;
+
+    /** Total page-image bytes held (capacity planning / reporting). */
+    std::uint64_t pageBytes() const { return pageBytes_; }
+
+    /** Total pages captured across all deltas. */
+    std::uint64_t pageCount() const { return pageCount_; }
+
+  private:
+    std::vector<MachineDelta> deltas_;
+    std::uint64_t pageBytes_ = 0;
+    std::uint64_t pageCount_ = 0;
+};
+
+} // namespace ppm
+
+#endif // PPM_SIM_CHECKPOINT_HH

@@ -30,6 +30,28 @@ Machine::setReg(RegIndex r, Value v)
         regs_[r] = v;
 }
 
+MachineState
+Machine::saveState() const
+{
+    MachineState state;
+    state.regs = regs_;
+    state.pc = pc_;
+    state.icount = icount_;
+    state.halted = halted_;
+    state.inputPos = inputPos_;
+    return state;
+}
+
+void
+Machine::restoreState(const MachineState &state)
+{
+    regs_ = state.regs;
+    pc_ = state.pc;
+    icount_ = state.icount;
+    halted_ = state.halted;
+    inputPos_ = state.inputPos;
+}
+
 DynInput
 Machine::readOperand(RegIndex r) const
 {

@@ -32,6 +32,21 @@ enum class StopReason
 };
 
 /**
+ * Everything outside memory a checkpoint must capture: registers,
+ * control state, and the input-stream cursor. Memory is restored
+ * separately as dirty-page deltas (sim/checkpoint.hh) — copying the
+ * whole footprint here would defeat O(dirty-pages) snapshots.
+ */
+struct MachineState
+{
+    std::array<Value, kNumRegs> regs{};
+    StaticId pc = 0;
+    std::uint64_t icount = 0;
+    bool halted = false;
+    std::size_t inputPos = 0;
+};
+
+/**
  * Executes a Program instruction-by-instruction, emitting one DynInstr
  * per executed instruction to an optional TraceSink. Execution is fully
  * deterministic given the program and input stream, which the two-pass
@@ -75,6 +90,17 @@ class Machine
 
     /** Values consumed from the input stream so far. */
     std::size_t inputConsumed() const { return inputPos_; }
+
+    /** Snapshot the non-memory architectural state. */
+    MachineState saveState() const;
+
+    /**
+     * Restore a snapshot taken by saveState() on a machine bound to
+     * the same program and input stream. Memory is NOT touched;
+     * restore page deltas through memory() first (or rely on a
+     * fresh machine's loaded image for checkpoint 0).
+     */
+    void restoreState(const MachineState &state);
 
   private:
     /** Execute one instruction; fills @p di and advances state. */

@@ -50,6 +50,39 @@ class Memory
     /** Number of allocated pages (observability for tests). */
     std::size_t pageCount() const { return words_.livePages(); }
 
+    // -- Checkpointing (sim/checkpoint.hh) ---------------------------
+    //
+    // The checkpoint layer snapshots memory as dirty-page deltas:
+    // track writes per interval, copy out only the pages the interval
+    // touched, and restore by replaying those page images in order.
+
+    /** Start/stop recording written pages (resets the dirty set). */
+    void setDirtyTracking(bool on) { words_.setDirtyTracking(on); }
+
+    /** Pages written since tracking started / was last cleared. */
+    std::uint64_t dirtyPageCount() const
+    {
+        return words_.dirtyPageCount();
+    }
+
+    /** Visit dirty pages as fn(page_no, const Value *words). */
+    template <typename F>
+    void
+    forEachDirtyPage(F &&fn) const
+    {
+        words_.forEachDirtyPage(std::forward<F>(fn));
+    }
+
+    /** Forget the dirty set (start the next delta epoch). */
+    void clearDirty() { words_.clearDirty(); }
+
+    /** Restore one saved page image (kWordsPerPage values). */
+    void
+    writePage(std::uint64_t page_no, const Value *words)
+    {
+        words_.writePage(page_no, words);
+    }
+
     static constexpr unsigned kPageBytesLog2 = 12;
     static constexpr Addr kPageBytes = Addr(1) << kPageBytesLog2;
     static constexpr unsigned kWordsPerPage = kPageBytes / 8;

@@ -1,7 +1,10 @@
 #include "sim/trace_file.hh"
 
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
+
+#include "support/gzip.hh"
 
 namespace ppm {
 
@@ -92,14 +95,12 @@ TraceWriter::onRunEnd()
         throw std::runtime_error("trace write failed");
 }
 
-std::uint64_t
-replayTrace(const std::string &path, const Program &prog,
-            TraceSink &sink)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("cannot open trace file " + path);
+namespace {
 
+std::uint64_t
+replayTraceStream(std::istream &in, const std::string &path,
+                  const Program &prog, TraceSink &sink)
+{
     Header h{};
     in.read(reinterpret_cast<char *>(&h), sizeof(h));
     if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
@@ -144,6 +145,24 @@ replayTrace(const std::string &path, const Program &prog,
         throw std::runtime_error("truncated trace record");
     sink.onRunEnd();
     return count;
+}
+
+} // namespace
+
+std::uint64_t
+replayTrace(const std::string &path, const Program &prog,
+            TraceSink &sink)
+{
+    // Gzip'd traces (trace.gz corpora) inflate transparently; plain
+    // files stream straight off disk as before.
+    if (isGzipFile(path)) {
+        std::istringstream in(gunzipFile(path));
+        return replayTraceStream(in, path, prog, sink);
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file " + path);
+    return replayTraceStream(in, path, prog, sink);
 }
 
 } // namespace ppm

@@ -1,0 +1,109 @@
+#include "support/gzip.hh"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#ifdef PPM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace ppm {
+
+bool
+gzipAvailable()
+{
+#ifdef PPM_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+isGzipFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    unsigned char magic[2] = {0, 0};
+    in.read(reinterpret_cast<char *>(magic), 2);
+    return in.gcount() == 2 && magic[0] == 0x1f && magic[1] == 0x8b;
+}
+
+#ifdef PPM_HAVE_ZLIB
+
+std::string
+gunzipFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+
+    z_stream strm{};
+    // 16+MAX_WBITS: gzip wrapper (not raw/zlib), standard window.
+    if (inflateInit2(&strm, 16 + MAX_WBITS) != Z_OK)
+        throw std::runtime_error("zlib init failed");
+
+    std::string out;
+    std::vector<unsigned char> inBuf(1 << 16);
+    std::vector<unsigned char> outBuf(1 << 16);
+    int ret = Z_OK;
+    bool atMemberEnd = false;
+    while (in || strm.avail_in > 0) {
+        if (strm.avail_in == 0) {
+            in.read(reinterpret_cast<char *>(inBuf.data()),
+                    static_cast<std::streamsize>(inBuf.size()));
+            strm.avail_in = static_cast<uInt>(in.gcount());
+            strm.next_in = inBuf.data();
+            if (strm.avail_in == 0)
+                break;
+        }
+        do {
+            strm.avail_out = static_cast<uInt>(outBuf.size());
+            strm.next_out = outBuf.data();
+            ret = inflate(&strm, Z_NO_FLUSH);
+            if (ret != Z_OK && ret != Z_STREAM_END) {
+                inflateEnd(&strm);
+                throw std::runtime_error("corrupt gzip input: " +
+                                         path);
+            }
+            out.append(reinterpret_cast<char *>(outBuf.data()),
+                       outBuf.size() - strm.avail_out);
+            if (ret == Z_STREAM_END) {
+                // Concatenated members (gzip allows several): keep
+                // inflating while compressed bytes remain.
+                atMemberEnd = true;
+                if (strm.avail_in > 0 &&
+                    inflateReset2(&strm, 16 + MAX_WBITS) != Z_OK) {
+                    inflateEnd(&strm);
+                    throw std::runtime_error("zlib reset failed");
+                }
+                if (strm.avail_in > 0)
+                    atMemberEnd = false;
+            } else {
+                atMemberEnd = false;
+            }
+        } while (strm.avail_in > 0);
+    }
+    inflateEnd(&strm);
+    if (!atMemberEnd)
+        throw std::runtime_error("truncated gzip input: " + path);
+    return out;
+}
+
+#else // !PPM_HAVE_ZLIB
+
+std::string
+gunzipFile(const std::string &path)
+{
+    throw std::runtime_error(
+        path + " is gzip'd, but this build has no zlib — "
+               "decompress it first (gunzip " +
+        path + ")");
+}
+
+#endif
+
+} // namespace ppm

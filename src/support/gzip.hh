@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal gzip input support for trace files.
+ *
+ * Real trace corpora (SimpleScalar-era SPEC traces, CBP/ChampSim
+ * distributions) ship gzip'd; forcing callers to decompress by hand
+ * breaks one-command workflows like `ppm import gcc.trace.gz`. The
+ * readers sniff the two-byte gzip magic and inflate transparently —
+ * plain files take their existing path untouched.
+ *
+ * Decompression uses the system zlib when the build found one
+ * (PPM_HAVE_ZLIB); otherwise gunzipFile() throws a clear error so a
+ * zlib-less build still compiles and handles plain traces.
+ */
+
+#ifndef PPM_SUPPORT_GZIP_HH
+#define PPM_SUPPORT_GZIP_HH
+
+#include <string>
+
+namespace ppm {
+
+/** True when this build can inflate gzip input (zlib was found). */
+bool gzipAvailable();
+
+/**
+ * True when the file at @p path starts with the gzip magic
+ * (0x1f 0x8b). Missing/unreadable/short files are simply not gzip —
+ * the caller's plain-file path will produce its usual error.
+ */
+bool isGzipFile(const std::string &path);
+
+/**
+ * Inflate the gzip file at @p path to a string (multi-member streams
+ * supported). Throws std::runtime_error on I/O failure, corrupt
+ * input, or a zlib-less build.
+ */
+std::string gunzipFile(const std::string &path);
+
+} // namespace ppm
+
+#endif // PPM_SUPPORT_GZIP_HH

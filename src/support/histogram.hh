@@ -59,6 +59,20 @@ class Log2Histogram
     /** Merge another histogram into this one. */
     void merge(const Log2Histogram &other);
 
+    /**
+     * Multiply every bucket weight (and the sample count) by @p k —
+     * weighting a phase representative's statistics by the number of
+     * intervals it stands for (sampled merges, DESIGN.md Sec. 13).
+     */
+    void
+    scale(std::uint64_t k)
+    {
+        for (std::uint64_t &w : weights_)
+            w *= k;
+        total_ *= k;
+        samples_ *= k;
+    }
+
   private:
     std::vector<std::uint64_t> weights_;
     std::uint64_t total_ = 0;
@@ -87,6 +101,16 @@ class LinearHistogram
     double cumulativeFraction(std::uint64_t v) const;
 
     void merge(const LinearHistogram &other);
+
+    /** Multiply every bucket weight by @p k (see Log2Histogram). */
+    void
+    scale(std::uint64_t k)
+    {
+        for (std::uint64_t &w : weights_)
+            w *= k;
+        overflow_ *= k;
+        total_ *= k;
+    }
 
   private:
     std::vector<std::uint64_t> weights_;

@@ -23,15 +23,26 @@
  * returns every page to the free list (slots reset to T{}) and keeps
  * the underlying allocations, so a table reused across runs allocates
  * nothing in steady state.
+ *
+ * Dirty-page tracking (checkpointing support): with
+ * setDirtyTracking(true), every page touched through getOrCreate() is
+ * recorded once per tracking epoch. A checkpoint then walks
+ * forEachDirtyPage() — O(pages written since the last snapshot), not
+ * O(footprint) — copies the page images out, and calls clearDirty()
+ * to open the next epoch. writePage() restores a saved image. Slot
+ * references stay stable across snapshot/clear: tracking never moves
+ * or frees pages.
  */
 
 #ifndef PPM_SUPPORT_PAGED_TABLE_HH
 #define PPM_SUPPORT_PAGED_TABLE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace ppm {
@@ -58,7 +69,14 @@ class PagedTable
     T &
     getOrCreate(std::uint64_t index)
     {
-        Page *page = pageFor(index >> SlotsLog2, /*create=*/true);
+        const std::uint64_t page_no = index >> SlotsLog2;
+        Page *page = pageFor(page_no, /*create=*/true);
+        if (trackDirty_) [[unlikely]] {
+            if (!page->dirty) {
+                page->dirty = true;
+                dirty_.emplace_back(page_no, page);
+            }
+        }
         return page->slots[index & (kSlotsPerPage - 1)];
     }
 
@@ -125,6 +143,9 @@ class PagedTable
     void
     releaseAll()
     {
+        // releasePage resets each page's dirty flag; the list itself
+        // would otherwise keep pointers to recycled pages.
+        dirty_.clear();
         auto drain = [this](std::unique_ptr<Chunk> &chunk) {
             if (!chunk)
                 return;
@@ -142,6 +163,66 @@ class PagedTable
         for (auto &[no, chunk] : overflow_)
             drain(chunk);
         overflow_.clear();
+    }
+
+    /**
+     * Start (or stop) recording which pages getOrCreate() touches.
+     * Turning tracking on or off resets the dirty set. Writes made
+     * through a reference obtained *before* the epoch opened are not
+     * seen — callers must route post-snapshot writes through
+     * getOrCreate(), which the simulator's write path already does.
+     */
+    void
+    setDirtyTracking(bool on)
+    {
+        clearDirty();
+        trackDirty_ = on;
+    }
+
+    /** Whether dirty tracking is currently on. */
+    bool dirtyTracking() const { return trackDirty_; }
+
+    /** Pages written (through getOrCreate) this tracking epoch. */
+    std::uint64_t dirtyPageCount() const { return dirty_.size(); }
+
+    /**
+     * Visit every page dirtied this epoch as
+     * `fn(page_no, const T *slots)` where `slots` points at
+     * kSlotsPerPage values. Order is first-touch order (deterministic
+     * for a deterministic write stream).
+     */
+    template <typename F>
+    void
+    forEachDirtyPage(F &&fn) const
+    {
+        for (const auto &[page_no, page] : dirty_)
+            fn(page_no, page->slots.data());
+    }
+
+    /** Close the epoch: forget the dirty set (pages stay intact). */
+    void
+    clearDirty()
+    {
+        for (auto &[page_no, page] : dirty_)
+            page->dirty = false;
+        dirty_.clear();
+    }
+
+    /**
+     * Overwrite the whole page holding @p page_no with @p slots
+     * (kSlotsPerPage values), creating it if absent. Restore path for
+     * images captured via forEachDirtyPage().
+     */
+    void
+    writePage(std::uint64_t page_no, const T *slots)
+    {
+        Page *page = pageFor(page_no, /*create=*/true);
+        if (trackDirty_ && !page->dirty) [[unlikely]] {
+            page->dirty = true;
+            dirty_.emplace_back(page_no, page);
+        }
+        std::copy(slots, slots + kSlotsPerPage,
+                  page->slots.begin());
     }
 
     /** Pages currently wired into the directory. */
@@ -181,6 +262,7 @@ class PagedTable
     struct Page
     {
         std::array<T, kSlotsPerPage> slots{};
+        bool dirty = false;
     };
 
     struct Chunk
@@ -245,6 +327,7 @@ class PagedTable
     {
         for (T &slot : page->slots)
             slot = T{};
+        page->dirty = false;
         freePages_.push_back(page);
         --livePages_;
     }
@@ -268,6 +351,8 @@ class PagedTable
     std::uint64_t livePages_ = 0;
     std::uint64_t pagesRecycled_ = 0;
     std::uint64_t overflowLookups_ = 0;
+    bool trackDirty_ = false;
+    std::vector<std::pair<std::uint64_t, Page *>> dirty_;
 };
 
 } // namespace ppm

@@ -11,7 +11,7 @@
 namespace ppm {
 
 /** Tool release; bumped when any schema below changes. */
-inline constexpr const char *kPpmVersion = "0.8.0";
+inline constexpr const char *kPpmVersion = "0.9.0";
 
 /** Every versioned document schema this build emits or accepts. */
 inline constexpr const char *kPpmSchemas[] = {
@@ -20,6 +20,7 @@ inline constexpr const char *kPpmSchemas[] = {
     "ppm-serve-v1",       ///< Serve daemon request/response (serve/protocol.hh).
     "ppm-bench-timing-v1",///< Stage-timing report (runner/stage_report.hh).
     "ppm-metrics-v1",     ///< Metrics registry dump (obs/obs.hh).
+    "ppm-converge-v1",    ///< Sampled-vs-full convergence curves (`ppm converge`).
 };
 
 } // namespace ppm

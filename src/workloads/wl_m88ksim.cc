@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "support/env.hh"
 #include "support/rng.hh"
 
 namespace ppm {
@@ -57,6 +58,18 @@ constexpr std::uint64_t kGuestProgram[] = {
     genc(kGEnd, 0, 0, 0),   //  9: end of run
 };
 
+/**
+ * Guest runs to simulate. PPM_WORKLOAD_SCALE (default 1) multiplies
+ * the count so long-budget experiments (the 100M+ phase-sampling
+ * benches) get a genuinely long dynamic stream; every figure, golden,
+ * and test runs unscaled.
+ */
+std::uint64_t
+guestRuns()
+{
+    return kRuns * envUint("PPM_WORKLOAD_SCALE", 1, /*min=*/1);
+}
+
 const std::string &
 buildSource()
 {
@@ -79,7 +92,8 @@ smode:  .space 1              # simulator trace-mode word
 
         .text
 main:
-        li   $16, 450         # guest runs to simulate
+        li   $16, )") + std::to_string(guestRuns()) +
+               std::string(R"(         # guest runs to simulate
         la   $19, gprog
         la   $20, gregs
         la   $21, gmem
@@ -193,7 +207,7 @@ wlM88ksim()
     w.isFloat = false;
     w.source = buildSource();
     w.makeInput = [](std::uint64_t) { return std::vector<Value>{}; };
-    w.approxInstrs = kRuns * 4800;
+    w.approxInstrs = guestRuns() * 4800;
     return w;
 }
 

@@ -8,12 +8,20 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/experiment.hh"
 #include "asmr/assembler.hh"
 #include "sim/machine.hh"
 #include "sim/trace_file.hh"
+#include "support/gzip.hh"
 #include "workloads/workload.hh"
+
+#ifdef PPM_HAVE_ZLIB
+#include <zlib.h>
+#endif
 
 namespace ppm {
 namespace {
@@ -124,6 +132,108 @@ TEST_F(TraceFileTest, MissingFileThrows)
         replayTrace("/tmp/definitely_missing_ppm.bin", prog, sink),
         std::runtime_error);
 }
+
+TEST_F(TraceFileTest, GzipSniffIgnoresPlainAndMissingFiles)
+{
+    {
+        std::ofstream out(path(), std::ios::binary);
+        out << "plain bytes";
+    }
+    EXPECT_FALSE(isGzipFile(path()));
+    EXPECT_FALSE(isGzipFile("/tmp/definitely_missing_ppm.bin"));
+}
+
+#ifdef PPM_HAVE_ZLIB
+
+/** Read a whole file as raw bytes. */
+std::string
+slurp(const std::string &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Gzip-compress @p data into the file at @p p (one member). */
+void
+gzipToFile(const std::string &data, const std::string &p,
+           std::ios::openmode mode = std::ios::trunc)
+{
+    z_stream strm{};
+    ASSERT_EQ(deflateInit2(&strm, Z_DEFAULT_COMPRESSION, Z_DEFLATED,
+                           16 + MAX_WBITS, 8, Z_DEFAULT_STRATEGY),
+              Z_OK);
+    std::vector<unsigned char> out(deflateBound(
+        &strm, static_cast<uLong>(data.size())));
+    strm.next_in = reinterpret_cast<Bytef *>(
+        const_cast<char *>(data.data()));
+    strm.avail_in = static_cast<uInt>(data.size());
+    strm.next_out = out.data();
+    strm.avail_out = static_cast<uInt>(out.size());
+    ASSERT_EQ(deflate(&strm, Z_FINISH), Z_STREAM_END);
+    const std::size_t n = out.size() - strm.avail_out;
+    deflateEnd(&strm);
+    std::ofstream f(p, std::ios::binary | mode);
+    f.write(reinterpret_cast<const char *>(out.data()),
+            static_cast<std::streamsize>(n));
+}
+
+TEST_F(TraceFileTest, GzipReplayMatchesPlain)
+{
+    const Workload &w = findWorkload("compress");
+    const Program prog = assemble(std::string(w.source), w.name);
+    const auto input = w.makeInput(kDefaultWorkloadSeed);
+    constexpr std::uint64_t kBudget = 50'000;
+
+    {
+        TraceWriter writer(path(), prog);
+        Machine m(prog, input);
+        m.run(&writer, kBudget);
+    }
+    const std::string gz = path() + ".gz";
+    gzipToFile(slurp(path()), gz);
+    EXPECT_TRUE(isGzipFile(gz));
+
+    ExecProfile plain(prog.textSize());
+    ExecProfile inflated(prog.textSize());
+    EXPECT_EQ(replayTrace(path(), prog, plain), kBudget);
+    EXPECT_EQ(replayTrace(gz, prog, inflated), kBudget);
+    EXPECT_EQ(plain.total(), inflated.total());
+    for (StaticId pc = 0; pc < prog.textSize(); ++pc)
+        EXPECT_EQ(plain.count(pc), inflated.count(pc));
+    std::remove(gz.c_str());
+}
+
+TEST_F(TraceFileTest, GzipMultiMemberStreamsConcatenate)
+{
+    // gzip allows concatenated members (`cat a.gz b.gz`); the reader
+    // must inflate across the member boundary.
+    std::string data;
+    for (int i = 0; i < 500; ++i)
+        data += "record " + std::to_string(i) + "\n";
+    const std::string gz = path() + ".gz";
+    gzipToFile(data.substr(0, data.size() / 2), gz);
+    gzipToFile(data.substr(data.size() / 2), gz, std::ios::app);
+    EXPECT_EQ(gunzipFile(gz), data);
+    std::remove(gz.c_str());
+}
+
+TEST_F(TraceFileTest, TruncatedGzipThrows)
+{
+    const std::string gz = path() + ".gz";
+    gzipToFile("payload payload payload payload", gz);
+    const std::string bytes = slurp(gz);
+    {
+        std::ofstream f(gz, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() - 5));
+    }
+    EXPECT_THROW(gunzipFile(gz), std::runtime_error);
+    std::remove(gz.c_str());
+}
+
+#endif // PPM_HAVE_ZLIB
 
 } // namespace
 } // namespace ppm

@@ -20,8 +20,15 @@
  *                                          (--list for the families)
  *     ppm import <file.trace>              analyze an external branch
  *                                          trace (CBP/ChampSim-style
- *                                          text records) and emit its
+ *                                          text records, plain or
+ *                                          gzip'd) and emit its
  *                                          fingerprint
+ *     ppm converge <workload> [opts]       sampled-vs-full
+ *                                          convergence curves
+ *                                          (ppm-converge-v1; exit 1
+ *                                          when any per-predictor
+ *                                          accuracy error exceeds
+ *                                          --threshold percent)
  *     ppm serve [opts]                     resident analysis daemon
  *                                          speaking ppm-serve-v1 over
  *                                          a local socket
@@ -49,6 +56,8 @@
  *                        critical, json   (default: overall)
  */
 
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <fstream>
 #include <memory>
@@ -64,6 +73,8 @@
 #include "isa/disasm.hh"
 #include "report/figure_report.hh"
 #include "report/json_emitter.hh"
+#include "runner/fused_sink.hh"
+#include "runner/sampled_run.hh"
 #include "runner/trace_import.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
@@ -71,6 +82,7 @@
 #include "sim/trace_file.hh"
 #include "support/cli_args.hh"
 #include "support/env.hh"
+#include "support/gzip.hh"
 #include "support/mini_json.hh"
 #include "support/version.hh"
 #include "support/string_utils.hh"
@@ -105,6 +117,11 @@ usage(const std::string &message = "")
         "  ppm fuzz [--families a,b,...] [--seeds LO-HI] [--slice]\n"
         "          [--no-verify] [--out corpus.json] [--list]\n"
         "  ppm import <file.trace> [--verify] [--out fp.json]\n"
+        "  ppm converge <file.s | workload-name>\n"
+        "          [--budgets N,N,...] [--predictor all|last|...]\n"
+        "          [--interval N] [--warmup N] [--phases N]\n"
+        "          [--threshold PCT] [--seed S]\n"
+        "          [--out curves.json] [--csv curves.csv]\n"
         "  ppm serve (--socket PATH | --port N) [--max-inflight N]\n"
         "          [--max N] [--cap N] [--retain-mb N]\n"
         "  ppm client (--socket PATH | --port N) [file.s]\n"
@@ -563,10 +580,16 @@ cmdImport(const CliArgs &args)
     if (args.positionals().size() != 2)
         usage("import needs a trace file");
     const std::string &path = args.positionals()[1];
-    std::ifstream in(path);
-    if (!in)
-        usage("cannot read " + path);
-    const ImportedTrace trace = parseBranchTrace(in, path);
+    ImportedTrace trace;
+    if (isGzipFile(path)) {
+        std::istringstream in(gunzipFile(path));
+        trace = parseBranchTrace(in, path);
+    } else {
+        std::ifstream in(path);
+        if (!in)
+            usage("cannot read " + path);
+        trace = parseBranchTrace(in, path);
+    }
 
     // Pass 1 over the imported stream, then the model per predictor —
     // the same two-pass discipline as a simulated program.
@@ -614,6 +637,227 @@ handleStopSignal(int)
 {
     if (g_server)
         g_server->requestStop();
+}
+
+/**
+ * `ppm converge`: metric-vs-budget convergence curves validating the
+ * phase-sampled scheduler (PPM_SAMPLE / runner/sampled_run.hh)
+ * against full analysis. For each budget the workload is analyzed
+ * twice — the exact two-pass path and the sampled path — and the
+ * fingerprint accuracy metrics (output_acc_pct, gshare_acc_pct) are
+ * compared per predictor. Emits a human table, optionally a
+ * ppm-converge-v1 JSON document (--out) and a CSV (--csv), and fails
+ * (exit 1) when any absolute error exceeds --threshold percent.
+ */
+int
+cmdConverge(const CliArgs &args)
+{
+    using Clock = std::chrono::steady_clock;
+
+    if (args.positionals().size() != 2)
+        usage("converge needs a file or workload name");
+    Target t = resolveTarget(args.positionals()[1], args);
+
+    std::vector<std::uint64_t> budgets;
+    for (const auto piece : splitAndTrim(
+             args.option("budgets").value_or("500000,1000000,"
+                                             "2000000,4000000"),
+             ',')) {
+        if (piece.empty())
+            continue;
+        try {
+            budgets.push_back(std::stoull(std::string(piece)));
+        } catch (const std::exception &) {
+            usage("bad --budgets value '" + std::string(piece) +
+                  "'");
+        }
+    }
+    if (budgets.empty())
+        usage("--budgets needs at least one budget");
+
+    SampleOptions sopts;
+    sopts.intervalLen = static_cast<std::uint64_t>(
+        args.intOption("interval").value_or(100'000));
+    sopts.warmupLen = static_cast<std::uint64_t>(
+        args.intOption("warmup").value_or(50'000));
+    sopts.maxPhases = static_cast<unsigned>(
+        args.intOption("phases").value_or(8));
+    if (!sopts.enabled() || sopts.maxPhases == 0)
+        usage("--interval and --phases must be >= 1");
+
+    double threshold = 1.0;
+    if (const auto th = args.option("threshold")) {
+        try {
+            threshold = std::stod(*th);
+        } catch (const std::exception &) {
+            usage("bad --threshold '" + *th + "'");
+        }
+    }
+
+    std::vector<PredictorKind> kinds;
+    const std::string pred =
+        args.option("predictor").value_or("all");
+    if (pred == "all") {
+        kinds.assign(std::begin(kAllPredictorKinds),
+                     std::end(kAllPredictorKinds));
+    } else {
+        kinds.push_back(parsePredictor(pred));
+    }
+    std::vector<DpgConfig> configs;
+    for (PredictorKind kind : kinds) {
+        DpgConfig cfg;
+        cfg.kind = kind;
+        configs.push_back(cfg);
+    }
+
+    // Fingerprint accuracy metrics (verify/fingerprint.cc): the
+    // output-accuracy share of classified nodes plus the gshare hit
+    // rate — the two curves the figures hinge on.
+    const auto outputAcc = [](const DpgStats &s) {
+        const std::uint64_t gen = s.nodes.generates();
+        const std::uint64_t prop = s.nodes.propagates();
+        const std::uint64_t classified =
+            gen + prop + s.nodes.terminates() +
+            s.nodes.count(NodeClass::UnpredFlow);
+        return classified
+                   ? 100.0 * double(gen + prop) / double(classified)
+                   : 0.0;
+    };
+
+    TablePrinter table("Sampled-vs-full convergence (" +
+                       std::string(args.positionals()[1]) + ")");
+    table.addRow({"budget", "pred", "out% full", "out% samp",
+                  "err", "gsh% full", "gsh% samp", "err",
+                  "speedup"});
+
+    std::string csv = "budget,predictor,output_acc_full_pct,"
+                      "output_acc_sampled_pct,output_acc_err_pct,"
+                      "gshare_acc_full_pct,gshare_acc_sampled_pct,"
+                      "gshare_acc_err_pct,full_s,sampled_s,"
+                      "speedup\n";
+    std::string json = "{\"schema\":\"ppm-converge-v1\"";
+    json += ",\"target\":\"" +
+            jsonEscape(args.positionals()[1]) + "\"";
+    json += ",\"interval\":" + std::to_string(sopts.intervalLen);
+    json += ",\"warmup\":" + std::to_string(sopts.warmupLen);
+    json += ",\"max_phases\":" + std::to_string(sopts.maxPhases);
+    json += ",\"threshold_pct\":" + formatDouble(threshold, 4);
+    json += ",\"budgets\":[";
+
+    double maxErr = 0.0;
+    bool firstBudget = true;
+    for (const std::uint64_t budget : budgets) {
+        // Full reference: the exact two-pass analysis, every
+        // predictor as one lane over one stream production.
+        const auto f0 = Clock::now();
+        ExecProfile profile(t.program.textSize());
+        {
+            Machine m(t.program, t.input);
+            m.run(&profile, budget);
+        }
+        FusedAnalysisSink sink(1);
+        for (const DpgConfig &cfg : configs) {
+            sink.addLane(std::make_unique<DpgAnalyzer>(
+                t.program, profile, cfg));
+        }
+        {
+            Machine m(t.program, t.input);
+            m.run(&sink, budget);
+        }
+        std::vector<DpgStats> full;
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            full.push_back(sink.takeStats(i));
+        const double fullSec =
+            std::chrono::duration<double>(Clock::now() - f0)
+                .count();
+
+        const auto s0 = Clock::now();
+        SampledResult sampled = runSampledAnalysis(
+            t.program, t.input, budget, configs, sopts, 1);
+        const double sampledSec =
+            std::chrono::duration<double>(Clock::now() - s0)
+                .count();
+        const double speedup =
+            sampledSec > 0.0 ? fullSec / sampledSec : 0.0;
+
+        if (!firstBudget)
+            json += ",";
+        firstBudget = false;
+        json += "{\"budget\":" + std::to_string(budget);
+        json += ",\"phases\":" +
+                std::to_string(sampled.timing.phases);
+        json += ",\"sampled_instrs\":" +
+                std::to_string(sampled.timing.sampledInstrs);
+        json += ",\"full_s\":" + formatDouble(fullSec, 4);
+        json += ",\"sampled_s\":" + formatDouble(sampledSec, 4);
+        json += ",\"speedup\":" + formatDouble(speedup, 2);
+        json += ",\"predictors\":[";
+
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const double of = outputAcc(full[i]);
+            const double os = outputAcc(sampled.stats[i]);
+            const double gf = 100.0 * full[i].gshareAccuracy;
+            const double gs =
+                100.0 * sampled.stats[i].gshareAccuracy;
+            const double oe = std::abs(of - os);
+            const double ge = std::abs(gf - gs);
+            maxErr = std::max({maxErr, oe, ge});
+
+            const std::string kindName(
+                predictorName(configs[i].kind));
+            table.addRow({formatCount(budget), kindName,
+                          formatDouble(of, 2), formatDouble(os, 2),
+                          formatDouble(oe, 2), formatDouble(gf, 2),
+                          formatDouble(gs, 2), formatDouble(ge, 2),
+                          formatDouble(speedup, 1) + "x"});
+            csv += std::to_string(budget) + "," + kindName + "," +
+                   formatDouble(of, 4) + "," + formatDouble(os, 4) +
+                   "," + formatDouble(oe, 4) + "," +
+                   formatDouble(gf, 4) + "," + formatDouble(gs, 4) +
+                   "," + formatDouble(ge, 4) + "," +
+                   formatDouble(fullSec, 4) + "," +
+                   formatDouble(sampledSec, 4) + "," +
+                   formatDouble(speedup, 2) + "\n";
+            if (i)
+                json += ",";
+            json += "{\"predictor\":\"" + kindName + "\"";
+            json += ",\"output_acc_full_pct\":" +
+                    formatDouble(of, 4);
+            json += ",\"output_acc_sampled_pct\":" +
+                    formatDouble(os, 4);
+            json += ",\"output_acc_err_pct\":" +
+                    formatDouble(oe, 4);
+            json += ",\"gshare_acc_full_pct\":" +
+                    formatDouble(gf, 4);
+            json += ",\"gshare_acc_sampled_pct\":" +
+                    formatDouble(gs, 4);
+            json +=
+                ",\"gshare_acc_err_pct\":" + formatDouble(ge, 4);
+            json += "}";
+        }
+        json += "]}";
+    }
+    const bool pass = maxErr <= threshold;
+    json += "],\"max_err_pct\":" + formatDouble(maxErr, 4);
+    json += ",\"pass\":";
+    json += pass ? "true" : "false";
+    json += "}\n";
+
+    table.print(std::cout);
+    std::cout << "converge: max abs error "
+              << formatDouble(maxErr, 3) << "% (threshold "
+              << formatDouble(threshold, 2) << "%) — "
+              << (pass ? "PASS" : "FAIL") << "\n";
+
+    if (const auto csvPath = args.option("csv")) {
+        std::ofstream f(*csvPath);
+        if (!f)
+            usage("cannot write " + *csvPath);
+        f << csv;
+    }
+    if (args.option("out"))
+        writeDocument(args, json);
+    return pass ? 0 : 1;
 }
 
 int
@@ -792,7 +1036,8 @@ main(int argc, char **argv)
                         "seeds", "out", "socket", "port",
                         "max-inflight", "cap", "retain-mb",
                         "workload", "family", "json", "id",
-                        "count"});
+                        "count", "budgets", "interval", "warmup",
+                        "phases", "threshold", "csv"});
     if (args.flag("version"))
         return cmdVersion();
     if (args.positionals().empty())
@@ -818,6 +1063,8 @@ main(int argc, char **argv)
             return cmdFuzz(args);
         if (cmd == "import")
             return cmdImport(args);
+        if (cmd == "converge")
+            return cmdConverge(args);
         if (cmd == "serve")
             return cmdServe(args);
         if (cmd == "client")
